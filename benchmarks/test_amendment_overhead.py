@@ -1,0 +1,78 @@
+"""Run-time amendment overhead (dynamic flow control, §2 features).
+
+Amendments are signed CERs, so they cost one RSA signature to create,
+one to verify, and they re-enter the authorization replay on every
+subsequent verification.  This bench measures how a stack of k
+delegations affects document size and whole-document verification —
+both must stay linear in k, like any other CER.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit_table
+from repro.core import ActivityExecutionAgent
+from repro.document import build_initial_document, verify_document
+from repro.document.amendments import DelegateActivity
+from repro.workloads.figure9 import DESIGNER, PARTICIPANTS
+
+AMENDMENT_COUNTS = [0, 2, 4, 8]
+DEPUTY_POOL = [f"deputy{i}@megacorp.example" for i in range(9)]
+
+
+def test_amendment_stack_cost(benchmark, world, fig9a, backend):
+    for identity in DEPUTY_POOL:
+        if identity not in world.directory:
+            world.add_participant(identity)
+
+    documents = {}
+
+    def build_stacks():
+        base = build_initial_document(fig9a, world.keypair(DESIGNER),
+                                      backend=backend)
+        agent = ActivityExecutionAgent(world.keypair(PARTICIPANTS["A"]),
+                                       world.directory, backend)
+        document = agent.execute_activity(
+            base, "A", {"attachment": "x"}).document
+        documents[0] = document
+        # Chain of delegations of D: approver → deputy0 → deputy1 → …
+        current_holder = PARTICIPANTS["D"]
+        for index in range(max(AMENDMENT_COUNTS)):
+            holder_agent = ActivityExecutionAgent(
+                world.keypair(current_holder), world.directory, backend)
+            next_holder = DEPUTY_POOL[index]
+            document = holder_agent.amend(
+                document, DelegateActivity("D", next_holder))
+            current_holder = next_holder
+            if index + 1 in AMENDMENT_COUNTS:
+                documents[index + 1] = document
+        return documents
+
+    benchmark.pedantic(build_stacks, rounds=1, warmup_rounds=1)
+
+    rows = []
+    sizes, verifies = [], []
+    for count in AMENDMENT_COUNTS:
+        document = documents[count]
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            verify_document(document, world.directory, backend)
+            best = min(best, time.perf_counter() - start)
+        sizes.append(document.size_bytes)
+        verifies.append(best)
+        rows.append([count, document.size_bytes,
+                     f"{best * 1000:.2f}"])
+    emit_table(
+        "amendment_overhead",
+        "Delegation-chain depth vs document size and verification",
+        ["amendments", "Sigma(B)", "verify (ms)"],
+        rows,
+    )
+
+    # Size grows linearly: each delegation adds ~one CER's worth.
+    deltas = [b - a for a, b in zip(sizes, sizes[1:])]
+    assert max(deltas) < 2.5 * min(deltas)
+    # Verification stays linear-ish (8 amendments ≪ 8× slower than 0).
+    assert verifies[-1] < 8 * (verifies[0] + 1e-4)

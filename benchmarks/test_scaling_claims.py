@@ -1,0 +1,119 @@
+"""Claims C1/C2 — the scaling behaviour the paper's §4.1 prose asserts.
+
+"The size of the DRA4WfMS and the time for decrypting and verifying
+signatures were proportional to the numbers of CERs and signatures in
+the documents.  However, only a constant time was needed to encrypt and
+embed signatures."
+
+The paper shows this on one 10-step trace; here we sweep chain
+workflows of 2–32 activities and fit the trends, plus the Table-1 vs
+Table-2 size ratio (advanced ≈ 2× basic, paper: 47,406 / 22,910 ≈ 2.07).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import GENERIC_DESIGNER, emit_table, run_fig9a, run_fig9b
+from repro.core import InMemoryRuntime
+from repro.document import build_initial_document
+from repro.workloads.generator import auto_responders, chain_definition, participant_pool
+
+CHAIN_LENGTHS = [2, 4, 8, 16, 32]
+
+
+def run_chain(world, backend, length):
+    definition = chain_definition(length, participant_pool(6),
+                                  designer=GENERIC_DESIGNER)
+    initial = build_initial_document(
+        definition, world.keypair(GENERIC_DESIGNER), backend=backend
+    )
+    runtime = InMemoryRuntime(world.directory, world.keypairs,
+                              backend=backend)
+    return runtime.run(initial, definition, auto_responders(definition),
+                       mode="basic")
+
+
+def test_alpha_and_size_linear_beta_constant(benchmark, world, backend):
+    traces = {}
+
+    def sweep():
+        # Three runs per length; keep the per-length *minimum* of the
+        # last step's α/β — minima are robust to scheduler noise.
+        for length in CHAIN_LENGTHS:
+            runs = [run_chain(world, backend, length) for _ in range(3)]
+            best = min(runs, key=lambda t: t.steps[-1].alpha)
+            best_beta = min(t.steps[-1].beta for t in runs)
+            traces[length] = (best, best_beta)
+        return traces
+
+    benchmark.pedantic(sweep, rounds=1, warmup_rounds=1)
+
+    rows = []
+    last_alphas, last_betas, final_sizes = [], [], []
+    for length in CHAIN_LENGTHS:
+        trace, best_beta = traces[length]
+        last = trace.steps[-1]
+        last_alphas.append(last.alpha)
+        last_betas.append(best_beta)
+        final_sizes.append(trace.final_size)
+        rows.append([
+            length, last.signatures_verified,
+            f"{last.alpha:.4f}", f"{best_beta:.4f}", trace.final_size,
+        ])
+    emit_table(
+        "scaling_chains",
+        "Claim C1/C2: last-step cost vs chain length (basic model)",
+        ["n activities", "#sigs verified", "alpha(s)", "beta(s)",
+         "final Sigma(B)"],
+        rows,
+    )
+
+    ns = np.array(CHAIN_LENGTHS, dtype=float)
+
+    # Σ linear in n: a straight-line fit explains almost all variance.
+    sizes = np.array(final_sizes, dtype=float)
+    coefficients = np.polyfit(ns, sizes, 1)
+    predicted = np.polyval(coefficients, ns)
+    residual = np.linalg.norm(sizes - predicted) / np.linalg.norm(sizes)
+    assert residual < 0.05
+    assert coefficients[0] > 0
+
+    # α grows with n (proportional to #signatures): the 32-chain's last
+    # verification costs several times the 2-chain's.
+    assert last_alphas[-1] > 3.0 * last_alphas[0]
+
+    # β constant: the 32-chain's last signing is within a small factor
+    # of the 2-chain's despite 16× more history.
+    assert last_betas[-1] < 8.0 * last_betas[0]
+
+    # And β does NOT scale with n the way α does.
+    alpha_growth = last_alphas[-1] / last_alphas[0]
+    beta_growth = last_betas[-1] / last_betas[0]
+    assert alpha_growth > 1.5 * beta_growth
+
+
+def test_advanced_to_basic_size_ratio(benchmark, world, backend):
+    """Paper: Table 2 final (47,406 B) ≈ 2.07× Table 1 final (22,910 B)."""
+    from repro.workloads.figure9 import (
+        figure_9a_definition,
+        figure_9b_definition,
+    )
+
+    def measure():
+        _, basic = run_fig9a(world, figure_9a_definition(), backend)
+        _, advanced, _ = run_fig9b(world, figure_9b_definition(), backend)
+        return basic, advanced
+
+    basic, advanced = benchmark.pedantic(measure, rounds=1,
+                                         warmup_rounds=0)
+    ratio = advanced.final_size / basic.final_size
+    emit_table(
+        "size_ratio",
+        "Advanced vs basic model final document size",
+        ["model", "final Sigma(B)"],
+        [["basic (Table 1)", basic.final_size],
+         ["advanced (Table 2)", advanced.final_size],
+         ["ratio", f"{ratio:.2f} (paper: 2.07)"]],
+    )
+    assert 1.5 < ratio < 3.0

@@ -1,0 +1,80 @@
+"""Verification cost scaling — the operational limit of document routing.
+
+Not a paper table, but the reproduction's own measurement of the
+architecture's inherent cost: every AEA re-verifies the *whole* history
+on receipt, so per-step verification grows with process length.  This
+bench sweeps chain workflows and checks the growth stays near-linear
+(it would be quadratic without the one-pass Algorithm 1 closure in
+``repro.document.nonrepudiation.all_scopes`` — see the profile notes
+there).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import GENERIC_DESIGNER, emit_table
+from repro.core import InMemoryRuntime
+from repro.document import build_initial_document, verify_document
+from repro.workloads.generator import (
+    auto_responders,
+    chain_definition,
+    participant_pool,
+)
+
+CHAIN_LENGTHS = [8, 16, 32, 64]
+
+
+def test_verify_cost_scaling(benchmark, world, backend):
+    finals = {}
+    for length in CHAIN_LENGTHS:
+        definition = chain_definition(length, participant_pool(6),
+                                      designer=GENERIC_DESIGNER)
+        initial = build_initial_document(
+            definition, world.keypair(GENERIC_DESIGNER), backend=backend
+        )
+        runtime = InMemoryRuntime(world.directory, world.keypairs,
+                                  backend=backend)
+        finals[length] = runtime.run(
+            initial, definition, auto_responders(definition), mode="basic"
+        ).final_document
+
+    def verify_largest():
+        verify_document(finals[CHAIN_LENGTHS[-1]], world.directory,
+                        backend)
+
+    benchmark.pedantic(verify_largest, rounds=5, warmup_rounds=1)
+
+    rows = []
+    costs = []
+    for length in CHAIN_LENGTHS:
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            verify_document(finals[length], world.directory, backend)
+            best = min(best, time.perf_counter() - start)
+        costs.append(best)
+        rows.append([
+            length, finals[length].size_bytes, f"{best * 1000:.2f}",
+            f"{best * 1000 / length:.3f}",
+        ])
+    emit_table(
+        "verify_scaling",
+        "Whole-document verification cost vs process length",
+        ["chain length", "doc bytes", "verify (ms)", "ms per CER"],
+        rows,
+    )
+
+    # Near-linear: fitting cost vs n, the quadratic coefficient's
+    # contribution at n=64 stays below the linear term's.
+    ns = np.array(CHAIN_LENGTHS, dtype=float)
+    cost = np.array(costs)
+    quad = np.polyfit(ns, cost, 2)
+    linear_term = abs(quad[1]) * ns[-1]
+    quadratic_term = abs(quad[0]) * ns[-1] ** 2
+    assert quadratic_term < 2.0 * linear_term
+
+    # And an 8× longer chain costs well under 8²× more.
+    assert costs[-1] < 20 * costs[0]

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The Fig. 4 Chinese-wall scenario: conditional routing Tony can't see.
+
+Peter inputs the engagement target X (for Amy's eyes only).  Tony
+submits a proposal Y — but the workflow branches on Func(X), which Tony
+is forbidden to evaluate, and Y must be encrypted for John *or* Mary
+depending on that branch.  Tony can neither route nor encrypt.
+
+The basic operational model therefore *refuses* this workflow (shown
+first), and the advanced model solves it: Tony's AEA encrypts his raw
+result to the TFC server, which evaluates the guard, re-encrypts Y for
+exactly the right bank, timestamps, countersigns, and forwards.
+
+Run:  python examples/chinese_wall.py
+"""
+
+from repro import TfcServer, build_initial_document, build_world
+from repro.core import InMemoryRuntime
+from repro.errors import PolicyError
+from repro.workloads.chinese_wall import (
+    DESIGNER,
+    GUARD,
+    PARTICIPANTS,
+    chinese_wall_definition,
+    chinese_wall_responders,
+)
+
+TFC = "tfc@cloud.example"
+
+
+def main() -> None:
+    definition = chinese_wall_definition()
+    world = build_world([DESIGNER, *PARTICIPANTS.values(), TFC])
+    print(f"routing guard (hidden from Tony): Func(X) := {GUARD!r}\n")
+
+    # --- the basic model provably cannot run this policy ----------------
+    initial = build_initial_document(definition, world.keypair(DESIGNER))
+    basic_runtime = InMemoryRuntime(world.directory, world.keypairs)
+    try:
+        basic_runtime.run(initial.clone(), definition,
+                          chinese_wall_responders(), mode="basic")
+        raise SystemExit("BUG: the basic model should have refused")
+    except PolicyError as exc:
+        print(f"basic model refused (as §2.2 argues): {exc}\n")
+
+    # --- the advanced model routes through the TFC server ----------------
+    tfc = TfcServer(world.keypair(TFC), world.directory)
+    runtime = InMemoryRuntime(world.directory, world.keypairs, tfc=tfc)
+
+    for target, label in [("bank-a-engagement", "Func(X) = True"),
+                          ("other-engagement", "Func(X) = False")]:
+        document = build_initial_document(definition,
+                                          world.keypair(DESIGNER))
+        trace = runtime.run(document, definition,
+                            chinese_wall_responders(target),
+                            mode="advanced")
+        path = " -> ".join(step.activity_id for step in trace.steps)
+        print(f"{label}: executed {path}")
+
+        y_field = trace.final_document.find_cer("A2", 0, "tfc") \
+            .encrypted_field("Y")
+        readers = [r for r in y_field.recipients
+                   if not r.startswith(("tfc", "tony"))]
+        print(f"  Y (Tony's proposal) re-encrypted by TFC for: {readers}")
+
+        x_field = trace.final_document.find_cer("A1", 0, "tfc") \
+            .encrypted_field("X")
+        print(f"  X readable by: {x_field.recipients} "
+              f"(note: Tony is excluded)")
+        assert PARTICIPANTS["A2"] not in x_field.recipients
+        print()
+
+    # Monitoring came for free: the TFC witnessed every finish time.
+    from repro.core import WorkflowMonitor
+
+    monitor = WorkflowMonitor(tfc=tfc)
+    print("TFC monitoring records (activity @ witnessed time):")
+    for process_id in monitor.processes():
+        history = [
+            f"{record.activity_id}@{record.timestamp:.2f}"
+            for record in monitor.history(process_id)
+        ]
+        print(f"  {process_id[:8]}…: {', '.join(history)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Dynamic flow control and dynamic security policy at run time.
+
+The paper lists among DRA4WfMS's features: "It can support dynamic flow
+control and a dynamic security policy in its run-time environment."
+This example exercises all three run-time amendment kinds on a live
+Fig. 9A instance:
+
+1. the approver **delegates** their activity to a deputy (and the
+   original approver is afterwards *rejected* by every AEA);
+2. the designer **inserts an ad-hoc audit activity** between C and D;
+3. the submitter **grants a new reader** for future iterations of their
+   field — without rewriting history.
+
+Every amendment is itself a signed CER: ordered, tamper-evident, and
+inside the nonrepudiation cascade.
+
+Run:  python examples/dynamic_delegation.py
+"""
+
+from repro import build_initial_document, build_world, verify_document
+from repro.core import ActivityExecutionAgent, render_trail
+from repro.document.amendments import (
+    AddActivity,
+    DelegateActivity,
+    GrantReader,
+    effective_definition,
+)
+from repro.errors import AuthorizationError
+from repro.model.activity import Activity, FieldSpec
+from repro.workloads.figure9 import DESIGNER, PARTICIPANTS, figure_9a_definition
+
+DEPUTY = "deputy@megacorp.example"
+AUDITOR = "auditor@regulator.example"
+
+
+def main() -> None:
+    definition = figure_9a_definition()
+    world = build_world([DESIGNER, *PARTICIPANTS.values(), DEPUTY,
+                         AUDITOR])
+
+    def agent(identity: str) -> ActivityExecutionAgent:
+        return ActivityExecutionAgent(world.keypair(identity),
+                                      world.directory)
+
+    document = build_initial_document(definition, world.keypair(DESIGNER))
+    document = agent(PARTICIPANTS["A"]).execute_activity(
+        document, "A", {"attachment": "grant application v1"}).document
+
+    # -- 1. delegation -----------------------------------------------------
+    document = agent(PARTICIPANTS["D"]).amend(
+        document, DelegateActivity("D", DEPUTY, reason="annual leave"))
+    effective = effective_definition(document)
+    print(f"after delegation, activity D belongs to: "
+          f"{effective.activity('D').participant}")
+
+    # -- 2. ad-hoc activity (designer only) ---------------------------------
+    document = agent(DESIGNER).amend(document, AddActivity(
+        Activity("AUDIT", AUDITOR, requests=("summary",),
+                 responses=(FieldSpec("audit_note"),),
+                 name="Regulator spot check"),
+        after="C", before="D", reason="regulator request",
+    ))
+    effective = effective_definition(document)
+    print(f"control flow after C is now: "
+          f"{effective.successors('C')} -> "
+          f"{effective.successors('AUDIT')}")
+
+    # -- 3. dynamic reader grant --------------------------------------------
+    document = agent(PARTICIPANTS["A"]).amend(
+        document, GrantReader("A", "attachment", AUDITOR,
+                              reason="regulator needs the application"))
+
+    # -- run the (amended) process to completion ------------------------------
+    branch1 = agent(PARTICIPANTS["B1"]).execute_activity(
+        document.clone(), "B1", {"review1": "adequate"}).document
+    branch2 = agent(PARTICIPANTS["B2"]).execute_activity(
+        document.clone(), "B2", {"review2": "plausible"}).document
+    document = agent(PARTICIPANTS["C"]).execute_activity(
+        branch1.merge(branch2), "C", {"summary": "both reviews positive"}
+    ).document
+    document = agent(AUDITOR).execute_activity(
+        document, "AUDIT", {"audit_note": "no objection"}).document
+
+    # The ORIGINAL approver is now rejected...
+    try:
+        agent(PARTICIPANTS["D"]).execute_activity(
+            document, "D", {"decision": "accept"})
+        raise SystemExit("BUG: pre-delegation approver accepted")
+    except AuthorizationError as exc:
+        print(f"original approver rejected: {str(exc)[:70]}…")
+
+    # ...and the deputy finishes the process.
+    result = agent(DEPUTY).execute_activity(
+        document, "D", {"decision": "accept"})
+    report = verify_document(result.document, world.directory)
+    print(f"deputy approved; offline audit verified "
+          f"{report.signatures_verified} signatures\n")
+
+    print(render_trail(result.document))
+
+    # The grant applies to FUTURE encryptions only — past ciphertexts
+    # were never rewritten (the auditor cannot read iteration 0 of the
+    # attachment, because it was sealed before the grant).
+    field = result.document.find_cer("A", 0).encrypted_field("attachment")
+    print(f"\nattachment^0 readers (sealed before the grant): "
+          f"{field.recipients}")
+    assert AUDITOR not in field.recipients
+
+
+if __name__ == "__main__":
+    main()

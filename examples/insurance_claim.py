@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A realistic four-enterprise process: insurance claim handling.
+
+Ten activities across an insurer, a hospital, a fraud assessor, and a
+bank — XOR triage, AND-split assessments, a re-filing loop, and strict
+field-level confidentiality (the bank never sees the medical report;
+nobody but the payments desk sees the bank account).  Runs under the
+advanced model so the TFC monitoring records tell the business where
+claims spend their time.
+
+Run:  python examples/insurance_claim.py
+"""
+
+from repro import TfcServer, build_initial_document, build_world, verify_document
+from repro.core import InMemoryRuntime, WorkflowMonitor
+from repro.core.state import VariableView
+from repro.model.render import to_ascii
+from repro.workloads.insurance import (
+    DESIGNER,
+    PARTICIPANTS,
+    insurance_definition,
+    insurance_responders,
+)
+
+TFC = "tfc@cloud.example"
+
+
+def main() -> None:
+    definition = insurance_definition()
+    definition.policy.require_timestamps = True
+    print(to_ascii(definition))
+    print()
+
+    world = build_world(sorted({DESIGNER, *PARTICIPANTS.values(), TFC}))
+    tfc = TfcServer(world.keypair(TFC), world.directory)
+    runtime = InMemoryRuntime(world.directory, world.keypairs, tfc=tfc)
+
+    initial = build_initial_document(definition, world.keypair(DESIGNER))
+    trace = runtime.run(initial, definition, insurance_responders(),
+                        mode="advanced")
+
+    print("execution path:")
+    print("  " + " -> ".join(
+        f"{s.activity_id}^{s.iteration}" for s in trace.steps
+    ))
+    report = verify_document(trace.final_document, world.directory,
+                             tfc_identities={tfc.identity})
+    print(f"final document: {trace.final_size} bytes, "
+          f"{report.signatures_verified} signatures verified\n")
+
+    # Confidentiality boundaries, demonstrated with real keys:
+    bank = world.keypair(PARTICIPANTS["PAY"])
+    bank_view = VariableView.for_reader(trace.final_document,
+                                        bank.identity, bank.private_key)
+    print(f"the bank can read     : {sorted(bank_view.raw)}")
+    physician = world.keypair(PARTICIPANTS["MEDICAL"])
+    med_view = VariableView.for_reader(trace.final_document,
+                                       physician.identity,
+                                       physician.private_key)
+    print(f"the physician can read: {sorted(med_view.raw)}")
+    assert "medical_report" not in bank_view
+    assert "bank_account" not in med_view
+
+    # Business monitoring from the TFC records:
+    monitor = WorkflowMonitor(tfc=tfc)
+    process_id = monitor.processes()[0]
+    print("\nwhere the claim spent its time (handoff gaps):")
+    for (activity_id, iteration), gap in \
+            monitor.activity_gaps(process_id).items():
+        print(f"  {activity_id}^{iteration}: {gap * 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: a two-activity cross-enterprise workflow in ~60 lines.
+
+Alice at ACME asks a question; Bob at MegaCorp answers it.  No server
+executes anything — the DRA4WfMS *document* is the process instance,
+and it protects itself: Alice's AEA signs her input, Bob's AEA verifies
+the whole history before answering and countersigns, and any third
+party can audit the final document offline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    InMemoryRuntime,
+    WorkflowBuilder,
+    build_initial_document,
+    build_world,
+    covers_whole_document,
+    nonrepudiation_scope,
+    verify_document,
+)
+from repro.model import END
+
+
+def main() -> None:
+    # 1. The workflow designer models the process (and signs it later).
+    workflow = (
+        WorkflowBuilder("quickstart", designer="designer@acme.example")
+        .activity("ask", "alice@acme.example",
+                  name="Ask the question", responses=["question"])
+        .activity("answer", "bob@megacorp.example",
+                  name="Answer it", requests=["question"],
+                  responses=["reply"])
+        .transition("ask", "answer")
+        .transition("answer", END)
+        .build()
+    )
+
+    # 2. A PKI world: each enterprise gets its own CA; all mutually
+    #    trusted for this workflow.
+    world = build_world([
+        "designer@acme.example",
+        "alice@acme.example",
+        "bob@megacorp.example",
+    ])
+
+    # 3. The designer creates and signs the initial document.
+    initial = build_initial_document(
+        workflow, world.keypair("designer@acme.example")
+    )
+    print(f"initial document: {initial.size_bytes} bytes, "
+          f"process id {initial.process_id[:8]}…")
+
+    # 4. Route it through the participants (the runtime is just a
+    #    postman — it holds no authority).
+    runtime = InMemoryRuntime(world.directory, world.keypairs)
+    trace = runtime.run(initial, workflow, {
+        "ask": {"question": "Can we ship the Q3 release this week?"},
+        "answer": {"reply": "Yes - pending the security review."},
+    })
+    final = trace.final_document
+    print(f"executed {len(trace.steps)} activities; final document "
+          f"{final.size_bytes} bytes")
+
+    # 5. Anyone with the PKI directory can audit the result offline.
+    report = verify_document(final, world.directory)
+    print(f"offline audit: {report.signatures_verified} signatures "
+          f"verified, tampering: none")
+
+    # 6. Nonrepudiation: Bob's signature transitively covers everything
+    #    he saw — he cannot deny having received Alice's question.
+    bob_cer = final.find_cer("answer", 0)
+    scope = nonrepudiation_scope(final, bob_cer)
+    print(f"Bob's nonrepudiation scope: "
+          f"{[cer.cer_id for cer in scope]}")
+    assert covers_whole_document(final, bob_cer)
+    print("Bob's signature covers the entire document - "
+          "repudiation is impossible.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""DRA4WfMS — a nonrepudiatable, scalable, engine-less workflow system.
+
+Reproduction of *"A Framework for Nonrepudiatable and Scalable
+Cross-Enterprise Workflow Management Systems in the Cloud"*
+(Hwang, Hsiao, Kao, Lin — IPDPSW 2012).
+
+Quick tour
+----------
+
+>>> from repro import (WorkflowBuilder, build_world, build_initial_document,
+...                    InMemoryRuntime, verify_document)
+>>> wf = (WorkflowBuilder("demo", designer="dsgn@acme.example")
+...       .activity("ask", "alice@acme.example", responses=["question"])
+...       .activity("answer", "bob@megacorp.example",
+...                 requests=["question"], responses=["reply"])
+...       .transition("ask", "answer")
+...       .build())
+>>> world = build_world(["dsgn@acme.example", "alice@acme.example",
+...                      "bob@megacorp.example"])
+>>> doc = build_initial_document(wf, world.keypair("dsgn@acme.example"))
+>>> runtime = InMemoryRuntime(world.directory, world.keypairs)
+>>> trace = runtime.run(doc, wf, {
+...     "ask": {"question": "ship it?"},
+...     "answer": {"reply": "yes"},
+... })
+>>> bool(verify_document(trace.final_document, world.directory))
+True
+
+Packages
+--------
+``repro.crypto``
+    From-scratch RSA/AES/SHA-256 plus a fast OpenSSL-backed backend,
+    key pairs, and a minimal PKI.
+``repro.xmlsec``
+    Canonicalization, multi-reference XML signatures (the cascade), and
+    element-wise encryption.
+``repro.model``
+    Workflow definitions: activities, AND/XOR control flow, loops,
+    guard expressions, security policies, XPDL-like XML.
+``repro.document``
+    The DRA4WfMS document, CERs, Algorithm 1 (nonrepudiation scopes),
+    and whole-document verification.
+``repro.core``
+    The AEA and TFC server (basic & advanced operational models), plus
+    the in-memory orchestrator and monitoring.
+``repro.cloud``
+    The simulated cloud: HDFS, HBase, document pool, portal servers,
+    notifications, MapReduce analytics.
+``repro.baselines``
+    The engine-based centralized and distributed WfMSs the paper
+    argues against.
+``repro.security``
+    The threat model and executable attack matrix.
+``repro.workloads``
+    The paper's Fig. 9 and Fig. 4 processes and synthetic generators.
+"""
+
+from .core.aea import ActivityContext, ActivityExecutionAgent, AeaResult
+from .core.monitor import WorkflowMonitor
+from .core.runtime import ExecutionTrace, InMemoryRuntime, StepTrace
+from .core.tfc import TfcServer
+from .crypto.backend import PureBackend, default_backend, set_default_backend
+from .crypto.keys import KeyPair
+from .crypto.pki import CertificateAuthority, KeyDirectory
+from .document.builder import build_initial_document
+from .document.document import Dra4wfmsDocument, new_process_id
+from .document.nonrepudiation import (
+    covers_whole_document,
+    nonrepudiation_scope,
+)
+from .document.verify import VerificationReport, verify_document
+from .errors import ReproError
+from .model.builder import WorkflowBuilder
+from .model.controlflow import END
+from .model.definition import WorkflowDefinition
+from .workloads.participants import World, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivityContext",
+    "ActivityExecutionAgent",
+    "AeaResult",
+    "CertificateAuthority",
+    "Dra4wfmsDocument",
+    "END",
+    "ExecutionTrace",
+    "InMemoryRuntime",
+    "KeyDirectory",
+    "KeyPair",
+    "PureBackend",
+    "ReproError",
+    "StepTrace",
+    "TfcServer",
+    "VerificationReport",
+    "WorkflowBuilder",
+    "WorkflowDefinition",
+    "WorkflowMonitor",
+    "World",
+    "build_initial_document",
+    "build_world",
+    "covers_whole_document",
+    "default_backend",
+    "new_process_id",
+    "nonrepudiation_scope",
+    "set_default_backend",
+    "verify_document",
+    "__version__",
+]

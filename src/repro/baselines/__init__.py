@@ -1,0 +1,21 @@
+"""Engine-based baseline WfMSs (the systems the paper argues against).
+
+Both baselines execute the same workflow definitions as DRA4WfMS, so
+the security attack harness (:mod:`repro.security`) and the comparison
+benches can run identical workloads across all three architectures.
+"""
+
+from .centralized import CentralizedWfms, EngineStepTrace
+from .database import AuditEntry, EngineDatabase, Superuser
+from .distributed import DistributedWfms, MigrationEvent, WorkflowEngine
+
+__all__ = [
+    "AuditEntry",
+    "CentralizedWfms",
+    "DistributedWfms",
+    "EngineDatabase",
+    "EngineStepTrace",
+    "MigrationEvent",
+    "Superuser",
+    "WorkflowEngine",
+]

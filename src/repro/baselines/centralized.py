@@ -1,0 +1,217 @@
+"""Baseline 1: the centralized engine-based WfMS (paper Fig. 1A).
+
+A single workflow engine executes every process: participants connect
+client/server-style, the engine shows them the relevant data, stores
+their results in its relational database, and evaluates the control
+flow.  Transport may be SSL-protected (confidentiality + integrity *in
+transit*), but the stored process instance is protected only by the
+server — and the server has a superuser.
+
+The two security findings the paper derives for this architecture are
+reproduced as observable behaviours:
+
+* :meth:`CentralizedWfms.can_prove_result` is always ``False`` — there
+  is no cryptographic evidence binding a participant to a stored
+  result, so a repudiation claim ("that is not what I submitted / what
+  I was shown") cannot be decided;
+* the :class:`~repro.baselines.database.Superuser` can alter results
+  and erase the traces, and :meth:`detect_tampering` has nothing to
+  detect it with.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import AuthorizationError, RuntimeFault
+from ..model.controlflow import JoinKind
+from ..model.definition import WorkflowDefinition
+from .database import EngineDatabase, Superuser
+
+__all__ = ["EngineStepTrace", "CentralizedWfms"]
+
+_INSTANCES = "process_instances"
+_RESULTS = "activity_results"
+
+
+@dataclass
+class EngineStepTrace:
+    """Timing of one engine-mediated activity execution."""
+
+    activity_id: str
+    iteration: int
+    participant: str
+    engine_seconds: float
+    transport_bytes: int
+
+
+@dataclass
+class CentralizedWfms:
+    """A single-engine WfMS over one database."""
+
+    definition: WorkflowDefinition
+    use_ssl: bool = True
+    database: EngineDatabase = field(default_factory=lambda: EngineDatabase("engine-db"))
+    _ids: itertools.count = field(default_factory=lambda: itertools.count(1))
+
+    def __post_init__(self) -> None:
+        for table in (_INSTANCES, _RESULTS):
+            if table not in self.database.tables:
+                self.database.create_table(table)
+
+    # -- engine operations ---------------------------------------------------
+
+    def start_process(self) -> str:
+        """Create a new process instance; returns its id."""
+        process_id = f"proc-{next(self._ids)}"
+        self.database.insert(_INSTANCES, process_id, {
+            "state": "running",
+            "definition": self.definition.process_name,
+        })
+        return process_id
+
+    @staticmethod
+    def _result_row_id(process_id: str, activity_id: str,
+                       iteration: int) -> str:
+        return f"{process_id}/{activity_id}/{iteration}"
+
+    def execute(self, process_id: str, activity_id: str, participant: str,
+                values: Mapping[str, str], iteration: int = 0,
+                ) -> EngineStepTrace:
+        """A participant executes an activity through the engine."""
+        start = time.perf_counter()
+        activity = self.definition.activity(activity_id)
+        if activity.participant != participant:
+            raise AuthorizationError(
+                f"{participant!r} is not the designated participant of "
+                f"{activity_id!r}"
+            )
+        payload = json.dumps(dict(values), sort_keys=True)
+        self.database.insert(
+            _RESULTS,
+            self._result_row_id(process_id, activity_id, iteration),
+            {"participant": participant, "values": payload,
+             "stored_at": repr(time.time())},
+        )
+        return EngineStepTrace(
+            activity_id=activity_id,
+            iteration=iteration,
+            participant=participant,
+            engine_seconds=time.perf_counter() - start,
+            transport_bytes=len(payload),
+        )
+
+    def stored_result(self, process_id: str, activity_id: str,
+                      iteration: int = 0) -> dict[str, str]:
+        """The engine's authoritative copy of an execution result."""
+        row = self.database.get(
+            _RESULTS, self._result_row_id(process_id, activity_id, iteration)
+        )
+        return json.loads(row["values"])
+
+    def variables_of(self, process_id: str) -> dict[str, str]:
+        """All stored variables (the engine sees everything, plaintext)."""
+        variables: dict[str, str] = {}
+        for row_id, row in sorted(self.database.select(_RESULTS).items()):
+            if row_id.startswith(f"{process_id}/"):
+                variables.update(json.loads(row["values"]))
+        return variables
+
+    def run(self, responders: Mapping[str, Mapping[str, str] | object],
+            max_steps: int = 10_000) -> tuple[str, list[EngineStepTrace]]:
+        """Run one complete process through the engine."""
+        from ..core.aea import ActivityContext  # lightweight reuse
+
+        process_id = self.start_process()
+        counts: dict[str, int] = {}
+        queue: deque[str] = deque([self.definition.start_activity])
+        joins: dict[str, int] = {}
+        steps: list[EngineStepTrace] = []
+        typed_cache: dict[str, object] = {}
+
+        while queue:
+            if len(steps) >= max_steps:
+                raise RuntimeFault("engine exceeded step budget")
+            activity_id = queue.popleft()
+            activity = self.definition.activity(activity_id)
+            if activity.join is JoinKind.AND:
+                arity = len(self.definition.incoming(activity_id))
+                joins[activity_id] = joins.get(activity_id, 0) + 1
+                if joins[activity_id] < arity:
+                    continue
+                joins[activity_id] = 0
+
+            iteration = counts.get(activity_id, 0)
+            counts[activity_id] = iteration + 1
+            responder = responders[activity_id]
+            variables = self.variables_of(process_id)
+            context = ActivityContext(
+                activity_id=activity_id,
+                iteration=iteration,
+                participant=activity.participant,
+                requests={k: variables[k] for k in activity.requests
+                          if k in variables},
+                expected_responses={s.name: s.ftype
+                                    for s in activity.responses},
+                definition=self.definition,
+                process_id=process_id,
+            )
+            values = (responder(context) if callable(responder)
+                      else dict(responder))
+            steps.append(self.execute(
+                process_id, activity_id, activity.participant, values,
+                iteration,
+            ))
+            typed = self._typed(self.variables_of(process_id))
+            typed_cache.update(typed)
+            for nxt in self.definition.successors(activity_id, typed):
+                queue.append(nxt)
+        self.database.update(_INSTANCES, process_id, {"state": "finished"})
+        return process_id, steps
+
+    def _typed(self, variables: dict[str, str]) -> dict[str, object]:
+        types = {
+            spec.name: spec.ftype
+            for activity in self.definition.activities.values()
+            for spec in activity.responses
+        }
+        out: dict[str, object] = {}
+        for name, text in variables.items():
+            ftype = types.get(name, "string")
+            if ftype == "int":
+                out[name] = int(text)
+            elif ftype == "float":
+                out[name] = float(text)
+            elif ftype == "bool":
+                out[name] = text.lower() in ("1", "true", "yes")
+            else:
+                out[name] = text
+        return out
+
+    # -- the security gap, made explicit -----------------------------------------
+
+    def superuser(self) -> Superuser:
+        """The administrator of the engine's database."""
+        return self.database.superuser()
+
+    def can_prove_result(self, process_id: str, activity_id: str,
+                         iteration: int = 0) -> bool:
+        """Can the system *prove* who produced the stored result?
+
+        Always ``False``: the stored row carries no digital signature,
+        so the participant can repudiate it and the engine cannot rebut.
+        """
+        return False
+
+    def detect_tampering(self, process_id: str) -> bool:
+        """Did the system detect any alteration of stored results?
+
+        Always ``False``: without per-result cryptographic evidence the
+        engine cannot distinguish a superuser edit from the original.
+        """
+        return False

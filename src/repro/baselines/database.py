@@ -1,0 +1,134 @@
+"""A toy relational store with a superuser — the baselines' Achilles heel.
+
+Paper §1: "superusers exist in the administration domain of WfMSs …
+the administrator of a relational database always has the privilege to
+update the contents and logs in the database.  It is obvious that the
+central WfMS also cannot guarantee the nonrepudiation requirement."
+
+Regular operations append to an audit log.  The superuser interface can
+rewrite rows **and** rewrite the log, leaving no trace — which is
+exactly what makes repudiation claims undecidable for engine-based
+systems and what the attack harness demonstrates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+
+__all__ = ["AuditEntry", "EngineDatabase", "Superuser"]
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One audit-log line."""
+
+    sequence: int
+    timestamp: float
+    operation: str
+    table: str
+    row_id: str
+    detail: str
+
+
+@dataclass
+class EngineDatabase:
+    """Tables of rows plus an (alterable) audit log."""
+
+    name: str
+    tables: dict[str, dict[str, dict[str, str]]] = field(default_factory=dict)
+    audit_log: list[AuditEntry] = field(default_factory=list)
+    _sequence: itertools.count = field(default_factory=lambda: itertools.count(1))
+
+    def create_table(self, table: str) -> None:
+        """Create an empty table."""
+        if table in self.tables:
+            raise StorageError(f"table {table!r} already exists")
+        self.tables[table] = {}
+
+    def _log(self, operation: str, table: str, row_id: str,
+             detail: str) -> None:
+        self.audit_log.append(AuditEntry(
+            sequence=next(self._sequence),
+            timestamp=time.time(),
+            operation=operation,
+            table=table,
+            row_id=row_id,
+            detail=detail,
+        ))
+
+    def insert(self, table: str, row_id: str, row: dict[str, str]) -> None:
+        """Insert a row (audited)."""
+        rows = self._rows(table)
+        if row_id in rows:
+            raise StorageError(f"duplicate row {row_id!r} in {table!r}")
+        rows[row_id] = dict(row)
+        self._log("insert", table, row_id, f"columns={sorted(row)}")
+
+    def update(self, table: str, row_id: str, changes: dict[str, str]) -> None:
+        """Update columns of a row (audited)."""
+        row = self.get(table, row_id)
+        row.update(changes)
+        self._log("update", table, row_id, f"columns={sorted(changes)}")
+
+    def get(self, table: str, row_id: str) -> dict[str, str]:
+        """Fetch a row by id."""
+        rows = self._rows(table)
+        row = rows.get(row_id)
+        if row is None:
+            raise StorageError(f"no row {row_id!r} in {table!r}")
+        return row
+
+    def select(self, table: str) -> dict[str, dict[str, str]]:
+        """All rows of a table."""
+        return dict(self._rows(table))
+
+    def _rows(self, table: str) -> dict[str, dict[str, str]]:
+        rows = self.tables.get(table)
+        if rows is None:
+            raise StorageError(f"no such table {table!r}")
+        return rows
+
+    def superuser(self) -> "Superuser":
+        """The administrator handle — unrestricted, unaudited access."""
+        return Superuser(self)
+
+
+@dataclass
+class Superuser:
+    """Administrator powers: silent edits, log rewriting.
+
+    Nothing here is an "exploit" — it is the *legitimate* capability
+    every DBA has, which is precisely the paper's trust-model argument.
+    """
+
+    database: EngineDatabase
+
+    def silent_update(self, table: str, row_id: str,
+                      changes: dict[str, str]) -> None:
+        """Change row contents without touching the audit log."""
+        row = self.database.get(table, row_id)
+        row.update(changes)
+
+    def rewrite_log(self, drop_row_id: str | None = None) -> int:
+        """Erase audit entries (optionally only those about one row).
+
+        Returns the number of removed entries.
+        """
+        before = len(self.database.audit_log)
+        if drop_row_id is None:
+            self.database.audit_log.clear()
+        else:
+            self.database.audit_log = [
+                entry for entry in self.database.audit_log
+                if entry.row_id != drop_row_id
+            ]
+        return before - len(self.database.audit_log)
+
+    def forge_log_entry(self, operation: str, table: str, row_id: str,
+                        detail: str) -> None:
+        """Insert a fabricated audit line."""
+        self.database._log(operation, table, row_id, detail)

@@ -1,0 +1,246 @@
+"""Baseline 2: the engine-based distributed WfMS (paper Fig. 1B).
+
+Multiple workflow engines, each with its own database, execute a shared
+process: activities are assigned to engines, and the process instance
+**migrates** between them over a public network.  This reproduces the
+paper's working model and its three weaknesses:
+
+* **transit exposure** — migrating instances can be eavesdropped or
+  altered unless the channel is SSL-protected (``use_ssl``);
+* **per-engine superusers** — "the overall security is insufficient if
+  the security mechanism is broken in any one of the servers";
+* **coherence/ownership** — only one engine may own an instance at a
+  time; the single-owner token protocol is implemented and its
+  violation raised as an error (the scalability bottleneck of §1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..errors import AuthorizationError, RuntimeFault, StorageError
+from ..model.controlflow import JoinKind
+from ..model.definition import WorkflowDefinition
+from .database import EngineDatabase, Superuser
+
+__all__ = ["MigrationEvent", "WorkflowEngine", "DistributedWfms"]
+
+#: Hook observing/altering instance payloads in transit (the attacker).
+TransitHook = Callable[[str, str, dict], dict]
+
+
+@dataclass
+class MigrationEvent:
+    """One instance migration between engines."""
+
+    source: str
+    target: str
+    process_id: str
+    nbytes: int
+    protected: bool
+
+
+@dataclass
+class WorkflowEngine:
+    """One engine: a database plus the instances it currently owns."""
+
+    engine_id: str
+    database: EngineDatabase = None  # type: ignore[assignment]
+    owned: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.database is None:
+            self.database = EngineDatabase(f"db-{self.engine_id}")
+            self.database.create_table("instances")
+
+    def store_instance(self, process_id: str, state: dict) -> None:
+        """Persist an owned instance's state."""
+        payload = json.dumps(state, sort_keys=True)
+        rows = self.database.tables["instances"]
+        if process_id in rows:
+            self.database.update("instances", process_id,
+                                 {"state": payload})
+        else:
+            self.database.insert("instances", process_id,
+                                 {"state": payload})
+
+    def load_instance(self, process_id: str) -> dict:
+        """Fetch an owned instance's state."""
+        row = self.database.get("instances", process_id)
+        return json.loads(row["state"])
+
+    def superuser(self) -> Superuser:
+        """This engine's database administrator."""
+        return self.database.superuser()
+
+
+class DistributedWfms:
+    """A set of engines executing one workflow cooperatively."""
+
+    def __init__(self, definition: WorkflowDefinition,
+                 engines: int = 3, use_ssl: bool = True) -> None:
+        if engines < 1:
+            raise RuntimeFault("need at least one engine")
+        self.definition = definition
+        self.use_ssl = use_ssl
+        self.engines = [WorkflowEngine(f"engine{i}") for i in range(engines)]
+        self._assignment: dict[str, WorkflowEngine] = {}
+        for index, activity_id in enumerate(definition.activities):
+            self._assignment[activity_id] = self.engines[index % engines]
+        self._ids = itertools.count(1)
+        self.migrations: list[MigrationEvent] = []
+        #: Everything an eavesdropper on the public network captured.
+        self.wire_captures: list[dict] = []
+        self._transit_hook: TransitHook | None = None
+
+    # -- attacker surface ---------------------------------------------------------
+
+    def install_transit_hook(self, hook: TransitHook) -> None:
+        """Install a man-in-the-middle on the inter-engine network."""
+        self._transit_hook = hook
+
+    def engine_for(self, activity_id: str) -> WorkflowEngine:
+        """Which engine hosts an activity."""
+        return self._assignment[activity_id]
+
+    # -- migration ---------------------------------------------------------------------
+
+    def _migrate(self, process_id: str, source: WorkflowEngine,
+                 target: WorkflowEngine) -> None:
+        if source is target:
+            return
+        if process_id not in source.owned:
+            raise StorageError(
+                f"coherence violation: {source.engine_id} does not own "
+                f"{process_id!r}"
+            )
+        state = source.load_instance(process_id)
+        payload = dict(state)
+        nbytes = len(json.dumps(payload))
+        if not self.use_ssl:
+            # Plaintext on the public network: observable and mutable.
+            self.wire_captures.append(
+                {"from": source.engine_id, "to": target.engine_id,
+                 "state": json.loads(json.dumps(payload))}
+            )
+            if self._transit_hook is not None:
+                payload = self._transit_hook(
+                    source.engine_id, target.engine_id, payload
+                )
+        self.migrations.append(MigrationEvent(
+            source=source.engine_id,
+            target=target.engine_id,
+            process_id=process_id,
+            nbytes=nbytes,
+            protected=self.use_ssl,
+        ))
+        source.owned.discard(process_id)
+        target.owned.add(process_id)
+        target.store_instance(process_id, payload)
+
+    # -- execution ----------------------------------------------------------------------
+
+    def run(self, responders: Mapping[str, object],
+            max_steps: int = 10_000,
+            ) -> tuple[str, list[MigrationEvent]]:
+        """Run one process across the engine fleet."""
+        from ..core.aea import ActivityContext
+
+        process_id = f"dproc-{next(self._ids)}"
+        first_engine = self.engine_for(self.definition.start_activity)
+        first_engine.owned.add(process_id)
+        first_engine.store_instance(process_id, {"variables": {},
+                                                 "counts": {}})
+        current = first_engine
+
+        queue: deque[str] = deque([self.definition.start_activity])
+        joins: dict[str, int] = {}
+        steps = 0
+        migrations_before = len(self.migrations)
+
+        while queue:
+            if steps >= max_steps:
+                raise RuntimeFault("distributed engine exceeded step budget")
+            activity_id = queue.popleft()
+            activity = self.definition.activity(activity_id)
+            if activity.join is JoinKind.AND:
+                arity = len(self.definition.incoming(activity_id))
+                joins[activity_id] = joins.get(activity_id, 0) + 1
+                if joins[activity_id] < arity:
+                    continue
+                joins[activity_id] = 0
+
+            target = self.engine_for(activity_id)
+            self._migrate(process_id, current, target)
+            current = target
+
+            state = current.load_instance(process_id)
+            variables: dict[str, str] = state["variables"]
+            counts: dict[str, int] = state["counts"]
+            iteration = counts.get(activity_id, 0)
+            counts[activity_id] = iteration + 1
+
+            responder = responders[activity_id]
+            context = ActivityContext(
+                activity_id=activity_id,
+                iteration=iteration,
+                participant=activity.participant,
+                requests={k: variables[k] for k in activity.requests
+                          if k in variables},
+                expected_responses={s.name: s.ftype
+                                    for s in activity.responses},
+                definition=self.definition,
+                process_id=process_id,
+            )
+            values = (responder(context) if callable(responder)
+                      else dict(responder))
+            variables.update(values)
+            current.store_instance(process_id, state)
+            steps += 1
+
+            typed = self._typed(variables)
+            for nxt in self.definition.successors(activity_id, typed):
+                queue.append(nxt)
+
+        return process_id, self.migrations[migrations_before:]
+
+    def _typed(self, variables: dict[str, str]) -> dict[str, object]:
+        types = {
+            spec.name: spec.ftype
+            for activity in self.definition.activities.values()
+            for spec in activity.responses
+        }
+        out: dict[str, object] = {}
+        for name, text in variables.items():
+            ftype = types.get(name, "string")
+            if ftype == "int":
+                out[name] = int(text)
+            elif ftype == "float":
+                out[name] = float(text)
+            elif ftype == "bool":
+                out[name] = str(text).lower() in ("1", "true", "yes")
+            else:
+                out[name] = text
+        return out
+
+    # -- the security gap ------------------------------------------------------------------
+
+    def can_prove_result(self, process_id: str, activity_id: str) -> bool:
+        """Engines hold no cryptographic evidence either."""
+        return False
+
+    def detect_tampering(self, process_id: str) -> bool:
+        """In-transit (without SSL) and at-rest edits leave no trace."""
+        return False
+
+    def stored_variables(self, process_id: str) -> dict[str, str]:
+        """The owning engine's view of the instance variables."""
+        for engine in self.engines:
+            if process_id in engine.owned:
+                return dict(engine.load_instance(process_id)["variables"])
+        raise StorageError(f"no engine owns {process_id!r}")

@@ -1,0 +1,239 @@
+"""Command-line interface: inspect, verify, and audit DRA4WfMS documents.
+
+Usage (also via ``python -m repro``):
+
+.. code-block:: bash
+
+    # Generate a demo world + executed document to play with
+    python -m repro demo --out /tmp/dra
+
+    # Structural inspection (no keys needed)
+    python -m repro inspect /tmp/dra/final_document.xml
+
+    # Full cryptographic verification against the saved PKI
+    python -m repro verify --world /tmp/dra/world.json \\
+        /tmp/dra/final_document.xml
+
+    # Chronological audit trail
+    python -m repro trail /tmp/dra/final_document.xml
+
+    # Dispute evidence for one activity execution
+    python -m repro evidence --world /tmp/dra/world.json \\
+        --activity D --iteration 1 /tmp/dra/final_document.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from .core.audit import extract_evidence, render_trail
+from .document.document import Dra4wfmsDocument
+from .document.nonrepudiation import nonrepudiation_scope
+from .document.verify import verify_document
+from .errors import ReproError
+from .workloads.participants import World
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_document(path: str) -> Dra4wfmsDocument:
+    return Dra4wfmsDocument.from_bytes(pathlib.Path(path).read_bytes())
+
+
+def _load_world(path: str) -> World:
+    """Load either a full world or a public (verification-only) trust file."""
+    data = json.loads(pathlib.Path(path).read_text())
+    authorities = data.get("authorities") or []
+    if authorities and "public_key" in authorities[0]:
+        return World.from_public_dict(data)
+    return World.from_dict(data)
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Create a demo world, run Fig. 9A, save world + final document."""
+    from .core.runtime import InMemoryRuntime
+    from .document.builder import build_initial_document
+    from .workloads.figure9 import (
+        DESIGNER,
+        PARTICIPANTS,
+        figure9_responders,
+        figure_9a_definition,
+    )
+    from .workloads.participants import build_world
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    definition = figure_9a_definition()
+    world = build_world([DESIGNER, *PARTICIPANTS.values()])
+    initial = build_initial_document(definition, world.keypair(DESIGNER))
+    runtime = InMemoryRuntime(world.directory, world.keypairs)
+    trace = runtime.run(initial, definition,
+                        figure9_responders(args.loops))
+
+    (out / "world.json").write_text(json.dumps(world.to_dict()))
+    (out / "trust.json").write_text(json.dumps(world.to_public_dict()))
+    (out / "initial_document.xml").write_bytes(initial.to_bytes())
+    (out / "final_document.xml").write_bytes(
+        trace.final_document.to_bytes()
+    )
+    print(f"wrote {out}/world.json (full), trust.json (public keys "
+          f"only — hand this to auditors), initial_document.xml, "
+          f"final_document.xml ({trace.final_size} bytes, "
+          f"{len(trace.steps)} executions)")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Structural listing of a document (no keys required)."""
+    document = _load_document(args.document)
+    print(f"process      : {document.process_name} "
+          f"({document.process_id})")
+    print(f"designer     : {document.designer}")
+    print(f"size         : {document.size_bytes} bytes")
+    print(f"definition   : "
+          f"{'encrypted' if document.definition_is_encrypted else 'plain'}")
+    cers = document.cers(include_definition=False)
+    print(f"CERs         : {len(cers)}")
+    for cer in cers:
+        timestamp = (f" t={cer.timestamp}" if cer.timestamp is not None
+                     else "")
+        print(f"  {cer.cer_id:20s} {cer.kind:12s} "
+              f"{cer.activity_id}^{cer.iteration} by "
+              f"{cer.participant}{timestamp}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Cryptographically verify a document against a saved world."""
+    document = _load_document(args.document)
+    world = _load_world(args.world)
+    try:
+        report = verify_document(document, world.directory)
+    except ReproError as exc:
+        print(f"INVALID: {type(exc).__name__}: {exc}")
+        return 1
+    print(f"VALID: {report.signatures_verified} signatures verified, "
+          f"{report.cers_checked} CERs checked"
+          + (f"; warnings: {report.warnings}" if report.warnings else ""))
+    return 0
+
+
+def cmd_trail(args: argparse.Namespace) -> int:
+    """Print the chronological audit trail."""
+    print(render_trail(_load_document(args.document)))
+    return 0
+
+
+def cmd_scope(args: argparse.Namespace) -> int:
+    """Print the nonrepudiation scope of one CER (Algorithm 1)."""
+    document = _load_document(args.document)
+    cer = (document.find_cer(args.activity, args.iteration)
+           or document.find_cer(args.activity, args.iteration, "tfc"))
+    if cer is None:
+        print(f"no CER for {args.activity}^{args.iteration}")
+        return 1
+    scope = nonrepudiation_scope(document, cer)
+    print(f"nonrepudiation scope of {cer.cer_id} "
+          f"(signed by {cer.participant}):")
+    for item in scope:
+        print(f"  {item.cer_id:20s} by {item.participant}")
+    return 0
+
+
+def cmd_evidence(args: argparse.Namespace) -> int:
+    """Print the dispute-evidence report for one execution."""
+    document = _load_document(args.document)
+    world = _load_world(args.world)
+    bundle = extract_evidence(document, world.directory,
+                              args.activity, args.iteration)
+    print(bundle.render_report())
+    return 0 if bundle.document_valid else 1
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    """Render the (effective) workflow definition of a document."""
+    from .document.amendments import effective_definition
+    from .model.render import to_ascii, to_dot
+
+    document = _load_document(args.document)
+    definition = effective_definition(document)
+    if args.format == "dot":
+        print(to_dot(definition))
+    else:
+        print(to_ascii(definition))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DRA4WfMS document tooling (IPDPSW 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="generate a demo world + document")
+    demo.add_argument("--out", required=True, help="output directory")
+    demo.add_argument("--loops", type=int, default=1,
+                      help="loop iterations before acceptance")
+    demo.set_defaults(func=cmd_demo)
+
+    inspect = sub.add_parser("inspect", help="structural listing")
+    inspect.add_argument("document")
+    inspect.set_defaults(func=cmd_inspect)
+
+    verify = sub.add_parser("verify", help="cryptographic verification")
+    verify.add_argument("document")
+    verify.add_argument("--world", required=True,
+                        help="world.json with the PKI")
+    verify.set_defaults(func=cmd_verify)
+
+    trail = sub.add_parser("trail", help="chronological audit trail")
+    trail.add_argument("document")
+    trail.set_defaults(func=cmd_trail)
+
+    scope = sub.add_parser("scope", help="nonrepudiation scope of a CER")
+    scope.add_argument("document")
+    scope.add_argument("--activity", required=True)
+    scope.add_argument("--iteration", type=int, default=0)
+    scope.set_defaults(func=cmd_scope)
+
+    render = sub.add_parser("render",
+                            help="render the workflow definition")
+    render.add_argument("document")
+    render.add_argument("--format", choices=("dot", "ascii"),
+                        default="ascii")
+    render.set_defaults(func=cmd_render)
+
+    evidence = sub.add_parser("evidence",
+                              help="dispute evidence for one execution")
+    evidence.add_argument("document")
+    evidence.add_argument("--world", required=True)
+    evidence.add_argument("--activity", required=True)
+    evidence.add_argument("--iteration", type=int, default=0)
+    evidence.set_defaults(func=cmd_evidence)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout piped into a pager/head that closed early — not an error
+        return 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,417 @@
+"""Simulated HBase: a distributed, column-oriented table store.
+
+Reproduces the properties §4.2 relies on — "a distributed
+column-oriented database built on top of HDFS … the optimal Hadoop
+application … when real-time read/write random accesses to very large
+datasets are required":
+
+* tables of rows sorted by key, with ``(column family, qualifier)``
+  cells;
+* rows partitioned into **regions** by key range, hosted on **region
+  servers**;
+* a write-ahead log per region server, persisted to the simulated HDFS
+  before a put is acknowledged;
+* memstore flushes to HDFS store files;
+* automatic **region splits** when a region exceeds a size threshold,
+  and round-robin assignment of new regions to servers;
+* get/put/scan costs charged to the shared sim clock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import RegionError, StorageError
+from .hdfs import SimHdfs
+from .network import LAN, NetworkModel
+from .simclock import SimClock
+
+__all__ = ["Cell", "Region", "RegionServer", "SimHBase"]
+
+#: Sorts after every real row key (end of the key space).
+_END_KEY = "￿"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One versioned cell value."""
+
+    value: bytes
+    timestamp: float
+
+
+@dataclass
+class Region:
+    """A contiguous key range of one table."""
+
+    region_id: int
+    table: str
+    start_key: str           # inclusive
+    end_key: str             # exclusive (_END_KEY = unbounded)
+    rows: dict[str, dict[tuple[str, str], Cell]] = field(default_factory=dict)
+    memstore_bytes: int = 0
+    #: Write-ahead log entries since the last flush:
+    #: ("put", row_key, family, qualifier, value, timestamp) or
+    #: ("delete", row_key, "", "", b"", timestamp) tombstones.
+    wal: list[tuple[str, str, str, str, bytes, float]] = field(
+        default_factory=list)
+
+    def contains(self, row_key: str) -> bool:
+        """True when *row_key* falls in this region's range."""
+        return self.start_key <= row_key < self.end_key
+
+    @property
+    def row_count(self) -> int:
+        """Rows currently in the region."""
+        return len(self.rows)
+
+    def sorted_keys(self) -> list[str]:
+        """Row keys in order (HBase rows are key-sorted)."""
+        return sorted(self.rows)
+
+    def hdfs_path(self) -> str:
+        """Store-file path of this region in the simulated HDFS."""
+        return f"/hbase/{self.table}/region-{self.region_id}"
+
+    def wal_path(self) -> str:
+        """Write-ahead-log path of this region in the simulated HDFS."""
+        return f"/hbase/{self.table}/region-{self.region_id}.wal"
+
+    # -- durable encodings ---------------------------------------------------
+
+    def encode_rows(self) -> bytes:
+        """Serialize the full row set for the HDFS store file."""
+        import base64
+        import json
+
+        payload = {
+            row_key: {
+                f"{family}\x00{qualifier}": [
+                    base64.b64encode(cell.value).decode("ascii"),
+                    cell.timestamp,
+                ]
+                for (family, qualifier), cell in cells.items()
+            }
+            for row_key, cells in self.rows.items()
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @staticmethod
+    def decode_rows(data: bytes) -> dict[str, dict[tuple[str, str], Cell]]:
+        """Inverse of :meth:`encode_rows`."""
+        import base64
+        import json
+
+        if not data:
+            return {}
+        payload = json.loads(data.decode("utf-8"))
+        rows: dict[str, dict[tuple[str, str], Cell]] = {}
+        for row_key, cells in payload.items():
+            decoded: dict[tuple[str, str], Cell] = {}
+            for key, (value_b64, timestamp) in cells.items():
+                family, qualifier = key.split("\x00", 1)
+                decoded[(family, qualifier)] = Cell(
+                    value=base64.b64decode(value_b64),
+                    timestamp=timestamp,
+                )
+            rows[row_key] = decoded
+        return rows
+
+    def encode_wal(self) -> bytes:
+        """Serialize the pending WAL entries."""
+        import base64
+        import json
+
+        return json.dumps([
+            [op, row_key, family, qualifier,
+             base64.b64encode(value).decode("ascii"), timestamp]
+            for op, row_key, family, qualifier, value, timestamp
+            in self.wal
+        ]).encode("utf-8")
+
+    def replay_wal(self, data: bytes) -> int:
+        """Apply WAL entries on top of the recovered store rows."""
+        import base64
+        import json
+
+        if not data:
+            return 0
+        entries = json.loads(data.decode("utf-8"))
+        for op, row_key, family, qualifier, value_b64, timestamp in entries:
+            if op == "delete":
+                self.rows.pop(row_key, None)
+                continue
+            row = self.rows.setdefault(row_key, {})
+            row[(family, qualifier)] = Cell(
+                value=base64.b64decode(value_b64), timestamp=timestamp,
+            )
+        return len(entries)
+
+
+@dataclass
+class RegionServer:
+    """A server hosting a set of regions."""
+
+    server_id: str
+    regions: list[Region] = field(default_factory=list)
+    ops: int = 0
+    alive: bool = True
+
+    @property
+    def load(self) -> int:
+        """Total rows hosted (the balancing metric)."""
+        return sum(r.row_count for r in self.regions)
+
+
+class SimHBase:
+    """The cluster: tables, regions, servers, WAL, splits."""
+
+    def __init__(self,
+                 region_servers: int = 2,
+                 hdfs: SimHdfs | None = None,
+                 clock: SimClock | None = None,
+                 network: NetworkModel = LAN,
+                 split_threshold_rows: int = 256,
+                 memstore_flush_bytes: int = 1 << 20) -> None:
+        if region_servers < 1:
+            raise StorageError("need at least one region server")
+        self.clock = clock or SimClock()
+        self.hdfs = hdfs or SimHdfs(clock=self.clock, network=network)
+        self.network = network
+        self.split_threshold_rows = split_threshold_rows
+        self.memstore_flush_bytes = memstore_flush_bytes
+        self.servers: dict[str, RegionServer] = {
+            f"rs{i}": RegionServer(f"rs{i}") for i in range(region_servers)
+        }
+        self._tables: dict[str, list[Region]] = {}
+        self._region_ids = itertools.count(1)
+        self._assign_cursor = itertools.count(0)
+        self.stats = {"puts": 0, "gets": 0, "scans": 0, "splits": 0,
+                      "flushes": 0}
+
+    # -- table & region management ------------------------------------------------
+
+    def create_table(self, name: str) -> None:
+        """Create a table with one region spanning the whole key space."""
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        region = Region(
+            region_id=next(self._region_ids), table=name,
+            start_key="", end_key=_END_KEY,
+        )
+        self._tables[name] = [region]
+        self._assign(region)
+        self.hdfs.write(region.hdfs_path(), b"")
+
+    def has_table(self, name: str) -> bool:
+        """True when the table exists."""
+        return name in self._tables
+
+    def regions_of(self, name: str) -> list[Region]:
+        """Regions of a table in key order."""
+        regions = self._tables.get(name)
+        if regions is None:
+            raise StorageError(f"no such table {name!r}")
+        return sorted(regions, key=lambda r: r.start_key)
+
+    def _assign(self, region: Region) -> RegionServer:
+        # Least-loaded live server, round-robin tiebreak.
+        live = [s for s in self.servers.values() if s.alive]
+        if not live:
+            raise RegionError("no live region server to host the region")
+        cursor = next(self._assign_cursor)
+        ordered = sorted(
+            live,
+            key=lambda s: (s.load, (hash(s.server_id) + cursor)
+                           % len(live)),
+        )
+        server = ordered[0]
+        server.regions.append(region)
+        return server
+
+    def server_of(self, region: Region) -> RegionServer:
+        """The region server currently hosting *region*."""
+        for server in self.servers.values():
+            if region in server.regions:
+                return server
+        raise RegionError(
+            f"region {region.region_id} of {region.table!r} is unassigned"
+        )
+
+    def _locate(self, table: str, row_key: str) -> Region:
+        for region in self._tables.get(table, ()):
+            if region.contains(row_key):
+                return region
+        raise RegionError(f"no region serves row {row_key!r} of {table!r}")
+
+    # -- data path -----------------------------------------------------------------
+
+    def put(self, table: str, row_key: str, family: str, qualifier: str,
+            value: bytes) -> None:
+        """Write one cell (WAL append + memstore + possible flush/split)."""
+        region = self._locate(table, row_key)
+        server = self.server_of(region)
+        server.ops += 1
+        # WAL append to HDFS *before* acknowledging: a region-server
+        # crash replays this log (see kill_server).
+        timestamp = self.clock.now()
+        region.wal.append(("put", row_key, family, qualifier, value,
+                           timestamp))
+        self.hdfs.write(region.wal_path(), region.encode_wal())
+        self.clock.advance(self.network.transfer_seconds(len(value)))
+        row = region.rows.setdefault(row_key, {})
+        row[(family, qualifier)] = Cell(value=value, timestamp=timestamp)
+        region.memstore_bytes += len(value)
+        self.stats["puts"] += 1
+        if region.memstore_bytes >= self.memstore_flush_bytes:
+            self._flush(region)
+        if region.row_count > self.split_threshold_rows:
+            self._split(region)
+
+    def get(self, table: str, row_key: str) -> dict[tuple[str, str], bytes]:
+        """Read one row (empty dict when absent)."""
+        region = self._locate(table, row_key)
+        server = self.server_of(region)
+        server.ops += 1
+        self.stats["gets"] += 1
+        row = region.rows.get(row_key, {})
+        size = sum(len(cell.value) for cell in row.values())
+        self.clock.advance(self.network.rpc_seconds(len(row_key), size))
+        return {cq: cell.value for cq, cell in row.items()}
+
+    def delete_row(self, table: str, row_key: str) -> None:
+        """Delete one row entirely (tombstoned in the WAL)."""
+        region = self._locate(table, row_key)
+        region.wal.append(("delete", row_key, "", "", b"",
+                           self.clock.now()))
+        self.hdfs.write(region.wal_path(), region.encode_wal())
+        region.rows.pop(row_key, None)
+
+    def scan(self, table: str, start_key: str = "",
+             stop_key: str | None = None, limit: int | None = None,
+             ) -> list[tuple[str, dict[tuple[str, str], bytes]]]:
+        """Ordered scan over ``[start_key, stop_key)``."""
+        stop = _END_KEY if stop_key is None else stop_key
+        out: list[tuple[str, dict[tuple[str, str], bytes]]] = []
+        self.stats["scans"] += 1
+        for region in self.regions_of(table):
+            if region.end_key <= start_key or region.start_key >= stop:
+                continue
+            keys = region.sorted_keys()
+            lo = bisect.bisect_left(keys, start_key)
+            for key in keys[lo:]:
+                if key >= stop:
+                    break
+                row = region.rows[key]
+                out.append(
+                    (key, {cq: cell.value for cq, cell in row.items()})
+                )
+                if limit is not None and len(out) >= limit:
+                    self.clock.advance(self.network.latency_seconds)
+                    return out
+            self.clock.advance(self.network.latency_seconds)
+        return out
+
+    # -- maintenance --------------------------------------------------------------------
+
+    def _flush(self, region: Region) -> None:
+        self.hdfs.write(region.hdfs_path(), region.encode_rows())
+        region.memstore_bytes = 0
+        region.wal.clear()
+        self.hdfs.write(region.wal_path(), b"")
+        self.stats["flushes"] += 1
+
+    def _split(self, region: Region) -> None:
+        keys = region.sorted_keys()
+        if len(keys) < 2:
+            return
+        midpoint = keys[len(keys) // 2]
+        if midpoint in (region.start_key,):
+            return
+        sibling = Region(
+            region_id=next(self._region_ids), table=region.table,
+            start_key=midpoint, end_key=region.end_key,
+        )
+        region.end_key = midpoint
+        for key in keys[len(keys) // 2:]:
+            sibling.rows[key] = region.rows.pop(key)
+        self._tables[region.table].append(sibling)
+        self._assign(sibling)
+        self._flush(region)
+        self._flush(sibling)
+        self.stats["splits"] += 1
+
+    def kill_server(self, server_id: str) -> int:
+        """Fail a region server and recover its regions elsewhere.
+
+        Each hosted region is rebuilt from its HDFS store file plus a
+        replay of its write-ahead log (both replicated), then assigned
+        to a surviving server — no acknowledged write is lost.  Returns
+        the number of WAL entries replayed.
+        """
+        server = self.servers.get(server_id)
+        if server is None:
+            raise RegionError(f"no such region server {server_id!r}")
+        if not server.alive:
+            raise RegionError(f"region server {server_id!r} already dead")
+        server.alive = False
+        orphans = server.regions
+        server.regions = []
+        if orphans and not any(s.alive for s in self.servers.values()):
+            raise RegionError(
+                "last region server died; table unavailable"
+            )
+        replayed = 0
+        for region in orphans:
+            # The in-memory state died with the server: rebuild from
+            # the durable store file + WAL.
+            region.rows = Region.decode_rows(
+                self.hdfs.read(region.hdfs_path())
+                if self.hdfs.exists(region.hdfs_path()) else b""
+            )
+            replayed += region.replay_wal(
+                self.hdfs.read(region.wal_path())
+                if self.hdfs.exists(region.wal_path()) else b""
+            )
+            region.memstore_bytes = 0
+            self._assign(region)
+        return replayed
+
+    def balance(self) -> int:
+        """Move regions from overloaded to underloaded servers.
+
+        Returns the number of regions moved.  The paper cites load
+        balancing between workflow engines as a weakness [14]; here it
+        is a pool-internal concern invisible to the security model.
+        """
+        moved = 0
+        while True:
+            ordered = sorted(
+                (s for s in self.servers.values() if s.alive),
+                key=lambda s: s.load,
+            )
+            if len(ordered) < 2:
+                break
+            lightest, heaviest = ordered[0], ordered[-1]
+            if not heaviest.regions:
+                break
+            candidate = min(heaviest.regions, key=lambda r: r.row_count)
+            if (heaviest.load - lightest.load
+                    <= candidate.row_count or candidate.row_count == 0):
+                break
+            heaviest.regions.remove(candidate)
+            lightest.regions.append(candidate)
+            moved += 1
+        return moved
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def total_rows(self, table: str) -> int:
+        """Row count of a table across all regions."""
+        return sum(r.row_count for r in self.regions_of(table))
+
+    def region_count(self, table: str) -> int:
+        """Number of regions a table is split into."""
+        return len(self.regions_of(table))

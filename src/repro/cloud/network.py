@@ -1,0 +1,43 @@
+"""Deterministic network cost model for the simulated cloud.
+
+Transfer cost = base latency + size / bandwidth.  Deliberately simple —
+the experiments in the paper do not depend on network microstructure,
+only on the fact that document routing and pool access have costs that
+scale with document size and operation count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Cost model for one network domain (intra-cluster or WAN)."""
+
+    #: One-way latency per message, seconds.
+    latency_seconds: float = 0.0005
+    #: Throughput, bytes per second.
+    bandwidth_bytes_per_second: float = 1e9
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Cost of moving *nbytes* one way."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency_seconds + nbytes / self.bandwidth_bytes_per_second
+
+    def rpc_seconds(self, request_bytes: int, response_bytes: int) -> float:
+        """Cost of a request/response round trip."""
+        return (self.transfer_seconds(request_bytes)
+                + self.transfer_seconds(response_bytes))
+
+
+#: Typical intra-datacenter link.
+LAN = NetworkModel(latency_seconds=0.0002,
+                   bandwidth_bytes_per_second=1.25e9)
+
+#: Typical cross-enterprise WAN link (participants → portal).
+WAN = NetworkModel(latency_seconds=0.02,
+                   bandwidth_bytes_per_second=1.25e7)

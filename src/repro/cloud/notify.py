@@ -1,0 +1,57 @@
+"""Notification service: "notify the subsequent participants" (§4.2).
+
+After a resulting document is stored, the portal informs the
+participants of the next activities.  The simulator models per-identity
+inboxes with delivery latency charged to the sim clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .network import WAN, NetworkModel
+from .simclock import SimClock
+
+__all__ = ["Notification", "NotificationService"]
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One "it is your turn" message."""
+
+    recipient: str
+    process_id: str
+    activity_id: str
+    sent_at: float
+
+
+@dataclass
+class NotificationService:
+    """Per-identity inboxes with simulated delivery."""
+
+    clock: SimClock
+    network: NetworkModel = WAN
+    _inboxes: dict[str, list[Notification]] = field(default_factory=dict)
+    sent: int = 0
+
+    def notify(self, recipient: str, process_id: str,
+               activity_id: str) -> Notification:
+        """Queue a notification for *recipient*."""
+        self.clock.advance(self.network.latency_seconds)
+        note = Notification(
+            recipient=recipient,
+            process_id=process_id,
+            activity_id=activity_id,
+            sent_at=self.clock.now(),
+        )
+        self._inboxes.setdefault(recipient, []).append(note)
+        self.sent += 1
+        return note
+
+    def inbox(self, recipient: str) -> list[Notification]:
+        """Pending notifications of one identity (oldest first)."""
+        return list(self._inboxes.get(recipient, ()))
+
+    def drain(self, recipient: str) -> list[Notification]:
+        """Return and clear the inbox."""
+        return self._inboxes.pop(recipient, [])

@@ -1,0 +1,279 @@
+"""The pool of DRA4WfMS documents (paper §4.2, Fig. 7).
+
+Documents are stored in the simulated HBase: "a DRA4WfMS document is
+stored as a cell in a row of an HBase table".  The pool keeps
+
+* the latest document of every process instance (``doc:latest``),
+* the full version history (``hist:<seq>``) — an auditor can replay how
+  the instance grew, and
+* a TO-DO index table mapping each participant to the process instances
+  waiting on them ("a very similar procedure is used to obtain the
+  TO-DO list in a WfMS").
+
+Replay protection lives here too: :meth:`register_process` refuses a
+process id that was already registered, implementing the §2.1 claim
+that the unique process id resists replay attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..document.document import Dra4wfmsDocument
+from ..errors import ReplayDetected, StorageError, TamperDetected
+from .hbase import SimHBase
+
+__all__ = ["PoolEntry", "DocumentPool"]
+
+DOC_TABLE = "dra4wfms_documents"
+TODO_TABLE = "dra4wfms_todo"
+
+_FAMILY_DOC = "doc"
+_FAMILY_HIST = "hist"
+_FAMILY_META = "meta"
+
+
+@dataclass(frozen=True)
+class PoolEntry:
+    """One TO-DO item: a process instance awaiting a participant."""
+
+    participant: str
+    process_id: str
+    activity_id: str
+
+
+@dataclass(frozen=True)
+class ProcessSummary:
+    """Searchable metadata of one pooled process instance.
+
+    Derived from CER metadata only — no decryption, so the pool can
+    index documents without holding any keys (§4.2's "interfaces for
+    users to search and manage DRA4WfMS documents").
+    """
+
+    process_id: str
+    process_name: str
+    designer: str
+    executions: int
+    participants: tuple[str, ...]
+    size_bytes: int
+    versions: int
+
+
+class DocumentPool:
+    """HBase-backed storage for DRA4WfMS documents."""
+
+    def __init__(self, hbase: SimHBase) -> None:
+        self.hbase = hbase
+        for table in (DOC_TABLE, TODO_TABLE):
+            if not hbase.has_table(table):
+                hbase.create_table(table)
+
+    # -- replay guard ------------------------------------------------------------
+
+    def register_process(self, process_id: str) -> None:
+        """Reserve a process id; a second registration is a replay."""
+        row = self.hbase.get(DOC_TABLE, process_id)
+        if (_FAMILY_META, "registered") in row:
+            raise ReplayDetected(
+                f"process id {process_id!r} was already registered; "
+                f"replayed initial documents are rejected"
+            )
+        self.hbase.put(DOC_TABLE, process_id, _FAMILY_META, "registered",
+                       b"1")
+
+    def is_registered(self, process_id: str) -> bool:
+        """True when the process id is known to the pool."""
+        row = self.hbase.get(DOC_TABLE, process_id)
+        return (_FAMILY_META, "registered") in row
+
+    # -- documents ----------------------------------------------------------------
+
+    def store(self, document: Dra4wfmsDocument) -> int:
+        """Store a new version of a process's document; returns the seq."""
+        process_id = document.process_id
+        if not self.is_registered(process_id):
+            raise StorageError(
+                f"process {process_id!r} was never registered; upload the "
+                f"initial document through a portal first"
+            )
+        data = document.to_bytes()
+        row = self.hbase.get(DOC_TABLE, process_id)
+        previous = row.get((_FAMILY_DOC, "latest"))
+        if previous is not None:
+            # Monotonicity guard: a process document only ever grows.
+            # Storing a copy that lost CERs is a rollback/truncation
+            # attack — the one alteration signature verification alone
+            # cannot catch, because a prefix of the cascade is itself a
+            # validly-signed document.
+            old_ids = {
+                cer.cer_id
+                for cer in Dra4wfmsDocument.from_bytes(previous).cers()
+            }
+            new_ids = {cer.cer_id for cer in document.cers()}
+            missing = old_ids - new_ids
+            if missing:
+                raise TamperDetected(
+                    f"submitted document for {process_id!r} is missing "
+                    f"previously stored CERs {sorted(missing)} "
+                    f"(rollback attack)"
+                )
+        seq = sum(1 for (family, _) in row if family == _FAMILY_HIST)
+        self.hbase.put(DOC_TABLE, process_id, _FAMILY_HIST, f"{seq:08d}",
+                       data)
+        self.hbase.put(DOC_TABLE, process_id, _FAMILY_DOC, "latest", data)
+        return seq
+
+    def latest(self, process_id: str) -> Dra4wfmsDocument:
+        """The most recent stored document of an instance."""
+        row = self.hbase.get(DOC_TABLE, process_id)
+        data = row.get((_FAMILY_DOC, "latest"))
+        if data is None:
+            raise StorageError(f"no document stored for {process_id!r}")
+        return Dra4wfmsDocument.from_bytes(data)
+
+    def history(self, process_id: str) -> list[Dra4wfmsDocument]:
+        """Every stored version, oldest first."""
+        row = self.hbase.get(DOC_TABLE, process_id)
+        versions = sorted(
+            (qualifier, data) for (family, qualifier), data in row.items()
+            if family == _FAMILY_HIST
+        )
+        return [Dra4wfmsDocument.from_bytes(data) for _, data in versions]
+
+    def process_ids(self) -> list[str]:
+        """All registered process ids."""
+        return [key for key, _ in self.hbase.scan(DOC_TABLE)]
+
+    # -- search & management (§4.2) ------------------------------------------
+
+    def summarize(self, process_id: str) -> ProcessSummary:
+        """Metadata summary of one instance (no decryption)."""
+        row = self.hbase.get(DOC_TABLE, process_id)
+        data = row.get((_FAMILY_DOC, "latest"))
+        if data is None:
+            raise StorageError(f"no document stored for {process_id!r}")
+        document = Dra4wfmsDocument.from_bytes(data)
+        completed = [
+            cer for cer in document.cers(include_definition=False)
+            if cer.kind in ("standard", "tfc")
+        ]
+        # Executors sign standard CERs in the basic model and
+        # intermediate CERs in the advanced model (the TFC signs the
+        # tfc-kind ones).
+        executors = {
+            cer.participant
+            for cer in document.cers(include_definition=False)
+            if cer.kind in ("standard", "intermediate")
+        }
+        versions = sum(1 for (family, _) in row if family == _FAMILY_HIST)
+        return ProcessSummary(
+            process_id=process_id,
+            process_name=document.process_name,
+            designer=document.designer,
+            executions=len(completed),
+            participants=tuple(sorted(executors)),
+            size_bytes=len(data),
+            versions=versions,
+        )
+
+    def search(self,
+               process_name: str | None = None,
+               participant: str | None = None,
+               designer: str | None = None,
+               min_executions: int | None = None,
+               include_archived: bool = False) -> list[ProcessSummary]:
+        """Search pooled instances by metadata filters (AND semantics)."""
+        out: list[ProcessSummary] = []
+        for process_id, row in self.hbase.scan(DOC_TABLE):
+            if (_FAMILY_DOC, "latest") not in row:
+                continue
+            if not include_archived and \
+                    (_FAMILY_META, "archived") in row:
+                continue
+            summary = self.summarize(process_id)
+            if process_name is not None and \
+                    summary.process_name != process_name:
+                continue
+            if designer is not None and summary.designer != designer:
+                continue
+            if participant is not None and \
+                    participant not in summary.participants and \
+                    participant != summary.designer:
+                continue
+            if min_executions is not None and \
+                    summary.executions < min_executions:
+                continue
+            out.append(summary)
+        return out
+
+    # -- lifecycle management (§4.2 "manage DRA4WfMS documents") ---------------
+
+    def archive(self, process_id: str) -> None:
+        """Mark a finished instance archived (hidden from default search,
+        still retrievable — legal evidence must never be silently lost)."""
+        if not self.is_registered(process_id):
+            raise StorageError(f"unknown process {process_id!r}")
+        self.hbase.put(DOC_TABLE, process_id, _FAMILY_META, "archived",
+                       b"1")
+
+    def is_archived(self, process_id: str) -> bool:
+        """True when the instance is archived."""
+        row = self.hbase.get(DOC_TABLE, process_id)
+        return (_FAMILY_META, "archived") in row
+
+    def purge(self, process_id: str) -> None:
+        """Irreversibly delete an instance and its TO-DO entries.
+
+        The process id stays registered so a replayed initial document
+        is still rejected after the purge.
+        """
+        row = self.hbase.get(DOC_TABLE, process_id)
+        if (_FAMILY_META, "registered") not in row:
+            raise StorageError(f"unknown process {process_id!r}")
+        self.hbase.delete_row(DOC_TABLE, process_id)
+        self.hbase.put(DOC_TABLE, process_id, _FAMILY_META, "registered",
+                       b"1")
+        self.hbase.put(DOC_TABLE, process_id, _FAMILY_META, "purged",
+                       b"1")
+        # Drop any dangling TO-DO entries for the purged instance.
+        for key, _ in self.hbase.scan(TODO_TABLE):
+            if key.split("\x00")[1] == process_id:
+                self.hbase.delete_row(TODO_TABLE, key)
+
+    # -- TO-DO index ------------------------------------------------------------------
+
+    @staticmethod
+    def _todo_key(participant: str, process_id: str, activity_id: str) -> str:
+        return f"{participant}\x00{process_id}\x00{activity_id}"
+
+    def add_todo(self, participant: str, process_id: str,
+                 activity_id: str) -> None:
+        """Record that *participant* must execute *activity_id* next."""
+        self.hbase.put(
+            TODO_TABLE,
+            self._todo_key(participant, process_id, activity_id),
+            "todo", "pending", b"1",
+        )
+
+    def remove_todo(self, participant: str, process_id: str,
+                    activity_id: str) -> None:
+        """Clear a TO-DO entry once the activity result arrives."""
+        self.hbase.delete_row(
+            TODO_TABLE, self._todo_key(participant, process_id, activity_id)
+        )
+
+    def todo_for(self, participant: str) -> list[PoolEntry]:
+        """The participant's TO-DO list (paper §4.2 "Search" operation)."""
+        prefix = f"{participant}\x00"
+        rows = self.hbase.scan(TODO_TABLE, start_key=prefix,
+                               stop_key=prefix + "￿")
+        entries = []
+        for key, _ in rows:
+            _, process_id, activity_id = key.split("\x00")
+            entries.append(PoolEntry(
+                participant=participant,
+                process_id=process_id,
+                activity_id=activity_id,
+            ))
+        return entries

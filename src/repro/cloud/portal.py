@@ -1,0 +1,286 @@
+"""Portal servers: the cloud front door (paper §3, Fig. 7).
+
+"A user connects to one of the portal servers to access the DRA4WfMS
+cloud system."  A portal
+
+* authenticates users by public-key challenge/response against the PKI
+  directory (no passwords to breach);
+* serves the TO-DO search, document retrieval and document storage
+  operations of §4.2;
+* verifies every submitted document before accepting it — the cloud
+  provider never needs to be *trusted*, because a tampered document is
+  rejected by the same cryptographic checks any AEA runs;
+* finalises submissions through the TFC server (advanced model:
+  timestamp + policy re-encryption + routing) and notifies the next
+  participants.
+
+Portals are stateless with respect to process instances: all state is
+in the pool, so any number of portals can serve the same cloud (the
+scalability argument of §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tfc import TfcServer
+from ..crypto.backend import CryptoBackend, default_backend
+from ..crypto.pki import KeyDirectory
+from ..document.document import Dra4wfmsDocument
+from ..document.verify import verify_document
+from ..errors import PortalError, RuntimeFault
+from ..model.controlflow import JoinKind
+from .network import WAN, NetworkModel
+from .notify import NotificationService
+from .pool import DocumentPool, PoolEntry
+from .simclock import SimClock
+
+__all__ = ["Session", "PortalServer"]
+
+
+@dataclass(frozen=True)
+class Session:
+    """An authenticated portal session."""
+
+    token: str
+    identity: str
+    portal_id: str
+
+
+class PortalServer:
+    """One stateless portal instance."""
+
+    def __init__(self,
+                 portal_id: str,
+                 pool: DocumentPool,
+                 directory: KeyDirectory,
+                 tfc: TfcServer,
+                 notifier: NotificationService,
+                 clock: SimClock,
+                 network: NetworkModel = WAN,
+                 backend: CryptoBackend | None = None) -> None:
+        self.portal_id = portal_id
+        self.pool = pool
+        self.directory = directory
+        self.tfc = tfc
+        self.notifier = notifier
+        self.clock = clock
+        self.network = network
+        self.backend = backend or default_backend()
+        self._challenges: dict[str, bytes] = {}
+        self._sessions: dict[str, Session] = {}
+        self.stats = {"logins": 0, "searches": 0, "retrievals": 0,
+                      "uploads": 0, "submissions": 0, "rejected": 0}
+
+    # -- authentication ------------------------------------------------------
+
+    def challenge(self, identity: str) -> bytes:
+        """Start a login: return a nonce the user must sign."""
+        if identity not in self.directory:
+            raise PortalError(f"unknown identity {identity!r}")
+        nonce = self.backend.random(32)
+        self._challenges[identity] = nonce
+        return nonce
+
+    def login(self, identity: str, signature: bytes) -> Session:
+        """Complete a login by verifying the signed nonce."""
+        nonce = self._challenges.pop(identity, None)
+        if nonce is None:
+            raise PortalError(f"no pending challenge for {identity!r}")
+        try:
+            self.backend.verify(
+                self.directory.public_key_of(identity),
+                b"dra4wfms-portal-login\x00" + nonce,
+                signature,
+            )
+        except Exception as exc:
+            raise PortalError(f"authentication failed: {exc}") from exc
+        token = self.backend.random(16).hex()
+        session = Session(token=token, identity=identity,
+                          portal_id=self.portal_id)
+        self._sessions[token] = session
+        self.stats["logins"] += 1
+        self.clock.advance(self.network.rpc_seconds(64, 64))
+        return session
+
+    def _require(self, session: Session) -> Session:
+        stored = self._sessions.get(session.token)
+        if stored is None or stored.identity != session.identity:
+            raise PortalError("invalid or expired session")
+        return stored
+
+    # -- §4.2 operations ----------------------------------------------------------
+
+    def search_todo(self, session: Session) -> list[PoolEntry]:
+        """TO-DO list of the logged-in participant."""
+        self._require(session)
+        self.stats["searches"] += 1
+        self.clock.advance(self.network.rpc_seconds(64, 512))
+        return self.pool.todo_for(session.identity)
+
+    def retrieve(self, session: Session, process_id: str) -> bytes:
+        """Fetch the latest document of a process instance."""
+        self._require(session)
+        document = self.pool.latest(process_id)
+        data = document.to_bytes()
+        self.stats["retrievals"] += 1
+        self.clock.advance(self.network.rpc_seconds(64, len(data)))
+        return data
+
+    def upload_initial(self, session: Session, data: bytes) -> str:
+        """Start a process: verify, register (replay guard), store, notify.
+
+        Returns the process id.
+        """
+        self._require(session)
+        document = Dra4wfmsDocument.from_bytes(data)
+        self.clock.advance(self.network.transfer_seconds(len(data)))
+        try:
+            verify_document(
+                document, self.directory, self.backend,
+                definition_reader=(self.tfc.identity,
+                                   self.tfc.keypair.private_key),
+            )
+        except Exception as exc:
+            self.stats["rejected"] += 1
+            raise PortalError(f"initial document rejected: {exc}") from exc
+
+        definition = self._definition_of(document)
+        try:
+            self.pool.register_process(document.process_id)
+        except Exception as exc:
+            self.stats["rejected"] += 1
+            raise PortalError(f"initial document rejected: {exc}") from exc
+        self.pool.store(document)
+        start = definition.activity(definition.start_activity)
+        self.pool.add_todo(start.participant, document.process_id,
+                           start.activity_id)
+        self.notifier.notify(start.participant, document.process_id,
+                             start.activity_id)
+        self.stats["uploads"] += 1
+        return document.process_id
+
+    def submit(self, session: Session, data: bytes) -> list[PoolEntry]:
+        """Accept an executed document, finalise via TFC, store, notify.
+
+        Returns the TO-DO entries created for the next activities
+        (empty when the process terminated).
+        """
+        self._require(session)
+        self.clock.advance(self.network.transfer_seconds(len(data)))
+        document = Dra4wfmsDocument.from_bytes(data)
+        if not self.pool.is_registered(document.process_id):
+            self.stats["rejected"] += 1
+            raise PortalError(
+                f"process {document.process_id!r} unknown to this cloud "
+                f"(initial document was never uploaded)"
+            )
+
+        try:
+            tfc_result = self.tfc.process(document)
+        except RuntimeFault as exc:
+            self.stats["rejected"] += 1
+            raise PortalError(
+                f"submission rejected (cloud deployment runs the advanced "
+                f"operational model): {exc}"
+            ) from exc
+        except Exception as exc:
+            self.stats["rejected"] += 1
+            raise PortalError(f"submission rejected: {exc}") from exc
+
+        finalized = tfc_result.document
+        # Merge with the pool copy so concurrent AND-split branches
+        # accumulate in one document.
+        stored = self.pool.latest(document.process_id)
+        merged = stored.merge(finalized)
+        self.pool.store(merged)
+
+        definition = self._definition_of(merged)
+        self.pool.remove_todo(
+            definition.activity(tfc_result.activity_id).participant,
+            merged.process_id, tfc_result.activity_id,
+        )
+
+        entries: list[PoolEntry] = []
+        for activity_id in tfc_result.routing.next_activities:
+            participant = definition.activity(activity_id).participant
+            self.pool.add_todo(participant, merged.process_id, activity_id)
+            self.notifier.notify(participant, merged.process_id, activity_id)
+            entries.append(PoolEntry(
+                participant=participant,
+                process_id=merged.process_id,
+                activity_id=activity_id,
+            ))
+        self.stats["submissions"] += 1
+        return entries
+
+    def search_documents(self, session: Session,
+                         process_name: str | None = None,
+                         min_executions: int | None = None):
+        """Search the pool for instances the caller is involved in.
+
+        The §4.2 "search and manage" interface, scoped to the session
+        identity: users see instances where they participate (or which
+        they designed), never the whole tenant population.
+        """
+        self._require(session)
+        self.stats["searches"] += 1
+        self.clock.advance(self.network.rpc_seconds(128, 1024))
+        return self.pool.search(
+            process_name=process_name,
+            participant=session.identity,
+            min_executions=min_executions,
+        )
+
+    def manage(self, session: Session, process_id: str,
+               action: str) -> None:
+        """Archive or purge an instance — designer-only.
+
+        The workflow designer owns the instance's lifecycle; nobody
+        else (not even the cloud operator through this interface) may
+        hide or destroy the evidence trail.
+        """
+        self._require(session)
+        document = self.pool.latest(process_id)
+        if document.designer != session.identity:
+            raise PortalError(
+                f"only the designer ({document.designer!r}) may manage "
+                f"process {process_id!r}"
+            )
+        if action == "archive":
+            self.pool.archive(process_id)
+        elif action == "purge":
+            self.pool.purge(process_id)
+        else:
+            raise PortalError(f"unknown manage action {action!r}")
+
+    # -- monitoring --------------------------------------------------------------------
+
+    def monitor(self, session: Session, process_id: str):
+        """Execution status of one process instance (metadata only)."""
+        self._require(session)
+        from ..core.state import execution_status
+
+        document = self.pool.latest(process_id)
+        definition = self._definition_of(document)
+        return execution_status(document, definition)
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _definition_of(self, document: Dra4wfmsDocument):
+        from ..document.amendments import effective_definition
+
+        if document.definition_is_encrypted:
+            return effective_definition(
+                document, self.tfc.identity,
+                self.tfc.keypair.private_key, self.backend,
+            )
+        return effective_definition(document, backend=self.backend)
+
+    @staticmethod
+    def join_arity(definition, activity_id: str) -> int:
+        """Branches an AND-join activity waits for (driver helper)."""
+        activity = definition.activity(activity_id)
+        if activity.join is JoinKind.AND:
+            return len(definition.incoming(activity_id))
+        return 1

@@ -1,0 +1,59 @@
+"""Simulated wall clock for the cloud substrate.
+
+All cloud components (HDFS, HBase, portals, MapReduce) charge their
+operation costs to a shared :class:`SimClock`, so experiments measure a
+deterministic *simulated* latency budget independent of the host's real
+performance — except for the crypto work, which is always measured in
+real time because that is what the paper's tables report.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Supports deferred callbacks (used by HDFS re-replication and
+    notification delivery): ``schedule(delay, fn)`` runs ``fn`` when the
+    clock passes ``now + delay``.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward, firing any due callbacks in order."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        target = self._now + seconds
+        while self._events and self._events[0][0] <= target:
+            when, _, callback = heapq.heappop(self._events)
+            self._now = when
+            callback()
+        self._now = target
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run *callback* once the clock advances past ``now + delay``."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self._sequence += 1
+        heapq.heappush(
+            self._events, (self._now + delay, self._sequence, callback)
+        )
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled callbacks not yet fired."""
+        return len(self._events)

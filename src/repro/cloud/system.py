@@ -1,0 +1,259 @@
+"""The DRA4WfMS cloud system facade (paper §3, Fig. 7).
+
+Wires together the simulated substrate — HDFS, HBase, document pool,
+portal servers, TFC, notifications, MapReduce — and provides the
+client-side helper (:class:`CloudClient`) plus a driver that runs an
+entire workflow through the cloud exactly as Fig. 7's numbered arrows
+describe: retrieve → execute in AEA → send back → verify/timestamp →
+store → notify next participants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.aea import ActivityExecutionAgent, Responder
+from ..core.tfc import TfcServer
+from ..crypto.backend import CryptoBackend, default_backend
+from ..crypto.keys import KeyPair
+from ..crypto.pki import KeyDirectory
+from ..document.document import Dra4wfmsDocument
+from ..errors import CloudError, JoinNotReady
+from ..model.definition import WorkflowDefinition
+from .hbase import SimHBase
+from .hdfs import SimHdfs
+from .mapreduce import JobStats, MapReduceEngine
+from .network import LAN, WAN
+from .notify import NotificationService
+from .pool import DOC_TABLE, DocumentPool
+from .portal import PortalServer, Session
+from .simclock import SimClock
+
+__all__ = ["CloudSystem", "CloudClient", "run_process_in_cloud"]
+
+
+class CloudSystem:
+    """A complete simulated DRA4WfMS cloud."""
+
+    def __init__(self,
+                 directory: KeyDirectory,
+                 tfc_keypair: KeyPair,
+                 portals: int = 2,
+                 region_servers: int = 2,
+                 datanodes: int = 3,
+                 replication: int = 3,
+                 split_threshold_rows: int = 256,
+                 backend: CryptoBackend | None = None) -> None:
+        if portals < 1:
+            raise CloudError("need at least one portal server")
+        self.backend = backend or default_backend()
+        self.directory = directory
+        self.clock = SimClock()
+        self.hdfs = SimHdfs(
+            datanodes=datanodes, replication=replication,
+            clock=self.clock, network=LAN,
+        )
+        self.hbase = SimHBase(
+            region_servers=region_servers, hdfs=self.hdfs,
+            clock=self.clock, network=LAN,
+            split_threshold_rows=split_threshold_rows,
+        )
+        self.pool = DocumentPool(self.hbase)
+        self.notifier = NotificationService(clock=self.clock, network=WAN)
+        self.tfc = TfcServer(
+            tfc_keypair, directory, backend=self.backend,
+            clock=self.clock.now,
+        )
+        self.portals = [
+            PortalServer(
+                portal_id=f"portal{i}",
+                pool=self.pool,
+                directory=directory,
+                tfc=self.tfc,
+                notifier=self.notifier,
+                clock=self.clock,
+                network=WAN,
+                backend=self.backend,
+            )
+            for i in range(portals)
+        ]
+        self._round_robin = 0
+        self.mapreduce = MapReduceEngine(self.hbase)
+
+    # -- load balancing -------------------------------------------------------
+
+    def next_portal(self) -> PortalServer:
+        """Round-robin portal selection (any portal serves any user)."""
+        portal = self.portals[self._round_robin % len(self.portals)]
+        self._round_robin += 1
+        return portal
+
+    def client(self, keypair: KeyPair) -> "CloudClient":
+        """A logged-in client for one participant."""
+        return CloudClient(keypair, self)
+
+    # -- fleet monitoring (MapReduce jobs of §4.2) -------------------------------
+
+    def activity_statistics(self) -> tuple[dict[str, int], JobStats]:
+        """MapReduce: executions per activity across all instances."""
+
+        def map_fn(row_key, row):
+            data = row.get(("doc", "latest"))
+            if data is None:
+                return
+            document = Dra4wfmsDocument.from_bytes(data)
+            for cer in document.cers(include_definition=False):
+                if cer.kind in ("standard", "tfc"):
+                    yield cer.activity_id, 1
+
+        def reduce_fn(key, values):
+            return sum(values)
+
+        return self.mapreduce.run(DOC_TABLE, map_fn, reduce_fn)
+
+    def participant_workload(self) -> tuple[dict[str, int], JobStats]:
+        """MapReduce: executions per participant across the pool.
+
+        The load-balancing input the paper's related work [14] computes
+        server-side — here derived from CER metadata without decrypting
+        anything.
+        """
+
+        def map_fn(row_key, row):
+            data = row.get(("doc", "latest"))
+            if data is None:
+                return
+            document = Dra4wfmsDocument.from_bytes(data)
+            for cer in document.cers(include_definition=False):
+                if cer.kind in ("standard", "intermediate"):
+                    yield cer.participant, 1
+
+        def reduce_fn(key, values):
+            return sum(values)
+
+        return self.mapreduce.run(DOC_TABLE, map_fn, reduce_fn)
+
+    def instance_progress(self) -> tuple[dict[str, int], JobStats]:
+        """MapReduce: completed executions per process instance."""
+
+        def map_fn(row_key, row):
+            data = row.get(("doc", "latest"))
+            if data is None:
+                return
+            document = Dra4wfmsDocument.from_bytes(data)
+            count = sum(
+                1 for cer in document.cers(include_definition=False)
+                if cer.kind in ("standard", "tfc")
+            )
+            yield document.process_id, count
+
+        def reduce_fn(key, values):
+            return sum(values)
+
+        return self.mapreduce.run(DOC_TABLE, map_fn, reduce_fn)
+
+
+@dataclass
+class CloudClient:
+    """Client-side helper: AEA + portal protocol (Fig. 7 arrows 1–6)."""
+
+    keypair: KeyPair
+    system: CloudSystem
+
+    def __post_init__(self) -> None:
+        self.portal: PortalServer = self.system.next_portal()
+        self.agent = ActivityExecutionAgent(
+            self.keypair, self.system.directory, self.system.backend
+        )
+        nonce = self.portal.challenge(self.keypair.identity)
+        signature = self.system.backend.sign(
+            self.keypair.private_key, b"dra4wfms-portal-login\x00" + nonce
+        )
+        self.session: Session = self.portal.login(
+            self.keypair.identity, signature
+        )
+
+    @property
+    def identity(self) -> str:
+        """The participant this client acts for."""
+        return self.keypair.identity
+
+    def todo(self):
+        """Pending work items."""
+        return self.portal.search_todo(self.session)
+
+    def upload_initial(self, document: Dra4wfmsDocument) -> str:
+        """Start a process instance."""
+        return self.portal.upload_initial(self.session, document.to_bytes())
+
+    def execute(self, process_id: str, activity_id: str,
+                responder: Responder) -> list:
+        """Check out, execute in the local AEA, submit back.
+
+        Raises :class:`~repro.errors.JoinNotReady` when an AND-join is
+        still missing sibling branches — retry after they arrive.
+        """
+        data = self.portal.retrieve(self.session, process_id)
+        result = self.agent.execute_activity(
+            data, activity_id, responder,
+            mode="advanced",
+            tfc_identity=self.system.tfc.identity,
+            tfc_public_key=self.system.tfc.public_key,
+        )
+        return self.portal.submit(self.session, result.document.to_bytes())
+
+    def monitor(self, process_id: str):
+        """Execution status of one instance."""
+        return self.portal.monitor(self.session, process_id)
+
+
+def run_process_in_cloud(
+    system: CloudSystem,
+    definition: WorkflowDefinition,
+    initial_document: Dra4wfmsDocument,
+    designer: KeyPair,
+    keypairs: dict[str, KeyPair],
+    responders: dict[str, Responder],
+    max_rounds: int = 10_000,
+) -> Dra4wfmsDocument:
+    """Drive one process instance through the cloud to completion.
+
+    Each participant polls their TO-DO list and executes pending
+    activities; AND-joins that are not yet ready are retried after the
+    sibling branch lands.  Returns the final pooled document.
+    """
+    designer_client = system.client(designer)
+    process_id = designer_client.upload_initial(initial_document)
+
+    clients = {
+        identity: system.client(keypair)
+        for identity, keypair in keypairs.items()
+        if identity != designer.identity
+    }
+
+    for _ in range(max_rounds):
+        progressed = False
+        pending = False
+        for client in clients.values():
+            for entry in client.todo():
+                if entry.process_id != process_id:
+                    continue
+                pending = True
+                responder = responders.get(entry.activity_id)
+                if responder is None:
+                    raise CloudError(
+                        f"no responder for activity {entry.activity_id!r}"
+                    )
+                try:
+                    client.execute(process_id, entry.activity_id, responder)
+                    progressed = True
+                except JoinNotReady:
+                    continue
+        if not pending:
+            return system.pool.latest(process_id)
+        if not progressed:
+            raise CloudError(
+                f"process {process_id!r} deadlocked: pending work exists "
+                f"but nothing can execute"
+            )
+    raise CloudError(f"process {process_id!r} exceeded {max_rounds} rounds")

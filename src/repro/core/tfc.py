@@ -1,0 +1,213 @@
+"""The Timestamp-and-Flow-Control (TFC) server.
+
+Paper §2.2: "analogous to a notary public" — the TFC is *not* a
+workflow engine.  It never executes activities and holds no
+authoritative process state; it only
+
+* **timestamps** each finished activity (monitoring needs a trusted
+  finish time);
+* **applies the security policy** the participant could not: it decrypts
+  the TFC-addressed result bundle, re-encrypts each field for the reader
+  set the policy prescribes (resolving conditional clauses with guard
+  variables the participant was not allowed to see — Fig. 4);
+* **forwards** the document according to the control flow; and
+* keeps a record of every processed document so the status of workflow
+  executions can be queried (§2.2, monitoring).
+
+Crucially the TFC *also signs into the cascade*: its CER countersigns
+the participant's intermediate signature, so even a malicious TFC
+cannot repudiate its processing, and any alteration it makes is
+detectable by the same verification every AEA already runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..crypto.backend import CryptoBackend, default_backend
+from ..crypto.keys import KeyPair
+from ..crypto.pki import KeyDirectory
+from ..crypto.pure.rsa import RsaPublicKey
+from ..document.builder import (
+    INTERMEDIATE_BUNDLE_FIELD,
+    make_tfc_cer,
+    parse_result_bundle,
+)
+from ..document.document import Dra4wfmsDocument
+from ..document.verify import VerificationReport, verify_document
+from ..errors import RuntimeFault
+from ..model.definition import WorkflowDefinition
+from .router import RoutingDecision, route_after
+from .state import VariableView
+
+__all__ = ["TfcRecord", "TfcResult", "TfcServer"]
+
+
+@dataclass(frozen=True)
+class TfcRecord:
+    """One monitoring record: an activity finished at a witnessed time."""
+
+    process_id: str
+    activity_id: str
+    iteration: int
+    participant: str
+    timestamp: float
+
+
+@dataclass
+class TfcResult:
+    """Outcome of TFC processing for one intermediate CER."""
+
+    document: Dra4wfmsDocument
+    activity_id: str
+    iteration: int
+    routing: RoutingDecision
+    timestamp: float
+    #: Verification + bundle decryption time (contributes to Table 2's α).
+    verify_seconds: float
+    #: Re-encryption + signature time (Table 2's γ).
+    sign_seconds: float
+
+
+class TfcServer:
+    """A timestamp and flow control server (advanced operational model)."""
+
+    def __init__(self, keypair: KeyPair, directory: KeyDirectory,
+                 backend: CryptoBackend | None = None,
+                 clock: Callable[[], float] | None = None,
+                 keep_copies: bool = True,
+                 trusted_tfcs: set[str] | None = None) -> None:
+        self.keypair = keypair
+        self.directory = directory
+        self.backend = backend or default_backend()
+        self.clock = clock or time.time
+        self.keep_copies = keep_copies
+        #: TFC identities whose CERs this server accepts in incoming
+        #: documents.  Cross-enterprise deployments run one TFC per
+        #: enterprise (Fig. 6 shows a TFC per hop); list the federation
+        #: here.  Always includes this server itself.
+        self.trusted_tfcs = set(trusted_tfcs or ()) | {keypair.identity}
+        #: Monitoring records, in processing order.
+        self.records: list[TfcRecord] = []
+        #: Copies of every forwarded document (workflow monitoring).
+        self.document_log: list[bytes] = []
+
+    @property
+    def identity(self) -> str:
+        """The TFC's identity (the key results are addressed to)."""
+        return self.keypair.identity
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The key participants encrypt intermediate bundles to."""
+        return self.keypair.public_key
+
+    def process(self, data: bytes | Dra4wfmsDocument) -> TfcResult:
+        """Finalise the pending intermediate CER of a routed document.
+
+        Verifies the document, decrypts the TFC-addressed bundle,
+        re-encrypts the result per policy, timestamps, signs, records,
+        and computes the routing decision.
+        """
+        verify_start = time.perf_counter()
+        document = (data if isinstance(data, Dra4wfmsDocument)
+                    else Dra4wfmsDocument.from_bytes(data))
+        report: VerificationReport = verify_document(
+            document, self.directory, self.backend,
+            definition_reader=(self.identity, self.keypair.private_key),
+            tfc_identities=self.trusted_tfcs,
+        )
+        from ..document.amendments import effective_definition
+
+        definition: WorkflowDefinition = effective_definition(
+            document, self.identity, self.keypair.private_key, self.backend
+        ) if document.definition_is_encrypted else effective_definition(
+            document, backend=self.backend
+        )
+
+        pending = document.pending_intermediate()
+        if not pending:
+            raise RuntimeFault(
+                "document has no pending intermediate CER to finalise"
+            )
+        if len(pending) > 1:
+            raise RuntimeFault(
+                f"document has {len(pending)} pending intermediate CERs; "
+                f"each routed copy must carry exactly one"
+            )
+        cer_it = pending[0]
+        bundle = cer_it.encrypted_field(INTERMEDIATE_BUNDLE_FIELD)
+        values = parse_result_bundle(bundle.decrypt(
+            self.identity, self.keypair.private_key, self.backend
+        ))
+        verify_seconds = time.perf_counter() - verify_start
+
+        # γ phase: re-encrypt per policy + timestamp + sign ------------------
+        sign_start = time.perf_counter()
+        view = VariableView.for_reader(
+            document, self.identity, self.keypair.private_key, self.backend
+        ).merged_with(values)
+        typed = view.typed(definition)
+        activity_id, iteration = cer_it.activity_id, cer_it.iteration
+
+        def readers_for(fieldname: str) -> dict[str, RsaPublicKey]:
+            names = set(definition.policy.readers_for(
+                definition, activity_id, fieldname, typed
+            ))
+            # The TFC saw the plaintext anyway and needs it later for
+            # guard evaluation; adding itself keeps that honest and
+            # auditable rather than implicit.
+            names.add(self.identity)
+            return {
+                identity: self.directory.public_key_of(identity)
+                for identity in sorted(names)
+            }
+
+        timestamp = float(self.clock())
+        new_document = document.clone()
+        intermediate_sig = new_document.find_cer(
+            activity_id, iteration, cer_it.kind
+        ).signature.element
+        tfc_cer = make_tfc_cer(
+            activity_id, iteration, self.keypair, values,
+            readers_for, intermediate_sig, timestamp, self.backend,
+        )
+        new_document.append_cer(tfc_cer)
+        sign_seconds = time.perf_counter() - sign_start
+
+        routing = route_after(definition, activity_id, typed)
+
+        self.records.append(TfcRecord(
+            process_id=document.process_id,
+            activity_id=activity_id,
+            iteration=iteration,
+            participant=cer_it.participant,
+            timestamp=timestamp,
+        ))
+        if self.keep_copies:
+            self.document_log.append(new_document.to_bytes())
+        return TfcResult(
+            document=new_document,
+            activity_id=activity_id,
+            iteration=iteration,
+            routing=routing,
+            timestamp=timestamp,
+            verify_seconds=verify_seconds,
+            sign_seconds=sign_seconds,
+        )
+
+    # -- monitoring ------------------------------------------------------------
+
+    def records_for(self, process_id: str) -> list[TfcRecord]:
+        """All monitoring records of one process instance."""
+        return [r for r in self.records if r.process_id == process_id]
+
+    def latest_document(self, process_id: str) -> Dra4wfmsDocument | None:
+        """The most recent forwarded copy of a process instance."""
+        for blob in reversed(self.document_log):
+            document = Dra4wfmsDocument.from_bytes(blob)
+            if document.process_id == process_id:
+                return document
+        return None

@@ -1,0 +1,43 @@
+"""Cryptographic substrate: pure primitives, pluggable backends, keys, PKI.
+
+The DRA4WfMS security framework rests on three operations — digital
+signatures (the cascade), hybrid element-wise encryption (data keys
+wrapped per reader), and digests — all routed through a
+:class:`~repro.crypto.backend.CryptoBackend` so the whole stack runs on
+either the from-scratch primitives or the ``cryptography`` wheel.
+"""
+
+from .backend import (
+    DATA_KEY_BYTES,
+    CryptoBackend,
+    PureBackend,
+    default_backend,
+    set_default_backend,
+)
+from .keys import (
+    KeyPair,
+    private_key_from_dict,
+    private_key_to_dict,
+    public_key_from_dict,
+    public_key_to_dict,
+)
+from .pki import Certificate, CertificateAuthority, KeyDirectory
+from .pure.rsa import RsaPrivateKey, RsaPublicKey
+
+__all__ = [
+    "DATA_KEY_BYTES",
+    "Certificate",
+    "CertificateAuthority",
+    "CryptoBackend",
+    "KeyDirectory",
+    "KeyPair",
+    "PureBackend",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "default_backend",
+    "private_key_from_dict",
+    "private_key_to_dict",
+    "public_key_from_dict",
+    "public_key_to_dict",
+    "set_default_backend",
+]

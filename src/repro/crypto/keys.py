@@ -1,0 +1,111 @@
+"""Key-pair handling and serialization.
+
+A :class:`KeyPair` binds an RSA key pair to a participant identity
+(e.g. ``"peter@acme"``).  Keys serialize to a plain JSON-safe mapping of
+hex-encoded integers so they can be stored in the simulated cloud
+substrate or shipped between processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import KeyError_
+from .backend import CryptoBackend, default_backend
+from .pure.rsa import RsaPrivateKey, RsaPublicKey
+
+__all__ = [
+    "KeyPair",
+    "public_key_to_dict",
+    "public_key_from_dict",
+    "private_key_to_dict",
+    "private_key_from_dict",
+]
+
+
+def public_key_to_dict(key: RsaPublicKey) -> dict[str, str]:
+    """Serialize a public key to a JSON-safe mapping."""
+    return {"kty": "RSA", "n": hex(key.n), "e": hex(key.e)}
+
+
+def public_key_from_dict(data: dict[str, str]) -> RsaPublicKey:
+    """Deserialize a public key produced by :func:`public_key_to_dict`."""
+    try:
+        if data["kty"] != "RSA":
+            raise KeyError_(f"unsupported key type {data['kty']!r}")
+        return RsaPublicKey(n=int(data["n"], 16), e=int(data["e"], 16))
+    except (KeyError, ValueError) as exc:
+        raise KeyError_(f"malformed public key mapping: {exc}") from exc
+
+
+def private_key_to_dict(key: RsaPrivateKey) -> dict[str, str]:
+    """Serialize a private key (including CRT primes) to a mapping."""
+    return {
+        "kty": "RSA",
+        "n": hex(key.n),
+        "e": hex(key.e),
+        "d": hex(key.d),
+        "p": hex(key.p),
+        "q": hex(key.q),
+    }
+
+
+def private_key_from_dict(data: dict[str, str]) -> RsaPrivateKey:
+    """Deserialize a private key produced by :func:`private_key_to_dict`."""
+    try:
+        if data["kty"] != "RSA":
+            raise KeyError_(f"unsupported key type {data['kty']!r}")
+        return RsaPrivateKey(
+            n=int(data["n"], 16),
+            e=int(data["e"], 16),
+            d=int(data["d"], 16),
+            p=int(data["p"], 16),
+            q=int(data["q"], 16),
+        )
+    except (KeyError, ValueError) as exc:
+        raise KeyError_(f"malformed private key mapping: {exc}") from exc
+
+
+@dataclass
+class KeyPair:
+    """An identity plus its RSA key pair.
+
+    Participants, workflow designers, TFC servers and certificate
+    authorities are all represented this way.
+    """
+
+    identity: str
+    private_key: RsaPrivateKey = field(repr=False)
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The public half of the pair."""
+        return self.private_key.public_key
+
+    @classmethod
+    def generate(cls, identity: str, bits: int = 2048,
+                 backend: CryptoBackend | None = None) -> "KeyPair":
+        """Generate a fresh key pair for *identity*."""
+        backend = backend or default_backend()
+        return cls(identity=identity, private_key=backend.generate_keypair(bits))
+
+    def sign(self, message: bytes,
+             backend: CryptoBackend | None = None) -> bytes:
+        """Sign *message* with this identity's private key."""
+        backend = backend or default_backend()
+        return backend.sign(self.private_key, message)
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize identity and private key to a mapping."""
+        return {
+            "identity": self.identity,
+            "key": private_key_to_dict(self.private_key),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "KeyPair":
+        """Deserialize the output of :meth:`to_dict`."""
+        return cls(
+            identity=str(data["identity"]),
+            private_key=private_key_from_dict(data["key"]),  # type: ignore[arg-type]
+        )

@@ -1,0 +1,61 @@
+"""From-scratch cryptographic primitives (no third-party dependencies).
+
+Modules
+-------
+``sha256``
+    FIPS 180-4 SHA-256.
+``hmac``
+    RFC 2104 HMAC-SHA256 and constant-time comparison.
+``drbg``
+    SP 800-90A HMAC-DRBG (seedable for deterministic tests).
+``primes``
+    Miller–Rabin primality testing and prime generation.
+``rsa``
+    RSA key generation, PKCS#1 v1.5 signatures and encryption.
+``aes``
+    FIPS 197 AES block cipher.
+``modes``
+    CBC/CTR modes, PKCS#7 padding, and encrypt-then-MAC sealing.
+"""
+
+from .aes import AES
+from .drbg import HmacDrbg
+from .gcm import gcm_decrypt, gcm_encrypt, ghash
+from .hmac import HMAC, constant_time_compare, hmac_sha256
+from .modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_transform,
+    open_sealed,
+    pkcs7_pad,
+    pkcs7_unpad,
+    seal,
+)
+from .primes import generate_prime, is_probable_prime
+from .rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+from .sha256 import SHA256, sha256
+
+__all__ = [
+    "AES",
+    "HMAC",
+    "HmacDrbg",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "SHA256",
+    "cbc_decrypt",
+    "cbc_encrypt",
+    "constant_time_compare",
+    "ctr_transform",
+    "gcm_decrypt",
+    "gcm_encrypt",
+    "generate_keypair",
+    "ghash",
+    "generate_prime",
+    "hmac_sha256",
+    "is_probable_prime",
+    "open_sealed",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "seal",
+    "sha256",
+]

@@ -1,0 +1,199 @@
+"""Pure-Python AES block cipher (FIPS 197), key sizes 128/192/256.
+
+Only the raw block transform lives here; chaining modes and padding are
+in :mod:`repro.crypto.pure.modes`.  The S-box is computed at import time
+from the finite-field definition rather than pasted as a magic table,
+which doubles as a self-check of the GF(2^8) arithmetic.
+"""
+
+from __future__ import annotations
+
+from ...errors import KeyError_
+
+__all__ = ["AES"]
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    # Multiplicative inverses via exponentiation (a^254 = a^-1 in GF(2^8)).
+    sbox = bytearray(256)
+    inv_sbox = bytearray(256)
+    for value in range(256):
+        if value == 0:
+            inverse = 0
+        else:
+            inverse = value
+            # a^254 by square-and-multiply (254 = 0b11111110)
+            acc = 1
+            power = value
+            for bit in (0, 1, 1, 1, 1, 1, 1, 1):
+                if bit:
+                    acc = _gf_mul(acc, power)
+                power = _gf_mul(power, power)
+            # The loop above computes a^(2+4+...+128) = a^254
+            inverse = acc
+        # Affine transformation.
+        s = inverse
+        x = inverse
+        for _ in range(4):
+            x = ((x << 1) | (x >> 7)) & 0xFF
+            s ^= x
+        s ^= 0x63
+        sbox[value] = s
+        inv_sbox[s] = value
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+# Round constants for key expansion.
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_xtime(_RCON[-1]))
+
+
+class AES:
+    """AES block cipher over 16-byte blocks.
+
+    Parameters
+    ----------
+    key:
+        16, 24, or 32 bytes selecting AES-128/192/256.
+    """
+
+    block_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise KeyError_(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self._nk = len(key) // 4
+        self._nr = self._nk + 6
+        self._round_keys = self._expand_key(key)
+
+    # -- key schedule -------------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        nk, nr = self._nk, self._nr
+        words: list[list[int]] = [list(key[4 * i: 4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (nr + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]                       # RotWord
+                temp = [_SBOX[b] for b in temp]                  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        # Group words into 16-byte round keys (column-major state order).
+        return [
+            [b for word in words[4 * r: 4 * r + 4] for b in word]
+            for r in range(nr + 1)
+        ]
+
+    # -- round building blocks ---------------------------------------------
+    # The state is a flat list of 16 bytes in column-major order, i.e.
+    # state[row + 4*col], matching the FIPS 197 input byte order.
+
+    @staticmethod
+    def _add_round_key(state: list[int], rk: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int], box: bytes) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        for row in range(1, 4):
+            col_vals = [state[row + 4 * c] for c in range(4)]
+            shifted = col_vals[row:] + col_vals[:row]
+            for c in range(4):
+                state[row + 4 * c] = shifted[c]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for row in range(1, 4):
+            col_vals = [state[row + 4 * c] for c in range(4)]
+            shifted = col_vals[-row:] + col_vals[:-row]
+            for c in range(4):
+                state[row + 4 * c] = shifted[c]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for c in range(4):
+            col = state[4 * c: 4 * c + 4]
+            state[4 * c + 0] = (_gf_mul(col[0], 2) ^ _gf_mul(col[1], 3)
+                                ^ col[2] ^ col[3])
+            state[4 * c + 1] = (col[0] ^ _gf_mul(col[1], 2)
+                                ^ _gf_mul(col[2], 3) ^ col[3])
+            state[4 * c + 2] = (col[0] ^ col[1]
+                                ^ _gf_mul(col[2], 2) ^ _gf_mul(col[3], 3))
+            state[4 * c + 3] = (_gf_mul(col[0], 3) ^ col[1]
+                                ^ col[2] ^ _gf_mul(col[3], 2))
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for c in range(4):
+            col = state[4 * c: 4 * c + 4]
+            state[4 * c + 0] = (_gf_mul(col[0], 14) ^ _gf_mul(col[1], 11)
+                                ^ _gf_mul(col[2], 13) ^ _gf_mul(col[3], 9))
+            state[4 * c + 1] = (_gf_mul(col[0], 9) ^ _gf_mul(col[1], 14)
+                                ^ _gf_mul(col[2], 11) ^ _gf_mul(col[3], 13))
+            state[4 * c + 2] = (_gf_mul(col[0], 13) ^ _gf_mul(col[1], 9)
+                                ^ _gf_mul(col[2], 14) ^ _gf_mul(col[3], 11))
+            state[4 * c + 3] = (_gf_mul(col[0], 11) ^ _gf_mul(col[1], 13)
+                                ^ _gf_mul(col[2], 9) ^ _gf_mul(col[3], 14))
+
+    # -- public block API -----------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != 16:
+            raise KeyError_("AES block must be exactly 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, self._nr):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._nr])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != 16:
+            raise KeyError_("AES block must be exactly 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self._nr])
+        for rnd in range(self._nr - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[rnd])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

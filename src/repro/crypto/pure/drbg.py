@@ -1,0 +1,105 @@
+"""HMAC-DRBG (NIST SP 800-90A) over HMAC-SHA256.
+
+The DRBG serves two purposes in this reproduction:
+
+* deterministic key generation in tests (seeded, reproducible runs), and
+* a from-scratch random source for the pure backend, seeded from
+  :func:`secrets.token_bytes` when no explicit entropy is supplied.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from .hmac import hmac_sha256
+
+__all__ = ["HmacDrbg"]
+
+
+class HmacDrbg:
+    """Deterministic random bit generator per SP 800-90A HMAC_DRBG.
+
+    Parameters
+    ----------
+    entropy:
+        Seed material.  When ``None``, 48 bytes of OS entropy are drawn,
+        making the generator non-deterministic (the production mode).
+    personalization:
+        Optional domain-separation string mixed into the seed.
+    """
+
+    # SP 800-90A allows 2**48 generate calls between reseeds; we reseed
+    # far earlier out of caution.
+    _RESEED_INTERVAL = 1 << 24
+
+    def __init__(self, entropy: bytes | None = None,
+                 personalization: bytes = b"") -> None:
+        if entropy is None:
+            entropy = secrets.token_bytes(48)
+            self._deterministic = False
+        else:
+            self._deterministic = True
+        self._key = b"\x00" * 32
+        self._value = b"\x01" * 32
+        self._reseed_counter = 1
+        self._update(entropy + personalization)
+
+    @property
+    def deterministic(self) -> bool:
+        """``True`` when the generator was explicitly seeded."""
+        return self._deterministic
+
+    def reseed(self, entropy: bytes) -> None:
+        """Mix fresh *entropy* into the generator state."""
+        self._update(entropy)
+        self._reseed_counter = 1
+
+    def generate(self, nbytes: int) -> bytes:
+        """Return *nbytes* pseudo-random bytes."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self._reseed_counter > self._RESEED_INTERVAL:
+            if self._deterministic:
+                # Deterministic generators reseed from their own stream
+                # so replayed runs stay reproducible.
+                self._update(b"auto-reseed")
+                self._reseed_counter = 1
+            else:
+                self.reseed(secrets.token_bytes(48))
+        out = bytearray()
+        while len(out) < nbytes:
+            self._value = hmac_sha256(self._key, self._value)
+            out += self._value
+        self._update(b"")
+        self._reseed_counter += 1
+        return bytes(out[:nbytes])
+
+    def randbelow(self, upper: int) -> int:
+        """Return a uniform integer in ``[0, upper)`` by rejection sampling."""
+        if upper <= 0:
+            raise ValueError("upper must be positive")
+        nbits = upper.bit_length()
+        nbytes = (nbits + 7) // 8
+        excess = nbytes * 8 - nbits
+        while True:
+            candidate = int.from_bytes(self.generate(nbytes), "big") >> excess
+            if candidate < upper:
+                return candidate
+
+    def randbits(self, nbits: int) -> int:
+        """Return an integer with exactly *nbits* random bits (MSB set)."""
+        if nbits <= 0:
+            raise ValueError("nbits must be positive")
+        nbytes = (nbits + 7) // 8
+        value = int.from_bytes(self.generate(nbytes), "big")
+        value >>= nbytes * 8 - nbits
+        return value | (1 << (nbits - 1))
+
+    # -- internals ---------------------------------------------------------
+
+    def _update(self, provided: bytes) -> None:
+        self._key = hmac_sha256(self._key, self._value + b"\x00" + provided)
+        self._value = hmac_sha256(self._key, self._value)
+        if provided:
+            self._key = hmac_sha256(self._key, self._value + b"\x01" + provided)
+            self._value = hmac_sha256(self._key, self._value)

@@ -1,0 +1,108 @@
+"""Pure-Python AES-GCM (NIST SP 800-38D).
+
+Galois/Counter Mode from first principles: GF(2^128) multiplication
+with the bit-reflected reduction polynomial, GHASH, and the GCM
+encrypt/decrypt compositions with 96-bit IVs.  Checked against the
+NIST GCM test vectors and against OpenSSL's AESGCM by the test suite.
+
+This is the second authenticated-encryption algorithm of the element
+encryption layer (``aes128gcm``), alongside the default
+CTR+HMAC construction in :mod:`repro.crypto.pure.modes`.
+"""
+
+from __future__ import annotations
+
+from ...errors import DecryptionError
+from .aes import AES
+from .hmac import constant_time_compare
+
+__all__ = ["gcm_encrypt", "gcm_decrypt", "ghash"]
+
+# The GCM reduction constant: x^128 + x^7 + x^2 + x + 1, bit-reflected.
+_R = 0xE1000000000000000000000000000000
+
+
+def _gf128_mul(x: int, y: int) -> int:
+    """Multiply two elements of GF(2^128) (SP 800-38D algorithm 1).
+
+    Operands and result are 128-bit integers in the bit-reflected
+    representation GCM uses (the MSB of the integer is "bit 0").
+    """
+    z = 0
+    v = x
+    for bit in range(127, -1, -1):
+        if (y >> bit) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def ghash(h: int, data: bytes) -> int:
+    """GHASH_H over *data* (must be a multiple of 16 bytes)."""
+    if len(data) % 16:
+        raise ValueError("GHASH input must be block-aligned")
+    y = 0
+    for offset in range(0, len(data), 16):
+        block = int.from_bytes(data[offset:offset + 16], "big")
+        y = _gf128_mul(y ^ block, h)
+    return y
+
+
+def _pad16(data: bytes) -> bytes:
+    remainder = len(data) % 16
+    return data + b"\x00" * ((16 - remainder) % 16)
+
+
+def _gctr(cipher: AES, initial_counter_block: bytes, data: bytes) -> bytes:
+    counter = int.from_bytes(initial_counter_block, "big")
+    out = bytearray()
+    for offset in range(0, len(data), 16):
+        keystream = cipher.encrypt_block(
+            (counter % (1 << 128)).to_bytes(16, "big")
+        )
+        # GCM increments only the low 32 bits.
+        low = (counter + 1) & 0xFFFFFFFF
+        counter = (counter & ~0xFFFFFFFF) | low
+        chunk = data[offset:offset + 16]
+        out += bytes(a ^ b for a, b in zip(chunk, keystream))
+    return bytes(out)
+
+
+def _tag(cipher: AES, h: int, j0: bytes, ciphertext: bytes,
+         aad: bytes) -> bytes:
+    lengths = (len(aad) * 8).to_bytes(8, "big") \
+        + (len(ciphertext) * 8).to_bytes(8, "big")
+    s = ghash(h, _pad16(aad) + _pad16(ciphertext) + lengths)
+    e_j0 = cipher.encrypt_block(j0)
+    return bytes(a ^ b for a, b in zip(s.to_bytes(16, "big"), e_j0))
+
+
+def _setup(key: bytes, iv: bytes) -> tuple[AES, int, bytes, bytes]:
+    if len(iv) != 12:
+        raise DecryptionError("GCM IV must be 96 bits")
+    cipher = AES(key)
+    h = int.from_bytes(cipher.encrypt_block(b"\x00" * 16), "big")
+    j0 = iv + b"\x00\x00\x00\x01"
+    first_counter = iv + b"\x00\x00\x00\x02"
+    return cipher, h, j0, first_counter
+
+
+def gcm_encrypt(key: bytes, iv: bytes, plaintext: bytes,
+                aad: bytes = b"") -> tuple[bytes, bytes]:
+    """AES-GCM encryption; returns ``(ciphertext, 16-byte tag)``."""
+    cipher, h, j0, first_counter = _setup(key, iv)
+    ciphertext = _gctr(cipher, first_counter, plaintext)
+    return ciphertext, _tag(cipher, h, j0, ciphertext, aad)
+
+
+def gcm_decrypt(key: bytes, iv: bytes, ciphertext: bytes, tag: bytes,
+                aad: bytes = b"") -> bytes:
+    """AES-GCM decryption; raises on authentication failure."""
+    cipher, h, j0, first_counter = _setup(key, iv)
+    expected = _tag(cipher, h, j0, ciphertext, aad)
+    if not constant_time_compare(tag, expected):
+        raise DecryptionError("GCM authentication tag mismatch")
+    return _gctr(cipher, first_counter, ciphertext)

@@ -1,0 +1,69 @@
+"""Pure-Python HMAC (RFC 2104) over the pure SHA-256.
+
+Used by the encrypt-then-MAC authenticated-encryption mode and by the
+HMAC-DRBG deterministic random bit generator.
+"""
+
+from __future__ import annotations
+
+from .sha256 import SHA256
+
+__all__ = ["HMAC", "hmac_sha256", "constant_time_compare"]
+
+_IPAD = 0x36
+_OPAD = 0x5C
+
+
+class HMAC:
+    """Incremental HMAC-SHA256."""
+
+    digest_size = 32
+    block_size = 64
+
+    def __init__(self, key: bytes, msg: bytes = b"") -> None:
+        if len(key) > self.block_size:
+            key = SHA256(key).digest()
+        key = key.ljust(self.block_size, b"\x00")
+        self._outer_key = bytes(b ^ _OPAD for b in key)
+        self._inner = SHA256(bytes(b ^ _IPAD for b in key))
+        if msg:
+            self.update(msg)
+
+    def update(self, msg: bytes) -> None:
+        """Absorb *msg* into the MAC state."""
+        self._inner.update(msg)
+
+    def copy(self) -> "HMAC":
+        """Return an independent copy of the MAC state."""
+        clone = HMAC.__new__(HMAC)
+        clone._outer_key = self._outer_key
+        clone._inner = self._inner.copy()
+        return clone
+
+    def digest(self) -> bytes:
+        """Return the 32-byte authentication tag."""
+        return SHA256(self._outer_key + self._inner.digest()).digest()
+
+    def hexdigest(self) -> str:
+        """Return the tag as lowercase hex."""
+        return self.digest().hex()
+
+
+def hmac_sha256(key: bytes, msg: bytes) -> bytes:
+    """One-shot HMAC-SHA256 tag of *msg* under *key*."""
+    return HMAC(key, msg).digest()
+
+
+def constant_time_compare(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without data-dependent early exit.
+
+    The comparison time depends only on the lengths of the inputs,
+    preventing the byte-by-byte timing oracle that a naive ``==`` on
+    attacker-controlled MACs would expose.
+    """
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0

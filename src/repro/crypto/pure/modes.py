@@ -1,0 +1,142 @@
+"""Chaining modes and authenticated encryption over the pure AES core.
+
+Provides:
+
+* PKCS#7 padding helpers,
+* AES-CBC and AES-CTR,
+* :func:`seal` / :func:`open_sealed` — encrypt-then-MAC authenticated
+  encryption (AES-CTR + HMAC-SHA256), the construction used for every
+  element-wise encrypted value in a DRA4WfMS document.
+"""
+
+from __future__ import annotations
+
+from ...errors import DecryptionError
+from .aes import AES
+from .drbg import HmacDrbg
+from .hmac import constant_time_compare, hmac_sha256
+from .sha256 import sha256
+
+__all__ = [
+    "pkcs7_pad", "pkcs7_unpad",
+    "cbc_encrypt", "cbc_decrypt",
+    "ctr_transform",
+    "seal", "open_sealed",
+]
+
+_BLOCK = 16
+
+
+def pkcs7_pad(data: bytes, block: int = _BLOCK) -> bytes:
+    """Pad *data* to a multiple of *block* bytes (PKCS#7)."""
+    n = block - (len(data) % block)
+    return data + bytes([n]) * n
+
+
+def pkcs7_unpad(data: bytes, block: int = _BLOCK) -> bytes:
+    """Strip PKCS#7 padding, raising on malformed input."""
+    if not data or len(data) % block:
+        raise DecryptionError("ciphertext not a whole number of blocks")
+    n = data[-1]
+    if not 1 <= n <= block or data[-n:] != bytes([n]) * n:
+        raise DecryptionError("invalid PKCS#7 padding")
+    return data[:-n]
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """AES-CBC encrypt with PKCS#7 padding."""
+    if len(iv) != _BLOCK:
+        raise DecryptionError("CBC IV must be 16 bytes")
+    cipher = AES(key)
+    data = pkcs7_pad(plaintext)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(data), _BLOCK):
+        block = bytes(a ^ b for a, b in zip(data[i:i + _BLOCK], prev))
+        prev = cipher.encrypt_block(block)
+        out += prev
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """AES-CBC decrypt and strip PKCS#7 padding."""
+    if len(iv) != _BLOCK:
+        raise DecryptionError("CBC IV must be 16 bytes")
+    if len(ciphertext) % _BLOCK:
+        raise DecryptionError("ciphertext not a whole number of blocks")
+    cipher = AES(key)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(ciphertext), _BLOCK):
+        block = ciphertext[i:i + _BLOCK]
+        plain = cipher.decrypt_block(block)
+        out += bytes(a ^ b for a, b in zip(plain, prev))
+        prev = block
+    return pkcs7_unpad(bytes(out))
+
+
+def ctr_transform(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """AES-CTR keystream XOR (encryption and decryption are identical).
+
+    *nonce* is 16 bytes; the whole block is treated as a big-endian
+    counter, incremented per block.
+    """
+    if len(nonce) != _BLOCK:
+        raise DecryptionError("CTR nonce must be 16 bytes")
+    cipher = AES(key)
+    counter = int.from_bytes(nonce, "big")
+    out = bytearray()
+    for i in range(0, len(data), _BLOCK):
+        keystream = cipher.encrypt_block(
+            (counter % (1 << 128)).to_bytes(_BLOCK, "big")
+        )
+        counter += 1
+        chunk = data[i:i + _BLOCK]
+        out += bytes(a ^ b for a, b in zip(chunk, keystream))
+    return bytes(out)
+
+
+def _derive_subkeys(key: bytes) -> tuple[bytes, bytes]:
+    """Derive independent encryption and MAC keys from a master key."""
+    enc_key = sha256(b"repro.enc\x00" + key)[:16]
+    mac_key = sha256(b"repro.mac\x00" + key)
+    return enc_key, mac_key
+
+
+def seal(key: bytes, plaintext: bytes, aad: bytes = b"",
+         rng: HmacDrbg | None = None) -> bytes:
+    """Authenticated encryption: ``nonce || ciphertext || tag``.
+
+    Encrypt-then-MAC with AES-128-CTR and HMAC-SHA256 (truncated to 16
+    bytes).  *aad* is authenticated but not encrypted — DRA4WfMS binds
+    the element name and recipient list this way.
+    """
+    if rng is None:
+        rng = HmacDrbg()
+    enc_key, mac_key = _derive_subkeys(key)
+    nonce = rng.generate(_BLOCK)
+    ciphertext = ctr_transform(enc_key, nonce, plaintext)
+    tag = hmac_sha256(
+        mac_key,
+        len(aad).to_bytes(8, "big") + aad + nonce + ciphertext,
+    )[:16]
+    return nonce + ciphertext + tag
+
+
+def open_sealed(key: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+    """Verify and decrypt the output of :func:`seal`.
+
+    Raises :class:`~repro.errors.DecryptionError` when the MAC does not
+    verify (wrong key, altered ciphertext, or altered AAD).
+    """
+    if len(sealed) < _BLOCK + 16:
+        raise DecryptionError("sealed blob too short")
+    enc_key, mac_key = _derive_subkeys(key)
+    nonce, body, tag = sealed[:_BLOCK], sealed[_BLOCK:-16], sealed[-16:]
+    expected = hmac_sha256(
+        mac_key,
+        len(aad).to_bytes(8, "big") + aad + nonce + body,
+    )[:16]
+    if not constant_time_compare(tag, expected):
+        raise DecryptionError("authentication tag mismatch")
+    return ctr_transform(enc_key, nonce, body)

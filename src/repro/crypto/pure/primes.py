@@ -1,0 +1,82 @@
+"""Prime generation for RSA key generation.
+
+Implements trial division over a small prime table followed by the
+Miller–Rabin probabilistic primality test, driven by an
+:class:`~repro.crypto.pure.drbg.HmacDrbg` so key generation can be made
+deterministic in tests.
+"""
+
+from __future__ import annotations
+
+from .drbg import HmacDrbg
+
+__all__ = ["is_probable_prime", "generate_prime", "SMALL_PRIMES"]
+
+
+def _sieve(limit: int) -> list[int]:
+    flags = bytearray([1]) * (limit + 1)
+    flags[0:2] = b"\x00\x00"
+    for p in range(2, int(limit ** 0.5) + 1):
+        if flags[p]:
+            flags[p * p:: p] = b"\x00" * len(range(p * p, limit + 1, p))
+    return [i for i, f in enumerate(flags) if f]
+
+
+#: Primes below 2000, used for cheap trial division before Miller–Rabin.
+SMALL_PRIMES: tuple[int, ...] = tuple(_sieve(2000))
+
+
+def is_probable_prime(n: int, rng: HmacDrbg | None = None,
+                      rounds: int = 40) -> bool:
+    """Miller–Rabin primality test.
+
+    With 40 random rounds the probability that a composite passes is at
+    most ``4**-40``, far below the RSA security level used here.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    if rng is None:
+        rng = HmacDrbg()
+
+    # Write n-1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    for _ in range(rounds):
+        a = 2 + rng.randbelow(n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: HmacDrbg | None = None) -> int:
+    """Generate a random prime with exactly *bits* bits.
+
+    The two most significant bits are forced to 1 so that the product of
+    two such primes has exactly ``2 * bits`` bits — the usual RSA trick
+    guaranteeing the modulus size.
+    """
+    if bits < 16:
+        raise ValueError("refusing to generate primes below 16 bits")
+    if rng is None:
+        rng = HmacDrbg()
+    while True:
+        candidate = rng.randbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate

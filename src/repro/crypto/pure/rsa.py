@@ -1,0 +1,275 @@
+"""Pure-Python RSA: key generation, PKCS#1 v1.5 signatures and encryption.
+
+This module is self-contained (no third-party crypto).  It provides the
+three operations DRA4WfMS needs:
+
+* ``sign`` / ``verify`` — RSASSA-PKCS1-v1_5 with SHA-256, used for the
+  cascaded signatures embedded in DRA4WfMS documents;
+* ``encrypt`` / ``decrypt`` — RSAES-PKCS1-v1_5, used to wrap the
+  per-element AES data keys for each authorised reader;
+* ``generate_keypair`` — Miller–Rabin based key generation with CRT
+  private operations.
+
+The fast backend exposes the same API on top of the ``cryptography``
+wheel; the test suite asserts the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import DecryptionError, KeyError_, SignatureError
+from .drbg import HmacDrbg
+from .primes import generate_prime
+from .sha256 import sha256
+
+__all__ = ["RsaPublicKey", "RsaPrivateKey", "generate_keypair"]
+
+# DER prefix of the DigestInfo structure for SHA-256
+# (RFC 8017 section 9.2 note 1).
+_SHA256_DIGESTINFO = bytes.fromhex(
+    "3031300d060960864801650304020105000420"
+)
+
+_F4 = 65537
+_HLEN = 32          # SHA-256 output size
+_PSS_SALT_LEN = 32  # RFC 8017 recommended sLen = hLen
+
+
+def _mgf1(seed: bytes, mask_length: int) -> bytes:
+    """MGF1 mask generation with SHA-256 (RFC 8017 appendix B.2.1)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < mask_length:
+        out += sha256(seed + counter.to_bytes(4, "big"))
+        counter += 1
+    return bytes(out[:mask_length])
+
+
+def _emsa_pss_encode(message: bytes, em_bits: int, salt: bytes) -> bytes:
+    """EMSA-PSS encoding (RFC 8017 section 9.1.1)."""
+    em_length = (em_bits + 7) // 8
+    m_hash = sha256(message)
+    if em_length < _HLEN + len(salt) + 2:
+        raise KeyError_("RSA modulus too small for PSS encoding")
+    h = sha256(b"\x00" * 8 + m_hash + salt)
+    ps = b"\x00" * (em_length - len(salt) - _HLEN - 2)
+    db = ps + b"\x01" + salt
+    db_mask = _mgf1(h, em_length - _HLEN - 1)
+    masked_db = bytearray(a ^ b for a, b in zip(db, db_mask))
+    # Clear the leftmost 8*emLen - emBits bits.
+    masked_db[0] &= 0xFF >> (8 * em_length - em_bits)
+    return bytes(masked_db) + h + b"\xbc"
+
+
+def _emsa_pss_verify(message: bytes, em: bytes, em_bits: int) -> bool:
+    """EMSA-PSS verification (RFC 8017 section 9.1.2)."""
+    em_length = (em_bits + 7) // 8
+    m_hash = sha256(message)
+    if em_length < _HLEN + _PSS_SALT_LEN + 2 or em[-1] != 0xBC:
+        return False
+    masked_db = em[: em_length - _HLEN - 1]
+    h = em[em_length - _HLEN - 1: em_length - 1]
+    top_bits = 8 * em_length - em_bits
+    if top_bits and masked_db[0] >> (8 - top_bits):
+        return False
+    db = bytearray(
+        a ^ b for a, b in zip(masked_db, _mgf1(h, len(masked_db)))
+    )
+    if top_bits:
+        db[0] &= 0xFF >> top_bits
+    separator = em_length - _HLEN - _PSS_SALT_LEN - 2
+    if any(db[:separator]) or db[separator] != 0x01:
+        return False
+    salt = bytes(db[separator + 1:])
+    return sha256(b"\x00" * 8 + m_hash + salt) == h
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        """Modulus size in bits."""
+        return self.n.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in bytes (the size of every RSA output)."""
+        return (self.n.bit_length() + 7) // 8
+
+    def fingerprint(self) -> str:
+        """Stable hex identifier for the key (SHA-256 of ``n || e``)."""
+        blob = self.n.to_bytes(self.byte_length, "big") + self.e.to_bytes(4, "big")
+        return sha256(blob).hex()[:32]
+
+    # -- verification ------------------------------------------------------
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Verify an RSASSA-PKCS1-v1_5/SHA-256 *signature* over *message*.
+
+        Raises :class:`~repro.errors.SignatureError` on any mismatch.
+        """
+        k = self.byte_length
+        if len(signature) != k:
+            raise SignatureError("signature length does not match modulus")
+        s = int.from_bytes(signature, "big")
+        if s >= self.n:
+            raise SignatureError("signature representative out of range")
+        em = pow(s, self.e, self.n).to_bytes(k, "big")
+        expected = _emsa_pkcs1_v15(message, k)
+        if em != expected:
+            raise SignatureError("signature does not verify")
+
+    def verify_pss(self, message: bytes, signature: bytes) -> None:
+        """Verify an RSASSA-PSS/SHA-256 signature (MGF1, 32-byte salt)."""
+        k = self.byte_length
+        if len(signature) != k:
+            raise SignatureError("signature length does not match modulus")
+        s = int.from_bytes(signature, "big")
+        if s >= self.n:
+            raise SignatureError("signature representative out of range")
+        em_bits = self.n.bit_length() - 1
+        em_length = (em_bits + 7) // 8
+        em = pow(s, self.e, self.n).to_bytes(em_length, "big")
+        if not _emsa_pss_verify(message, em, em_bits):
+            raise SignatureError("PSS signature does not verify")
+
+    # -- encryption --------------------------------------------------------
+
+    def encrypt(self, plaintext: bytes, rng: HmacDrbg | None = None) -> bytes:
+        """RSAES-PKCS1-v1_5 encryption of a short *plaintext* (e.g. a key)."""
+        k = self.byte_length
+        if len(plaintext) > k - 11:
+            raise KeyError_(
+                f"plaintext too long for RSA-{self.bits} "
+                f"({len(plaintext)} > {k - 11} bytes)"
+            )
+        if rng is None:
+            rng = HmacDrbg()
+        # PS: nonzero random padding bytes.
+        ps = bytearray()
+        while len(ps) < k - 3 - len(plaintext):
+            chunk = rng.generate(k)
+            ps += bytes(b for b in chunk if b != 0)
+        em = b"\x00\x02" + bytes(ps[: k - 3 - len(plaintext)]) + b"\x00" + plaintext
+        m = int.from_bytes(em, "big")
+        return pow(m, self.e, self.n).to_bytes(k, "big")
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """An RSA private key with CRT parameters."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.p * self.q != self.n:
+            raise KeyError_("inconsistent RSA private key: p*q != n")
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The matching public key."""
+        return RsaPublicKey(self.n, self.e)
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+    # -- CRT private operation --------------------------------------------
+
+    def _private_op(self, c: int) -> int:
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        qinv = pow(self.q, -1, self.p)
+        m1 = pow(c % self.p, dp, self.p)
+        m2 = pow(c % self.q, dq, self.q)
+        h = (qinv * (m1 - m2)) % self.p
+        return m2 + h * self.q
+
+    # -- signing -----------------------------------------------------------
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce an RSASSA-PKCS1-v1_5/SHA-256 signature over *message*."""
+        k = self.byte_length
+        em = _emsa_pkcs1_v15(message, k)
+        m = int.from_bytes(em, "big")
+        return self._private_op(m).to_bytes(k, "big")
+
+    def sign_pss(self, message: bytes,
+                 rng: HmacDrbg | None = None) -> bytes:
+        """RSASSA-PSS/SHA-256 signature with a fresh 32-byte salt."""
+        if rng is None:
+            rng = HmacDrbg()
+        em_bits = self.n.bit_length() - 1
+        em = _emsa_pss_encode(message, em_bits,
+                              rng.generate(_PSS_SALT_LEN))
+        m = int.from_bytes(em, "big")
+        return self._private_op(m).to_bytes(self.byte_length, "big")
+
+    # -- decryption ---------------------------------------------------------
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """RSAES-PKCS1-v1_5 decryption; raises on malformed padding."""
+        k = self.byte_length
+        if len(ciphertext) != k:
+            raise DecryptionError("ciphertext length does not match modulus")
+        c = int.from_bytes(ciphertext, "big")
+        if c >= self.n:
+            raise DecryptionError("ciphertext representative out of range")
+        em = self._private_op(c).to_bytes(k, "big")
+        if em[0] != 0 or em[1] != 2:
+            raise DecryptionError("invalid PKCS#1 v1.5 padding")
+        try:
+            sep = em.index(b"\x00", 2)
+        except ValueError:
+            raise DecryptionError("invalid PKCS#1 v1.5 padding") from None
+        if sep < 10:
+            raise DecryptionError("invalid PKCS#1 v1.5 padding")
+        return em[sep + 1:]
+
+
+def _emsa_pkcs1_v15(message: bytes, k: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of SHA-256(message) into *k* bytes."""
+    t = _SHA256_DIGESTINFO + sha256(message)
+    if k < len(t) + 11:
+        raise KeyError_("RSA modulus too small for SHA-256 signatures")
+    return b"\x00\x01" + b"\xff" * (k - len(t) - 3) + b"\x00" + t
+
+
+def generate_keypair(bits: int = 2048,
+                     rng: HmacDrbg | None = None) -> RsaPrivateKey:
+    """Generate an RSA key pair with a *bits*-bit modulus.
+
+    Pass a seeded :class:`HmacDrbg` to make generation deterministic
+    (used by the test suite and the simulated participant directory).
+    """
+    if bits < 512:
+        raise KeyError_("refusing to generate RSA keys below 512 bits")
+    if bits % 2:
+        raise KeyError_("RSA modulus size must be even")
+    if rng is None:
+        rng = HmacDrbg()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % _F4 == 0:
+            continue
+        d = pow(_F4, -1, phi)
+        return RsaPrivateKey(n=n, e=_F4, d=d, p=p, q=q)

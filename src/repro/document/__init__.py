@@ -1,0 +1,83 @@
+"""DRA4WfMS documents: self-protecting workflow process instances.
+
+The document is the paper's central artifact: an XML file carrying the
+signed workflow definition, every activity's element-wise encrypted
+execution result, and the cascade of digital signatures that yields
+authentication, confidentiality, integrity, and nonrepudiation without
+any trusted server.
+"""
+
+from .amendments import (
+    AddActivity,
+    Amendment,
+    DelegateActivity,
+    GrantReader,
+    amendment_cers,
+    apply_amendment,
+    effective_definition,
+    make_amendment_cer,
+)
+from .builder import (
+    INTERMEDIATE_BUNDLE_FIELD,
+    build_initial_document,
+    make_intermediate_cer,
+    make_result_element,
+    make_standard_cer,
+    make_tfc_cer,
+    parse_result_bundle,
+    serialize_result_bundle,
+)
+from .cer import CER, CerKey
+from .document import Dra4wfmsDocument, new_process_id
+from .nonrepudiation import (
+    covers_whole_document,
+    frontier_cers,
+    nonrepudiation_scope,
+    nonrepudiation_scope_ids,
+    signature_owner_map,
+    signs_relation,
+)
+from .sections import (
+    DESIGNER_ACTIVITY,
+    KIND_DEFINITION,
+    KIND_INTERMEDIATE,
+    KIND_STANDARD,
+    KIND_TFC,
+)
+from .verify import VerificationReport, verify_document
+
+__all__ = [
+    "AddActivity",
+    "Amendment",
+    "CER",
+    "DelegateActivity",
+    "GrantReader",
+    "amendment_cers",
+    "apply_amendment",
+    "effective_definition",
+    "make_amendment_cer",
+    "CerKey",
+    "DESIGNER_ACTIVITY",
+    "Dra4wfmsDocument",
+    "INTERMEDIATE_BUNDLE_FIELD",
+    "KIND_DEFINITION",
+    "KIND_INTERMEDIATE",
+    "KIND_STANDARD",
+    "KIND_TFC",
+    "VerificationReport",
+    "build_initial_document",
+    "covers_whole_document",
+    "frontier_cers",
+    "make_intermediate_cer",
+    "make_result_element",
+    "make_standard_cer",
+    "make_tfc_cer",
+    "new_process_id",
+    "nonrepudiation_scope",
+    "nonrepudiation_scope_ids",
+    "parse_result_bundle",
+    "serialize_result_bundle",
+    "signature_owner_map",
+    "signs_relation",
+    "verify_document",
+]

@@ -1,0 +1,318 @@
+"""Constructing DRA4WfMS documents and CER elements.
+
+Two layers of factories live here:
+
+* :func:`build_initial_document` — what the workflow *designer* runs
+  once: serialize the definition (optionally element-wise encrypted),
+  embed it in a fresh document, and sign it (the paper's
+  ``X''_A0 = [{Def}_ee, {{Def}_ee}_Pri(A0)]``).
+* ``make_*_cer`` — the raw element factories used by the AEA and the
+  TFC server to append execution results with cascaded signatures.
+"""
+
+from __future__ import annotations
+
+import time as _time
+import xml.etree.ElementTree as ET
+from typing import Callable, Mapping
+
+from ..crypto.backend import CryptoBackend, default_backend
+from ..crypto.keys import KeyPair
+from ..crypto.pure.rsa import RsaPublicKey
+from ..errors import DocumentFormatError
+from ..model.definition import WorkflowDefinition
+from ..model.validate import validate_definition
+from ..model.xpdl import definition_to_xml
+from ..xmlsec.canonical import canonicalize
+from ..xmlsec.xmldsig import sign_references
+from ..xmlsec.xmlenc import encrypt_value
+from .cer import CER
+from .document import Dra4wfmsDocument, new_process_id
+from .sections import (
+    APPDEF_TAG,
+    CER_TAG,
+    DESIGNER_ACTIVITY,
+    DESIGNER_SIG_ID,
+    DOC_TAG,
+    HEADER_ID,
+    HEADER_TAG,
+    KIND_DEFINITION,
+    KIND_INTERMEDIATE,
+    KIND_STANDARD,
+    KIND_TFC,
+    RESULT_TAG,
+    RESULTS_TAG,
+    TIMESTAMP_TAG,
+    WFDEF_ID,
+    WFDEF_TAG,
+    cer_id,
+    field_id,
+    result_id,
+    signature_id,
+    timestamp_id,
+)
+
+__all__ = [
+    "build_initial_document",
+    "make_result_element",
+    "make_standard_cer",
+    "make_intermediate_cer",
+    "make_tfc_cer",
+    "serialize_result_bundle",
+    "parse_result_bundle",
+    "INTERMEDIATE_BUNDLE_FIELD",
+]
+
+#: Field name of the TFC-addressed bundle inside an intermediate CER.
+INTERMEDIATE_BUNDLE_FIELD = "__bundle__"
+
+
+def build_initial_document(
+    definition: WorkflowDefinition,
+    designer: KeyPair,
+    process_id: str | None = None,
+    encrypt_definition_for: Mapping[str, RsaPublicKey] | None = None,
+    backend: CryptoBackend | None = None,
+    created_at: float | None = None,
+) -> Dra4wfmsDocument:
+    """Create and sign the secured initial DRA4WfMS document.
+
+    Parameters
+    ----------
+    definition:
+        The workflow definition; validated before signing.
+    designer:
+        The designer's key pair.  Its identity must match
+        ``definition.designer`` — a definition signed by someone else
+        would be rejected by every AEA anyway.
+    process_id:
+        Unique instance id; generated when omitted.
+    encrypt_definition_for:
+        When given, the definition XML is element-wise encrypted to
+        exactly these readers (identity → public key).  Omit for a
+        plaintext (but still signed) definition.
+    """
+    backend = backend or default_backend()
+    validate_definition(definition)
+    if designer.identity != definition.designer:
+        raise DocumentFormatError(
+            f"definition names designer {definition.designer!r} but the "
+            f"signing key belongs to {designer.identity!r}"
+        )
+
+    root = ET.Element(DOC_TAG, {"Version": "1.0"})
+    header = ET.SubElement(root, HEADER_TAG, {
+        "Id": HEADER_ID,
+        "ProcessId": process_id or new_process_id(),
+        "ProcessName": definition.process_name,
+        "CreatedAt": repr(created_at if created_at is not None else _time.time()),
+    })
+
+    appdef = ET.SubElement(root, APPDEF_TAG)
+    def_cer = ET.SubElement(appdef, CER_TAG, {
+        "Id": "cer-def",
+        "Kind": KIND_DEFINITION,
+        "Activity": DESIGNER_ACTIVITY,
+        "Iteration": "0",
+        "Participant": designer.identity,
+    })
+    section = ET.SubElement(def_cer, WFDEF_TAG, {"Id": WFDEF_ID})
+    def_xml = definition_to_xml(definition)
+    if encrypt_definition_for:
+        section.append(encrypt_value(
+            element_id="enc-wfdef",
+            name="WorkflowDefinition",
+            plaintext=canonicalize(def_xml),
+            recipients=dict(encrypt_definition_for),
+            backend=backend,
+        ))
+    else:
+        section.append(def_xml)
+
+    # The designer signs the definition section *and* the header, binding
+    # the unique process id to the definition (replay resistance).
+    signature = sign_references(
+        signature_id=DESIGNER_SIG_ID,
+        signer=designer.identity,
+        private_key=designer.private_key,
+        targets=[section, header],
+        backend=backend,
+    )
+    def_cer.append(signature.element)
+
+    ET.SubElement(root, RESULTS_TAG)
+    return Dra4wfmsDocument(root)
+
+
+def make_result_element(
+    kind: str,
+    activity_id: str,
+    iteration: int,
+    values: Mapping[str, str],
+    readers_for: Callable[[str], Mapping[str, RsaPublicKey]],
+    backend: CryptoBackend | None = None,
+) -> ET.Element:
+    """Build an ``<ExecutionResult>`` with element-wise encrypted fields.
+
+    *readers_for* maps a field name to its authorised readers
+    (identity → public key) — the policy resolution happens in the
+    caller (AEA in the basic model, TFC server in the advanced model).
+    """
+    backend = backend or default_backend()
+    result = ET.Element(RESULT_TAG, {
+        "Id": result_id(kind, activity_id, iteration),
+    })
+    for name in sorted(values):
+        recipients = readers_for(name)
+        result.append(encrypt_value(
+            element_id=field_id(kind, activity_id, iteration, name),
+            name=name,
+            plaintext=values[name].encode("utf-8"),
+            recipients=dict(recipients),
+            backend=backend,
+        ))
+    return result
+
+
+def _make_cer(
+    kind: str,
+    activity_id: str,
+    iteration: int,
+    participant: KeyPair,
+    result: ET.Element,
+    predecessor_signatures: list[ET.Element],
+    backend: CryptoBackend | None,
+    timestamp: float | None = None,
+) -> CER:
+    element = ET.Element(CER_TAG, {
+        "Id": cer_id(kind, activity_id, iteration),
+        "Kind": kind,
+        "Activity": activity_id,
+        "Iteration": str(iteration),
+        "Participant": participant.identity,
+    })
+    element.append(result)
+    targets = [result]
+    if timestamp is not None:
+        ts = ET.SubElement(element, TIMESTAMP_TAG, {
+            "Id": timestamp_id(activity_id, iteration),
+            "Time": repr(timestamp),
+        })
+        targets.append(ts)
+    targets.extend(predecessor_signatures)
+    signature = sign_references(
+        signature_id=signature_id(kind, activity_id, iteration),
+        signer=participant.identity,
+        private_key=participant.private_key,
+        targets=targets,
+        backend=backend,
+    )
+    element.append(signature.element)
+    return CER(element)
+
+
+def make_standard_cer(
+    activity_id: str,
+    iteration: int,
+    participant: KeyPair,
+    values: Mapping[str, str],
+    readers_for: Callable[[str], Mapping[str, RsaPublicKey]],
+    predecessor_signatures: list[ET.Element],
+    backend: CryptoBackend | None = None,
+) -> CER:
+    """Basic-model CER: encrypted result + cascade signature (§2.1).
+
+    The signature covers the new execution result *and* the signature
+    elements of every predecessor —
+    ``[{R_Aq}_ee, Sig(X''_Ap1), …, Sig(X''_Apn)]_Pri(Aq)``.
+    """
+    backend = backend or default_backend()
+    result = make_result_element(
+        KIND_STANDARD, activity_id, iteration, values, readers_for, backend
+    )
+    return _make_cer(
+        KIND_STANDARD, activity_id, iteration, participant, result,
+        predecessor_signatures, backend,
+    )
+
+
+def serialize_result_bundle(values: Mapping[str, str]) -> bytes:
+    """Canonical byte encoding of a raw execution result (TFC transport)."""
+    bundle = ET.Element("Result")
+    for name in sorted(values):
+        node = ET.SubElement(bundle, "Field", {"Name": name})
+        node.text = values[name]
+    return canonicalize(bundle)
+
+
+def parse_result_bundle(data: bytes) -> dict[str, str]:
+    """Inverse of :func:`serialize_result_bundle`."""
+    from ..xmlsec.canonical import parse_xml
+
+    bundle = parse_xml(data)
+    if bundle.tag != "Result":
+        raise DocumentFormatError("malformed result bundle")
+    return {
+        node.get("Name", ""): node.text or ""
+        for node in bundle.findall("Field")
+    }
+
+
+def make_intermediate_cer(
+    activity_id: str,
+    iteration: int,
+    participant: KeyPair,
+    values: Mapping[str, str],
+    tfc_identity: str,
+    tfc_public_key: RsaPublicKey,
+    predecessor_signatures: list[ET.Element],
+    backend: CryptoBackend | None = None,
+) -> CER:
+    """Advanced-model intermediate CER (§2.2).
+
+    The raw execution result is encrypted *to the TFC server only*
+    (``{R_Aq}_P(TFC)``) because the participant may not know — or may
+    not be allowed to know — the correct element-wise reader sets.
+    """
+    backend = backend or default_backend()
+    result = ET.Element(RESULT_TAG, {
+        "Id": result_id(KIND_INTERMEDIATE, activity_id, iteration),
+    })
+    result.append(encrypt_value(
+        element_id=field_id(KIND_INTERMEDIATE, activity_id, iteration,
+                            INTERMEDIATE_BUNDLE_FIELD),
+        name=INTERMEDIATE_BUNDLE_FIELD,
+        plaintext=serialize_result_bundle(values),
+        recipients={tfc_identity: tfc_public_key},
+        backend=backend,
+    ))
+    return _make_cer(
+        KIND_INTERMEDIATE, activity_id, iteration, participant, result,
+        predecessor_signatures, backend,
+    )
+
+
+def make_tfc_cer(
+    activity_id: str,
+    iteration: int,
+    tfc: KeyPair,
+    values: Mapping[str, str],
+    readers_for: Callable[[str], Mapping[str, RsaPublicKey]],
+    intermediate_signature: ET.Element,
+    timestamp: float,
+    backend: CryptoBackend | None = None,
+) -> CER:
+    """Advanced-model final CER produced by the TFC server (§2.2).
+
+    ``[{R_Aq}_ee, t, Sig(X_Aq^it)]_Pri(TFC)`` — the TFC signs the
+    re-encrypted result, its timestamp, and the participant's
+    intermediate signature, chaining the cascade through itself.
+    """
+    backend = backend or default_backend()
+    result = make_result_element(
+        KIND_TFC, activity_id, iteration, values, readers_for, backend
+    )
+    return _make_cer(
+        KIND_TFC, activity_id, iteration, tfc, result,
+        [intermediate_signature], backend, timestamp=timestamp,
+    )

@@ -1,0 +1,270 @@
+"""The DRA4WfMS document: a self-protecting workflow process instance.
+
+A :class:`Dra4wfmsDocument` wraps the XML tree and provides typed access
+to the header, the (possibly encrypted) workflow definition, and the
+list of CERs.  The document *is* the process instance — there is no
+server-side state anywhere in the basic model.
+"""
+
+from __future__ import annotations
+
+import copy
+import uuid
+import xml.etree.ElementTree as ET
+
+from ..errors import DocumentFormatError, TamperDetected
+from ..model.definition import WorkflowDefinition
+from ..model.xpdl import definition_from_xml
+from ..xmlsec.canonical import canonicalize, parse_xml
+from ..xmlsec.xmldsig import ID_ATTR, index_by_id
+from ..xmlsec.xmlenc import ENC_TAG, EncryptedValue
+from ..crypto.backend import CryptoBackend, default_backend
+from ..crypto.pure.rsa import RsaPrivateKey
+from .cer import CER, CerKey
+from .sections import (
+    APPDEF_TAG,
+    CER_TAG,
+    DOC_TAG,
+    HEADER_TAG,
+    KIND_DEFINITION,
+    KIND_INTERMEDIATE,
+    KIND_STANDARD,
+    KIND_TFC,
+    RESULTS_TAG,
+    WFDEF_TAG,
+)
+
+__all__ = ["Dra4wfmsDocument", "new_process_id"]
+
+
+def new_process_id() -> str:
+    """Fresh globally-unique process id (replay-attack resistance, §2.1)."""
+    return uuid.uuid4().hex
+
+
+class Dra4wfmsDocument:
+    """Typed wrapper around a ``<DRA4WfMSDocument>`` XML tree."""
+
+    def __init__(self, root: ET.Element) -> None:
+        if root.tag != DOC_TAG:
+            raise DocumentFormatError(
+                f"expected <{DOC_TAG}>, got <{root.tag}>"
+            )
+        self.root = root
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte serialization (what gets routed and stored)."""
+        return canonicalize(self.root)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Dra4wfmsDocument":
+        """Parse a routed/stored document."""
+        return cls(parse_xml(data))
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the canonical serialization (the paper's Σ column)."""
+        return len(self.to_bytes())
+
+    def clone(self) -> "Dra4wfmsDocument":
+        """Deep, independent copy (routing must never share mutable trees)."""
+        return Dra4wfmsDocument(copy.deepcopy(self.root))
+
+    # -- header -----------------------------------------------------------------
+
+    @property
+    def header(self) -> ET.Element:
+        """The ``<Header>`` element."""
+        node = self.root.find(HEADER_TAG)
+        if node is None:
+            raise DocumentFormatError("document has no Header")
+        return node
+
+    @property
+    def process_id(self) -> str:
+        """The unique process id (distinguishes instances, resists replay)."""
+        value = self.header.get("ProcessId")
+        if not value:
+            raise DocumentFormatError("header has no ProcessId")
+        return value
+
+    @property
+    def process_name(self) -> str:
+        """Human-readable workflow name."""
+        return self.header.get("ProcessName", "")
+
+    # -- workflow definition ------------------------------------------------------
+
+    @property
+    def definition_cer(self) -> CER:
+        """The definition CER (the paper's ``CER(A0)``)."""
+        node = self.root.find(f"{APPDEF_TAG}/{CER_TAG}")
+        if node is None:
+            raise DocumentFormatError("document has no definition CER")
+        return CER(node)
+
+    @property
+    def designer(self) -> str:
+        """Identity of the workflow designer."""
+        return self.definition_cer.participant
+
+    def _wfdef_section(self) -> ET.Element:
+        node = self.definition_cer.element.find(WFDEF_TAG)
+        if node is None:
+            raise DocumentFormatError(
+                "definition CER has no WorkflowDefinitionSection"
+            )
+        return node
+
+    @property
+    def definition_is_encrypted(self) -> bool:
+        """True when the workflow definition is element-wise encrypted."""
+        section = self._wfdef_section()
+        return section.find(ENC_TAG) is not None
+
+    def definition(self, identity: str | None = None,
+                   private_key: RsaPrivateKey | None = None,
+                   backend: CryptoBackend | None = None) -> WorkflowDefinition:
+        """Parse (decrypting if necessary) the workflow definition.
+
+        For an encrypted definition the caller must supply the identity
+        and private key of an authorised reader.
+        """
+        section = self._wfdef_section()
+        encrypted = section.find(ENC_TAG)
+        if encrypted is None:
+            node = section.find("WorkflowDefinition")
+            if node is None:
+                raise DocumentFormatError(
+                    "WorkflowDefinitionSection holds neither a plaintext "
+                    "nor an encrypted definition"
+                )
+            return definition_from_xml(node)
+        if identity is None or private_key is None:
+            raise DocumentFormatError(
+                "the workflow definition is encrypted; pass the identity "
+                "and private key of an authorised reader"
+            )
+        backend = backend or default_backend()
+        plaintext = EncryptedValue(encrypted).decrypt(
+            identity, private_key, backend
+        )
+        return definition_from_xml(parse_xml(plaintext))
+
+    # -- CERs -------------------------------------------------------------------
+
+    @property
+    def results_section(self) -> ET.Element:
+        """The ``<ActivityExecutionResults>`` element."""
+        node = self.root.find(RESULTS_TAG)
+        if node is None:
+            raise DocumentFormatError(
+                "document has no ActivityExecutionResults section"
+            )
+        return node
+
+    def cers(self, include_definition: bool = True) -> list[CER]:
+        """All CERs in document order (the paper's ``Set_of_CER``)."""
+        out: list[CER] = []
+        if include_definition:
+            out.append(self.definition_cer)
+        out.extend(CER(node) for node in self.results_section.findall(CER_TAG))
+        return out
+
+    def cer_index(self) -> dict[CerKey, CER]:
+        """Index CERs by (activity, iteration, kind); rejects duplicates."""
+        index: dict[CerKey, CER] = {}
+        for cer in self.cers():
+            if cer.key in index:
+                raise DocumentFormatError(
+                    f"duplicate CER for {cer.key}"
+                )
+            index[cer.key] = cer
+        return index
+
+    def find_cer(self, activity_id: str, iteration: int,
+                 kind: str = KIND_STANDARD) -> CER | None:
+        """Look up one CER, or ``None``."""
+        return self.cer_index().get((activity_id, iteration, kind))
+
+    def execution_count(self, activity_id: str) -> int:
+        """How many times *activity_id* has completed (max iteration + 1).
+
+        Counts standard and TFC CERs — intermediate CERs mean the TFC
+        has not finalised the step yet.
+        """
+        iterations = [
+            cer.iteration for cer in self.cers(include_definition=False)
+            if cer.activity_id == activity_id
+            and cer.kind in (KIND_STANDARD, KIND_TFC)
+        ]
+        return max(iterations, default=-1) + 1
+
+    def cascade_signature_of(self, activity_id: str,
+                             iteration: int) -> CER | None:
+        """The CER whose signature successors must countersign.
+
+        In the basic model that is the standard CER; in the advanced
+        model the TFC CER supersedes the intermediate one.
+        """
+        index = self.cer_index()
+        tfc = index.get((activity_id, iteration, KIND_TFC))
+        if tfc is not None:
+            return tfc
+        return index.get((activity_id, iteration, KIND_STANDARD))
+
+    def pending_intermediate(self) -> list[CER]:
+        """Intermediate CERs not yet finalised by a TFC server."""
+        index = self.cer_index()
+        return [
+            cer for cer in self.cers(include_definition=False)
+            if cer.kind == KIND_INTERMEDIATE
+            and (cer.activity_id, cer.iteration, KIND_TFC) not in index
+        ]
+
+    def append_cer(self, cer: CER) -> None:
+        """Append a new CER, rejecting id collisions."""
+        existing = index_by_id(self.root)
+        for elem in cer.element.iter():
+            eid = elem.get(ID_ATTR)
+            if eid is not None and eid in existing:
+                raise DocumentFormatError(
+                    f"cannot append CER: id {eid!r} already present"
+                )
+        self.results_section.append(cer.element)
+
+    # -- AND-join merge --------------------------------------------------------------
+
+    def merge(self, other: "Dra4wfmsDocument") -> "Dra4wfmsDocument":
+        """Union of two documents of the same process instance (AND-join).
+
+        Paper §2.1: at an AND-join the receiving AEA holds one routed
+        document per branch; the sets of CERs are unioned.  CERs present
+        in both copies must be byte-identical — a divergence means one
+        branch was altered.
+        """
+        if self.process_id != other.process_id:
+            raise DocumentFormatError(
+                f"cannot merge documents of different process instances "
+                f"({self.process_id} vs {other.process_id})"
+            )
+        merged = self.clone()
+        own = {cer.key: cer for cer in merged.cers()}
+        for cer in other.cers(include_definition=False):
+            mine = own.get(cer.key)
+            if mine is None:
+                merged.results_section.append(copy.deepcopy(cer.element))
+            elif canonicalize(mine.element) != canonicalize(cer.element):
+                raise TamperDetected(
+                    f"CER {cer.cer_id!r} differs between branch documents"
+                )
+        # Definition sections must agree too.
+        own_def = canonicalize(self.definition_cer.element)
+        other_def = canonicalize(other.definition_cer.element)
+        if own_def != other_def:
+            raise TamperDetected(
+                "workflow definitions differ between branch documents"
+            )
+        return merged

@@ -1,0 +1,159 @@
+"""Nonrepudiation scopes — Algorithm 1 of the paper.
+
+Each CER has a *nonrepudiation scope* Γ: the set of CERs whose receipt
+the signing participant cannot deny, because their signature
+(transitively) covers those CERs' signatures.  Algorithm 1 computes Γ as
+the closure of the "signs" relation:
+
+    (1) Γ = {α}
+    (2) while changes: for each β ∈ Γ, add every CER whose signature β
+        signs.
+
+Because every participant signs the signatures of all predecessor
+activities (§2.1), and those signed their predecessors in turn, the
+scope of the last CER of a terminated process covers the entire
+document — the recursive argument of §2.3.2.
+"""
+
+from __future__ import annotations
+
+from .cer import CER
+from .document import Dra4wfmsDocument
+from ..errors import DocumentFormatError
+
+__all__ = [
+    "signature_owner_map",
+    "signs_relation",
+    "nonrepudiation_scope",
+    "nonrepudiation_scope_ids",
+    "all_scopes",
+    "frontier_cers",
+    "covers_whole_document",
+]
+
+
+def signature_owner_map(document: Dra4wfmsDocument) -> dict[str, CER]:
+    """Map each signature element id to the CER owning it."""
+    owners: dict[str, CER] = {}
+    for cer in document.cers():
+        sid = cer.signature_id
+        if sid in owners:
+            raise DocumentFormatError(f"duplicate signature id {sid!r}")
+        owners[sid] = cer
+    return owners
+
+
+def signs_relation(document: Dra4wfmsDocument) -> dict[str, set[str]]:
+    """The direct "signs" relation between CERs.
+
+    Maps each CER id to the ids of the CERs whose *signatures* it
+    signs.  References to non-signature elements (the CER's own result,
+    timestamp, header…) are not part of the relation.
+    """
+    owners = signature_owner_map(document)
+    relation: dict[str, set[str]] = {}
+    for cer in document.cers():
+        signed: set[str] = set()
+        for ref_id in cer.signed_ids():
+            owner = owners.get(ref_id)
+            if owner is not None and owner.cer_id != cer.cer_id:
+                signed.add(owner.cer_id)
+        relation[cer.cer_id] = signed
+    return relation
+
+
+def nonrepudiation_scope(document: Dra4wfmsDocument,
+                         alpha: CER) -> list[CER]:
+    """Algorithm 1: the nonrepudiation scope Γ of CER *alpha*.
+
+    Returns the CERs (including *alpha* itself, matching step (2) of
+    the paper's listing) that *alpha*'s signer is bound to: they cannot
+    deny having received a document containing every CER in Γ when they
+    produced *alpha*.
+    """
+    by_id = {cer.cer_id: cer for cer in document.cers()}
+    if alpha.cer_id not in by_id:
+        raise DocumentFormatError(
+            f"CER {alpha.cer_id!r} is not part of this document"
+        )
+    relation = signs_relation(document)
+
+    gamma: set[str] = {alpha.cer_id}
+    changed = True
+    while changed:
+        changed = False
+        for beta_id in list(gamma):
+            delta = relation.get(beta_id, set())
+            missing = delta - gamma
+            if missing:
+                gamma |= missing
+                changed = True
+    # Preserve document order for stable output.
+    return [cer for cer in document.cers() if cer.cer_id in gamma]
+
+
+def nonrepudiation_scope_ids(document: Dra4wfmsDocument,
+                             alpha: CER) -> set[str]:
+    """Scope as a set of CER ids (cheaper when order is irrelevant)."""
+    return {cer.cer_id for cer in nonrepudiation_scope(document, alpha)}
+
+
+def all_scopes(document: Dra4wfmsDocument) -> dict[str, set[str]]:
+    """Nonrepudiation scopes of **every** CER in one pass.
+
+    Computing Algorithm 1 independently per CER re-parses the signs
+    relation n times (O(n²) XML walks — measurable on long chains, see
+    ``benchmarks/test_verify_scaling.py``).  The relation is a DAG
+    (each signature covers only previously-embedded signatures), so all
+    closures follow from one relation extraction plus memoised DFS.
+    """
+    relation = signs_relation(document)
+    scopes: dict[str, set[str]] = {}
+
+    def closure(cer_id: str, stack: set[str]) -> set[str]:
+        cached = scopes.get(cer_id)
+        if cached is not None:
+            return cached
+        if cer_id in stack:
+            # A cycle is impossible for honestly-built documents; fall
+            # back to self-only rather than recursing forever on a
+            # malicious one (verification rejects it elsewhere).
+            return {cer_id}
+        stack.add(cer_id)
+        gamma = {cer_id}
+        for signed_id in relation.get(cer_id, ()):
+            gamma |= closure(signed_id, stack)
+        stack.discard(cer_id)
+        scopes[cer_id] = gamma
+        return gamma
+
+    for cer_id in relation:
+        closure(cer_id, set())
+    return scopes
+
+
+def frontier_cers(document: Dra4wfmsDocument) -> list[CER]:
+    """CERs whose signature no other CER has countersigned yet.
+
+    These are the "latest" results; the next activity's signature must
+    cover them to extend the cascade.
+    """
+    relation = signs_relation(document)
+    signed_by_someone: set[str] = set()
+    for signed in relation.values():
+        signed_by_someone |= signed
+    return [
+        cer for cer in document.cers()
+        if cer.cer_id not in signed_by_someone
+    ]
+
+
+def covers_whole_document(document: Dra4wfmsDocument, alpha: CER) -> bool:
+    """True when Γ(alpha) includes every CER of the document.
+
+    For a terminated workflow this holds for the final activity's CER —
+    the property §2.3.2 calls "each participant cannot repudiate the
+    execution of all his ancestors".
+    """
+    scope = nonrepudiation_scope_ids(document, alpha)
+    return scope == {cer.cer_id for cer in document.cers()}

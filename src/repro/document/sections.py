@@ -1,0 +1,84 @@
+"""Structure constants and id conventions for DRA4WfMS documents.
+
+A DRA4WfMS document (paper Fig. 8) has three sections::
+
+    <DRA4WfMSDocument Version="1.0">
+      <Header Id="hdr" ProcessId="…" ProcessName="…" CreatedAt="…"/>
+      <ApplicationDefinition>
+        <WorkflowDefinitionSection Id="wfdef"> …definition… </…>
+        <Signature Id="sig-def"> …designer's signature… </Signature>
+      </ApplicationDefinition>
+      <ActivityExecutionResults>
+        <CER …/> <CER …/> …
+      </ActivityExecutionResults>
+    </DRA4WfMSDocument>
+
+Every signable element carries an ``Id`` attribute; the deterministic id
+scheme below is what lets a verifier reconstruct which element each
+signature *must* reference.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DOC_TAG", "HEADER_TAG", "APPDEF_TAG", "WFDEF_TAG", "RESULTS_TAG",
+    "CER_TAG", "RESULT_TAG", "TIMESTAMP_TAG",
+    "HEADER_ID", "WFDEF_ID", "DESIGNER_SIG_ID", "DESIGNER_ACTIVITY",
+    "KIND_DEFINITION", "KIND_STANDARD", "KIND_INTERMEDIATE", "KIND_TFC",
+    "cer_id", "result_id", "signature_id", "timestamp_id", "field_id",
+]
+
+DOC_TAG = "DRA4WfMSDocument"
+HEADER_TAG = "Header"
+APPDEF_TAG = "ApplicationDefinition"
+WFDEF_TAG = "WorkflowDefinitionSection"
+RESULTS_TAG = "ActivityExecutionResults"
+CER_TAG = "CER"
+RESULT_TAG = "ExecutionResult"
+TIMESTAMP_TAG = "Timestamp"
+
+HEADER_ID = "hdr"
+WFDEF_ID = "wfdef"
+DESIGNER_SIG_ID = "sig-def"
+
+#: Pseudo activity id for the workflow designer's CER (the paper's A0).
+DESIGNER_ACTIVITY = "__designer__"
+
+KIND_DEFINITION = "definition"
+#: Basic operational model: produced directly by the participant's AEA.
+KIND_STANDARD = "standard"
+#: Advanced model: the AEA's result encrypted to the TFC server.
+KIND_INTERMEDIATE = "intermediate"
+#: Advanced model: the TFC server's re-encrypted, timestamped CER.
+KIND_TFC = "tfc"
+
+_KIND_PREFIX = {
+    KIND_STANDARD: "",
+    KIND_INTERMEDIATE: "it",
+    KIND_TFC: "tfc",
+}
+
+
+def cer_id(kind: str, activity_id: str, iteration: int) -> str:
+    """Deterministic id of a CER element."""
+    return f"cer{_KIND_PREFIX[kind]}-{activity_id}-{iteration}"
+
+
+def result_id(kind: str, activity_id: str, iteration: int) -> str:
+    """Deterministic id of an ExecutionResult element."""
+    return f"res{_KIND_PREFIX[kind]}-{activity_id}-{iteration}"
+
+
+def signature_id(kind: str, activity_id: str, iteration: int) -> str:
+    """Deterministic id of a CER's Signature element."""
+    return f"sig{_KIND_PREFIX[kind]}-{activity_id}-{iteration}"
+
+
+def timestamp_id(activity_id: str, iteration: int) -> str:
+    """Deterministic id of a TFC Timestamp element."""
+    return f"ts-{activity_id}-{iteration}"
+
+
+def field_id(kind: str, activity_id: str, iteration: int, name: str) -> str:
+    """Deterministic id of one encrypted field inside an ExecutionResult."""
+    return f"enc{_KIND_PREFIX[kind]}-{activity_id}-{iteration}-{name}"

@@ -1,0 +1,45 @@
+"""Workflow process model: activities, control flow, policy, XPDL.
+
+The *workflow definition* (paper §1–2) is the static half of every
+DRA4WfMS document: the activity graph with its control and data flow,
+plus the security policy describing how each datum must be encrypted.
+"""
+
+from .activity import Activity, FieldSpec
+from .builder import WorkflowBuilder
+from .controlflow import END, JoinKind, SplitKind, Transition
+from .definition import WorkflowDefinition
+from .expressions import (
+    compile_guard,
+    evaluate_guard,
+    guard_variables,
+    validate_guard,
+)
+from .policy import FieldRule, ReaderClause, SecurityPolicy
+from .render import to_ascii, to_dot
+from .validate import definition_graph, validate_definition
+from .xpdl import definition_from_xml, definition_to_xml
+
+__all__ = [
+    "Activity",
+    "END",
+    "FieldRule",
+    "FieldSpec",
+    "JoinKind",
+    "ReaderClause",
+    "SecurityPolicy",
+    "SplitKind",
+    "Transition",
+    "WorkflowBuilder",
+    "WorkflowDefinition",
+    "compile_guard",
+    "definition_from_xml",
+    "definition_graph",
+    "definition_to_xml",
+    "evaluate_guard",
+    "guard_variables",
+    "validate_definition",
+    "to_ascii",
+    "to_dot",
+    "validate_guard",
+]

@@ -1,0 +1,134 @@
+"""Activities: the nodes of a workflow process definition.
+
+An activity (paper §1) is a logical step with a designated participant,
+the data it *requests* (variables shown to the participant, decrypted
+by their AEA), and the *responses* it produces (variables appended to
+the document as the element-wise-encrypted execution result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DefinitionError
+from .controlflow import JoinKind, SplitKind
+
+__all__ = ["FieldSpec", "Activity"]
+
+_VALID_TYPES = ("string", "int", "float", "bool", "file")
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Declaration of one response variable an activity produces."""
+
+    name: str
+    ftype: str = "string"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise DefinitionError(
+                f"field name {self.name!r} must be a valid identifier"
+            )
+        if self.ftype not in _VALID_TYPES:
+            raise DefinitionError(
+                f"field {self.name!r} has unknown type {self.ftype!r} "
+                f"(expected one of {', '.join(_VALID_TYPES)})"
+            )
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-safe serialization."""
+        return {"name": self.name, "ftype": self.ftype,
+                "description": self.description}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, str]) -> "FieldSpec":
+        """Deserialize the output of :meth:`to_dict`."""
+        return cls(name=data["name"], ftype=data.get("ftype", "string"),
+                   description=data.get("description", ""))
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One workflow activity.
+
+    Parameters
+    ----------
+    activity_id:
+        Unique id within the definition (``"A1"``, ``"B2"``, …).
+    participant:
+        Identity of the designated executor.  The AEA refuses to run an
+        activity on behalf of anyone else (paper §2.1 step 2).
+    requests:
+        Names of variables shown to the participant before execution.
+        The participant must be an authorised reader of each (checked
+        by policy validation).
+    responses:
+        Variables this activity produces.
+    split / join:
+        Control-flow semantics of the outgoing / incoming edges.
+    """
+
+    activity_id: str
+    participant: str
+    name: str = ""
+    description: str = ""
+    requests: tuple[str, ...] = ()
+    responses: tuple[FieldSpec, ...] = ()
+    split: SplitKind = SplitKind.NONE
+    join: JoinKind = JoinKind.NONE
+    metadata: dict[str, str] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.activity_id:
+            raise DefinitionError("activity id must be non-empty")
+        if not self.participant:
+            raise DefinitionError(
+                f"activity {self.activity_id!r} has no participant"
+            )
+        seen: set[str] = set()
+        for spec in self.responses:
+            if spec.name in seen:
+                raise DefinitionError(
+                    f"activity {self.activity_id!r} declares response "
+                    f"{spec.name!r} twice"
+                )
+            seen.add(spec.name)
+
+    @property
+    def response_names(self) -> tuple[str, ...]:
+        """Names of all response variables."""
+        return tuple(spec.name for spec in self.responses)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe serialization."""
+        return {
+            "activity_id": self.activity_id,
+            "participant": self.participant,
+            "name": self.name,
+            "description": self.description,
+            "requests": list(self.requests),
+            "responses": [spec.to_dict() for spec in self.responses],
+            "split": self.split.value,
+            "join": self.join.value,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Activity":
+        """Deserialize the output of :meth:`to_dict`."""
+        return cls(
+            activity_id=str(data["activity_id"]),
+            participant=str(data["participant"]),
+            name=str(data.get("name", "")),
+            description=str(data.get("description", "")),
+            requests=tuple(data.get("requests", ())),  # type: ignore[arg-type]
+            responses=tuple(
+                FieldSpec.from_dict(item)  # type: ignore[arg-type]
+                for item in data.get("responses", ())
+            ),
+            split=SplitKind(str(data.get("split", "none"))),
+            join=JoinKind(str(data.get("join", "none"))),
+            metadata=dict(data.get("metadata", {})),  # type: ignore[arg-type]
+        )

@@ -1,0 +1,157 @@
+"""Fluent builder for workflow definitions.
+
+The raw model classes are precise but verbose; the builder is the
+ergonomic front door used throughout the examples:
+
+.. code-block:: python
+
+    wf = (WorkflowBuilder("purchase-order", designer="designer@acme")
+          .activity("A", "peter@acme", responses=["amount"], split="and")
+          .activity("B1", "amy@acme", requests=["amount"],
+                    responses=["approval1"])
+          .activity("B2", "bob@acme", requests=["amount"],
+                    responses=["approval2"])
+          .activity("C", "carol@acme", join="and",
+                    requests=["approval1", "approval2"],
+                    responses=["decision"], split="xor")
+          .transition("A", "B1").transition("A", "B2")
+          .transition("B1", "C").transition("B2", "C")
+          .transition("C", "D", condition="decision == 'accept'")
+          .transition("C", "A")      # default: loop back
+          .activity("D", "dave@megacorp", requests=["decision"])
+          .build())
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import DefinitionError
+from .activity import Activity, FieldSpec
+from .controlflow import JoinKind, SplitKind, Transition
+from .definition import WorkflowDefinition
+from .policy import FieldRule, ReaderClause, SecurityPolicy
+from .validate import validate_definition
+
+__all__ = ["WorkflowBuilder"]
+
+
+def _coerce_fields(fields: Iterable[str | FieldSpec] | None) -> tuple[FieldSpec, ...]:
+    if not fields:
+        return ()
+    out = []
+    for item in fields:
+        out.append(item if isinstance(item, FieldSpec) else FieldSpec(name=item))
+    return tuple(out)
+
+
+class WorkflowBuilder:
+    """Incrementally assemble and validate a :class:`WorkflowDefinition`."""
+
+    def __init__(self, process_name: str, designer: str,
+                 description: str = "") -> None:
+        self._definition = WorkflowDefinition(
+            process_name=process_name,
+            designer=designer,
+            description=description,
+        )
+        self._pending_transitions: list[Transition] = []
+        self._start: str | None = None
+
+    def activity(self, activity_id: str, participant: str, *,
+                 name: str = "",
+                 description: str = "",
+                 requests: Iterable[str] | None = None,
+                 responses: Iterable[str | FieldSpec] | None = None,
+                 split: str = "none",
+                 join: str = "none") -> "WorkflowBuilder":
+        """Declare an activity; the first one becomes the start by default."""
+        self._definition.add_activity(Activity(
+            activity_id=activity_id,
+            participant=participant,
+            name=name,
+            description=description,
+            requests=tuple(requests or ()),
+            responses=_coerce_fields(responses),
+            split=SplitKind(split),
+            join=JoinKind(join),
+        ))
+        return self
+
+    def transition(self, source: str, target: str, *,
+                   condition: str | None = None,
+                   priority: int = 0) -> "WorkflowBuilder":
+        """Declare a control-flow edge.
+
+        Transitions may be declared before their endpoint activities;
+        they are resolved at :meth:`build` time.
+        """
+        self._pending_transitions.append(Transition(
+            source=source, target=target,
+            condition=condition, priority=priority,
+        ))
+        return self
+
+    def start(self, activity_id: str) -> "WorkflowBuilder":
+        """Override the start activity (default: first declared)."""
+        self._start = activity_id
+        return self
+
+    def readers(self, activity_id: str, fieldname: str,
+                readers: Iterable[str], *,
+                condition: str | None = None) -> "WorkflowBuilder":
+        """Add a (possibly conditional) reader clause for a field.
+
+        Repeated calls for the same field append clauses; the clause
+        without a condition is the default.
+        """
+        key = (activity_id, fieldname)
+        existing = self._definition.policy.rules.get(key)
+        clause = ReaderClause(readers=tuple(readers), condition=condition)
+        if existing is None:
+            self._definition.policy.rules[key] = FieldRule(
+                activity_id=activity_id, fieldname=fieldname,
+                clauses=(clause,),
+            )
+        else:
+            self._definition.policy.rules[key] = FieldRule(
+                activity_id=activity_id, fieldname=fieldname,
+                clauses=existing.clauses + (clause,),
+            )
+        return self
+
+    def extra_readers(self, *identities: str) -> "WorkflowBuilder":
+        """Identities added to every reader set (auditors, monitors)."""
+        policy = self._definition.policy
+        policy.extra_readers = tuple(dict.fromkeys(
+            policy.extra_readers + identities
+        ))
+        return self
+
+    def conceal_flow_from(self, *identities: str) -> "WorkflowBuilder":
+        """Hide control-flow routing from these participants (needs TFC)."""
+        policy = self._definition.policy
+        policy.conceal_flow_from = tuple(dict.fromkeys(
+            policy.conceal_flow_from + identities
+        ))
+        return self
+
+    def require_timestamps(self, required: bool = True) -> "WorkflowBuilder":
+        """Demand TFC timestamps on every CER (monitoring support)."""
+        self._definition.policy.require_timestamps = required
+        return self
+
+    def build(self, validate: bool = True) -> WorkflowDefinition:
+        """Resolve pending transitions and return the validated definition."""
+        for transition in self._pending_transitions:
+            self._definition.add_transition(transition)
+        self._pending_transitions = []
+        if self._start is not None:
+            if self._start not in self._definition.activities:
+                raise DefinitionError(
+                    f"start activity {self._start!r} was never declared"
+                )
+            self._definition.start_activity = self._start
+        if validate:
+            validate_definition(self._definition)
+        return self._definition

@@ -1,0 +1,87 @@
+"""Control-flow primitives: splits, joins, and transitions.
+
+The paper's workflows (Fig. 3, Fig. 9) use the classic WfMC control
+patterns: sequence, AND-split/AND-join (parallel branches), XOR-split
+(conditional branch, "OR-split" in the paper's Fig. 4), XOR-join, and
+loops (a back edge guarded by a predicate, Fig. 3B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["SplitKind", "JoinKind", "Transition", "END"]
+
+#: Sentinel transition target marking workflow termination.  The
+#: paper's process diagrams have an explicit "End of workflow" node
+#: (Fig. 9); a transition to ``END`` routes the document nowhere and
+#: the process instance is complete.
+END = "__end__"
+
+
+class SplitKind(enum.Enum):
+    """Outgoing-edge semantics of an activity."""
+
+    #: At most one outgoing transition; plain sequence.
+    NONE = "none"
+    #: All outgoing transitions fire in parallel (AND-split).
+    AND = "and"
+    #: Exactly one outgoing transition fires, chosen by guard
+    #: conditions evaluated over the workflow variables (XOR-split).
+    XOR = "xor"
+
+
+class JoinKind(enum.Enum):
+    """Incoming-edge semantics of an activity."""
+
+    #: At most one incoming transition; plain sequence.
+    NONE = "none"
+    #: The activity waits for *all* incoming branches (AND-join); the
+    #: routed documents are merged before execution.
+    AND = "and"
+    #: The activity fires on the first incoming document (XOR-join);
+    #: loops re-enter through XOR-joins.
+    XOR = "xor"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A directed control-flow edge between two activities.
+
+    Parameters
+    ----------
+    source, target:
+        Activity ids.
+    condition:
+        Guard expression (see :mod:`repro.model.expressions`) for
+        XOR-splits.  ``None`` marks the default (else) branch.
+    priority:
+        Evaluation order among the outgoing transitions of an
+        XOR-split; lower evaluates first.
+    """
+
+    source: str
+    target: str
+    condition: str | None = None
+    priority: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe serialization."""
+        return {
+            "source": self.source,
+            "target": self.target,
+            "condition": self.condition,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Transition":
+        """Deserialize the output of :meth:`to_dict`."""
+        return cls(
+            source=str(data["source"]),
+            target=str(data["target"]),
+            condition=(None if data.get("condition") is None
+                       else str(data["condition"])),
+            priority=int(data.get("priority", 0)),  # type: ignore[arg-type]
+        )

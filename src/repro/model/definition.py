@@ -1,0 +1,229 @@
+"""Workflow process definitions: the directed graph of activities.
+
+A :class:`WorkflowDefinition` is the computerized representation of the
+business process (paper §1): activities, control and data flow, and the
+security policy.  It is the *static* half of a DRA4WfMS document — the
+workflow designer signs it once and every AEA verifies that signature
+before trusting anything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Iterable, Mapping
+
+from ..errors import DefinitionError, RoutingError
+from .activity import Activity
+from .controlflow import END, JoinKind, SplitKind, Transition
+from .expressions import evaluate_guard
+from .policy import SecurityPolicy
+
+__all__ = ["WorkflowDefinition"]
+
+
+@dataclass
+class WorkflowDefinition:
+    """A workflow process definition plus its security policy.
+
+    Parameters
+    ----------
+    process_name:
+        Human-readable name; the unique *process id* is chosen per
+        instance when the initial document is built (§2.1: "a unique
+        process id … for supporting multiple instances … and resisting
+        replay attacks").
+    designer:
+        Identity of the workflow designer, who signs the definition.
+    start_activity:
+        Id of the entry activity.
+    """
+
+    process_name: str
+    designer: str
+    activities: dict[str, Activity] = dataclass_field(default_factory=dict)
+    transitions: list[Transition] = dataclass_field(default_factory=list)
+    start_activity: str = ""
+    policy: SecurityPolicy = dataclass_field(default_factory=SecurityPolicy)
+    description: str = ""
+
+    # -- construction --------------------------------------------------------
+
+    def add_activity(self, activity: Activity) -> None:
+        """Add *activity*, rejecting duplicate ids."""
+        if activity.activity_id in self.activities:
+            raise DefinitionError(
+                f"duplicate activity id {activity.activity_id!r}"
+            )
+        self.activities[activity.activity_id] = activity
+        if not self.start_activity:
+            self.start_activity = activity.activity_id
+
+    def add_transition(self, transition: Transition) -> None:
+        """Add a control-flow edge between two existing activities."""
+        if transition.source not in self.activities:
+            raise DefinitionError(
+                f"transition references unknown activity {transition.source!r}"
+            )
+        if transition.target != END and transition.target not in self.activities:
+            raise DefinitionError(
+                f"transition references unknown activity {transition.target!r}"
+            )
+        self.transitions.append(transition)
+
+    # -- topology accessors ----------------------------------------------------
+
+    def activity(self, activity_id: str) -> Activity:
+        """Look up an activity by id."""
+        try:
+            return self.activities[activity_id]
+        except KeyError:
+            raise DefinitionError(f"unknown activity {activity_id!r}") from None
+
+    def outgoing(self, activity_id: str) -> list[Transition]:
+        """Outgoing transitions of an activity, by priority then order."""
+        self.activity(activity_id)
+        edges = [t for t in self.transitions if t.source == activity_id]
+        return sorted(edges, key=lambda t: t.priority)
+
+    def incoming(self, activity_id: str) -> list[Transition]:
+        """Incoming transitions of an activity."""
+        self.activity(activity_id)
+        return [t for t in self.transitions if t.target == activity_id]
+
+    def predecessors(self, activity_id: str) -> list[str]:
+        """Ids of activities with an edge into *activity_id*."""
+        return [t.source for t in self.incoming(activity_id)]
+
+    def end_activities(self) -> list[str]:
+        """Activities where the process can terminate.
+
+        Either no outgoing transitions at all, or an explicit edge to
+        the :data:`~repro.model.controlflow.END` sentinel.
+        """
+        sources = {t.source for t in self.transitions}
+        to_end = {t.source for t in self.transitions if t.target == END}
+        return [
+            aid for aid in self.activities
+            if aid not in sources or aid in to_end
+        ]
+
+    @property
+    def participants(self) -> tuple[str, ...]:
+        """All distinct participants, sorted."""
+        return tuple(sorted({a.participant for a in self.activities.values()}))
+
+    def fields_produced(self) -> dict[str, str]:
+        """Map each response variable to the activity producing it."""
+        produced: dict[str, str] = {}
+        for activity in self.activities.values():
+            for spec in activity.responses:
+                if spec.name in produced:
+                    raise DefinitionError(
+                        f"variable {spec.name!r} produced by both "
+                        f"{produced[spec.name]!r} and {activity.activity_id!r}"
+                    )
+                produced[spec.name] = activity.activity_id
+        return produced
+
+    # -- routing ----------------------------------------------------------------
+
+    def successors(self, activity_id: str,
+                   variables: Mapping[str, object] | None = None) -> list[str]:
+        """Evaluate control flow after *activity_id* completes.
+
+        * ``NONE`` split: the single outgoing edge (empty at an end
+          activity).
+        * ``AND`` split: all outgoing edges fire.
+        * ``XOR`` split: guards are evaluated in priority order over
+          *variables*; the first match wins, the unguarded edge is the
+          default.  Raises :class:`RoutingError` when no edge matches or
+          the guards cannot be evaluated.
+        """
+        activity = self.activity(activity_id)
+        edges = self.outgoing(activity_id)
+        if not edges:
+            return []
+        if activity.split is SplitKind.NONE:
+            if len(edges) > 1:
+                raise RoutingError(
+                    f"activity {activity_id!r} has {len(edges)} outgoing "
+                    f"edges but split=NONE"
+                )
+            return [] if edges[0].target == END else [edges[0].target]
+        if activity.split is SplitKind.AND:
+            return [t.target for t in edges if t.target != END]
+        # XOR
+        default: Transition | None = None
+        for transition in edges:
+            if transition.condition is None:
+                if default is not None:
+                    raise RoutingError(
+                        f"XOR-split at {activity_id!r} has multiple "
+                        f"default edges"
+                    )
+                default = transition
+                continue
+            if variables is None:
+                raise RoutingError(
+                    f"XOR-split at {activity_id!r} needs variables to "
+                    f"evaluate its guards"
+                )
+            if evaluate_guard(transition.condition, variables):  # type: ignore[arg-type]
+                return [] if transition.target == END else [transition.target]
+        if default is not None:
+            return [] if default.target == END else [default.target]
+        raise RoutingError(
+            f"no guard of the XOR-split at {activity_id!r} matched and "
+            f"there is no default edge"
+        )
+
+    def and_join_arity(self, activity_id: str) -> int:
+        """Number of branches an AND-join waits for (1 for other joins)."""
+        activity = self.activity(activity_id)
+        if activity.join is JoinKind.AND:
+            return len(self.incoming(activity_id))
+        return 1
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe serialization (used by the XPDL layer and hashing)."""
+        return {
+            "process_name": self.process_name,
+            "designer": self.designer,
+            "description": self.description,
+            "start_activity": self.start_activity,
+            "activities": [a.to_dict() for a in self.activities.values()],
+            "transitions": [t.to_dict() for t in self.transitions],
+            "policy": self.policy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "WorkflowDefinition":
+        """Deserialize the output of :meth:`to_dict`."""
+        definition = cls(
+            process_name=str(data["process_name"]),
+            designer=str(data["designer"]),
+            description=str(data.get("description", "")),
+        )
+        for item in data.get("activities", ()):  # type: ignore[union-attr]
+            definition.add_activity(Activity.from_dict(item))  # type: ignore[arg-type]
+        for item in data.get("transitions", ()):  # type: ignore[union-attr]
+            definition.add_transition(Transition.from_dict(item))  # type: ignore[arg-type]
+        definition.start_activity = str(data.get("start_activity", ""))
+        definition.policy = SecurityPolicy.from_dict(
+            data.get("policy", {})  # type: ignore[arg-type]
+        )
+        return definition
+
+    # -- convenience -----------------------------------------------------------------
+
+    def requesting_activities(self, fieldname: str) -> list[str]:
+        """Activities that request (read) *fieldname*."""
+        return [
+            a.activity_id for a in self.activities.values()
+            if fieldname in a.requests
+        ]
+
+    def __iter__(self) -> Iterable[Activity]:
+        return iter(self.activities.values())

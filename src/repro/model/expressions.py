@@ -1,0 +1,179 @@
+"""Safe guard-expression evaluation for XOR-split conditions.
+
+The paper routes on Boolean predicates over workflow variables
+(``Func(X)`` in Fig. 4, ``b`` in Fig. 3B).  Guards here are written in a
+restricted Python expression syntax — comparisons, boolean operators,
+arithmetic, and variable names — parsed with :mod:`ast` and evaluated
+against the decrypted workflow variables.  Anything outside the
+whitelist (calls, attribute access, subscripts, comprehensions,
+lambdas…) is rejected at *definition* time, so a malicious workflow
+definition cannot smuggle code into an AEA or TFC server.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+from ..errors import ExpressionError
+
+__all__ = ["compile_guard", "evaluate_guard", "validate_guard", "guard_variables"]
+
+Value = bool | int | float | str
+
+_ALLOWED_NODES = (
+    ast.Expression,
+    ast.BoolOp, ast.And, ast.Or,
+    ast.UnaryOp, ast.Not, ast.USub, ast.UAdd,
+    ast.BinOp, ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Mod,
+    ast.Compare,
+    ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+    ast.In, ast.NotIn,
+    ast.Name, ast.Load,
+    ast.Constant,
+    ast.Tuple, ast.List,
+)
+
+
+def _check(node: ast.AST) -> None:
+    for child in ast.walk(node):
+        if not isinstance(child, _ALLOWED_NODES):
+            raise ExpressionError(
+                f"disallowed syntax in guard: {type(child).__name__}"
+            )
+        if isinstance(child, ast.Constant) and not isinstance(
+            child.value, (bool, int, float, str)
+        ):
+            raise ExpressionError(
+                f"disallowed constant in guard: {child.value!r}"
+            )
+
+
+def compile_guard(expression: str) -> ast.Expression:
+    """Parse and whitelist-check a guard, returning its AST."""
+    if not isinstance(expression, str) or not expression.strip():
+        raise ExpressionError("guard expression must be a non-empty string")
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError as exc:
+        raise ExpressionError(f"syntax error in guard {expression!r}: {exc}") from exc
+    _check(tree)
+    return tree
+
+
+def validate_guard(expression: str) -> None:
+    """Raise :class:`ExpressionError` if *expression* is not a legal guard."""
+    compile_guard(expression)
+
+
+def guard_variables(expression: str) -> set[str]:
+    """The set of variable names a guard reads (for policy validation)."""
+    tree = compile_guard(expression)
+    return {
+        node.id for node in ast.walk(tree) if isinstance(node, ast.Name)
+    } - {"True", "False", "None"}
+
+
+class _Evaluator(ast.NodeVisitor):
+    def __init__(self, variables: Mapping[str, Value]) -> None:
+        self.variables = variables
+
+    def visit_Expression(self, node: ast.Expression) -> Value:
+        return self.visit(node.body)
+
+    def visit_Constant(self, node: ast.Constant) -> Value:
+        return node.value
+
+    def visit_Name(self, node: ast.Name) -> Value:
+        try:
+            return self.variables[node.id]
+        except KeyError:
+            raise ExpressionError(
+                f"guard references undefined variable {node.id!r}"
+            ) from None
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> Value:
+        if isinstance(node.op, ast.And):
+            result: Value = True
+            for value_node in node.values:
+                result = self.visit(value_node)
+                if not result:
+                    return result
+            return result
+        result = False
+        for value_node in node.values:
+            result = self.visit(value_node)
+            if result:
+                return result
+        return result
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> Value:
+        operand = self.visit(node.operand)
+        if isinstance(node.op, ast.Not):
+            return not operand
+        if isinstance(node.op, ast.USub):
+            return -operand  # type: ignore[operator]
+        return +operand  # type: ignore[operator]
+
+    def visit_BinOp(self, node: ast.BinOp) -> Value:
+        left, right = self.visit(node.left), self.visit(node.right)
+        try:
+            if isinstance(node.op, ast.Add):
+                return left + right  # type: ignore[operator]
+            if isinstance(node.op, ast.Sub):
+                return left - right  # type: ignore[operator]
+            if isinstance(node.op, ast.Mult):
+                return left * right  # type: ignore[operator]
+            if isinstance(node.op, ast.Div):
+                return left / right  # type: ignore[operator]
+            return left % right  # type: ignore[operator]
+        except (TypeError, ZeroDivisionError) as exc:
+            raise ExpressionError(f"guard arithmetic failed: {exc}") from exc
+
+    def visit_Compare(self, node: ast.Compare) -> Value:
+        left = self.visit(node.left)
+        for op, comparator in zip(node.ops, node.comparators):
+            right = self.visit(comparator)
+            try:
+                if isinstance(op, ast.Eq):
+                    ok = left == right
+                elif isinstance(op, ast.NotEq):
+                    ok = left != right
+                elif isinstance(op, ast.Lt):
+                    ok = left < right  # type: ignore[operator]
+                elif isinstance(op, ast.LtE):
+                    ok = left <= right  # type: ignore[operator]
+                elif isinstance(op, ast.Gt):
+                    ok = left > right  # type: ignore[operator]
+                elif isinstance(op, ast.GtE):
+                    ok = left >= right  # type: ignore[operator]
+                elif isinstance(op, ast.In):
+                    ok = left in right  # type: ignore[operator]
+                else:
+                    ok = left not in right  # type: ignore[operator]
+            except TypeError as exc:
+                raise ExpressionError(f"guard comparison failed: {exc}") from exc
+            if not ok:
+                return False
+            left = right
+        return True
+
+    def visit_Tuple(self, node: ast.Tuple) -> tuple:
+        return tuple(self.visit(item) for item in node.elts)
+
+    def visit_List(self, node: ast.List) -> list:
+        return [self.visit(item) for item in node.elts]
+
+    def generic_visit(self, node: ast.AST) -> Value:  # pragma: no cover
+        raise ExpressionError(f"unexpected node {type(node).__name__}")
+
+
+def evaluate_guard(expression: str, variables: Mapping[str, Value]) -> bool:
+    """Evaluate a guard against the workflow *variables*.
+
+    Returns the truthiness of the result.  Raises
+    :class:`ExpressionError` for undefined variables or type errors —
+    routing must never silently guess.
+    """
+    tree = compile_guard(expression)
+    return bool(_Evaluator(variables).visit(tree))

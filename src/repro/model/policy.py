@@ -1,0 +1,233 @@
+"""Security policy: who may read which datum, and when it is decided.
+
+The second part of a workflow definition (paper §2) is the *security
+policy*: how each element of the process instance is encrypted.  Rules
+map a response variable of an activity to its authorised readers.
+
+Readers may be **conditional** (the Fig. 4 Chinese-wall scenario):
+"encrypt ``Y`` for John if ``Func(X)``, else for Mary".  A conditional
+clause can only be resolved by a party allowed to see the guard's
+variables — in the advanced operational model that party is the TFC
+server, which is why :attr:`SecurityPolicy.requires_tfc` exists: the
+basic model refuses to run workflows whose policy it cannot enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from ..errors import PolicyError
+from .expressions import evaluate_guard, guard_variables, validate_guard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .definition import WorkflowDefinition
+
+__all__ = ["ReaderClause", "FieldRule", "SecurityPolicy"]
+
+
+@dataclass(frozen=True)
+class ReaderClause:
+    """One (possibly conditional) reader set for a field.
+
+    ``condition is None`` marks the default clause.
+    """
+
+    readers: tuple[str, ...]
+    condition: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.readers:
+            raise PolicyError("a reader clause must name at least one reader")
+        if self.condition is not None:
+            validate_guard(self.condition)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe serialization."""
+        return {"readers": list(self.readers), "condition": self.condition}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "ReaderClause":
+        """Deserialize the output of :meth:`to_dict`."""
+        return cls(
+            readers=tuple(data["readers"]),  # type: ignore[arg-type]
+            condition=(None if data.get("condition") is None
+                       else str(data["condition"])),
+        )
+
+
+@dataclass(frozen=True)
+class FieldRule:
+    """Reader clauses for one response variable of one activity."""
+
+    activity_id: str
+    fieldname: str
+    clauses: tuple[ReaderClause, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clauses:
+            raise PolicyError(
+                f"rule for {self.activity_id}.{self.fieldname} has no clauses"
+            )
+        defaults = [c for c in self.clauses if c.condition is None]
+        if len(defaults) > 1:
+            raise PolicyError(
+                f"rule for {self.activity_id}.{self.fieldname} has multiple "
+                f"default clauses"
+            )
+
+    @property
+    def conditional(self) -> bool:
+        """True when any clause is guarded."""
+        return any(clause.condition is not None for clause in self.clauses)
+
+    def guard_variables(self) -> set[str]:
+        """All variables read by this rule's guards."""
+        names: set[str] = set()
+        for clause in self.clauses:
+            if clause.condition is not None:
+                names |= guard_variables(clause.condition)
+        return names
+
+    def resolve(self, variables: Mapping[str, object] | None) -> tuple[str, ...]:
+        """Return the reader set chosen by the guards.
+
+        Conditional clauses are tried in order; the default clause (if
+        any) applies when none matches.  When the rule is conditional
+        and *variables* is ``None`` (the AEA cannot see the guard
+        inputs), :class:`PolicyError` is raised — the caller must route
+        through a TFC server instead.
+        """
+        default: ReaderClause | None = None
+        for clause in self.clauses:
+            if clause.condition is None:
+                default = clause
+                continue
+            if variables is None:
+                raise PolicyError(
+                    f"rule for {self.activity_id}.{self.fieldname} is "
+                    f"conditional; resolving it requires the guard "
+                    f"variables (advanced model / TFC server)"
+                )
+            if evaluate_guard(clause.condition, variables):  # type: ignore[arg-type]
+                return clause.readers
+        if default is not None:
+            return default.readers
+        raise PolicyError(
+            f"no clause of rule {self.activity_id}.{self.fieldname} matched "
+            f"and there is no default"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe serialization."""
+        return {
+            "activity_id": self.activity_id,
+            "field": self.fieldname,
+            "clauses": [clause.to_dict() for clause in self.clauses],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "FieldRule":
+        """Deserialize the output of :meth:`to_dict`."""
+        return cls(
+            activity_id=str(data["activity_id"]),
+            fieldname=str(data["field"]),
+            clauses=tuple(
+                ReaderClause.from_dict(item)  # type: ignore[arg-type]
+                for item in data["clauses"]  # type: ignore[union-attr]
+            ),
+        )
+
+
+@dataclass
+class SecurityPolicy:
+    """The security-definition section of a workflow definition.
+
+    Parameters
+    ----------
+    rules:
+        Explicit per-field reader rules.  Fields without a rule fall
+        back to "participants of every activity that requests the
+        field, plus the producer, plus ``extra_readers``".
+    extra_readers:
+        Identities added to every reader set (e.g. an auditor, or the
+        workflow designer for monitoring).
+    conceal_flow_from:
+        Participants who must not learn the control-flow routing
+        (Fig. 4).  Non-empty ⇒ the workflow requires the advanced model.
+    require_timestamps:
+        When True, every CER must carry a TFC timestamp (monitoring,
+        §2.2) — again forcing the advanced model.
+    """
+
+    rules: dict[tuple[str, str], FieldRule] = field(default_factory=dict)
+    extra_readers: tuple[str, ...] = ()
+    conceal_flow_from: tuple[str, ...] = ()
+    require_timestamps: bool = False
+
+    def add_rule(self, rule: FieldRule) -> None:
+        """Register *rule*, rejecting duplicates."""
+        key = (rule.activity_id, rule.fieldname)
+        if key in self.rules:
+            raise PolicyError(
+                f"duplicate rule for {rule.activity_id}.{rule.fieldname}"
+            )
+        self.rules[key] = rule
+
+    def rule_for(self, activity_id: str, fieldname: str) -> FieldRule | None:
+        """The explicit rule for a field, or ``None``."""
+        return self.rules.get((activity_id, fieldname))
+
+    @property
+    def requires_tfc(self) -> bool:
+        """True when the basic operational model cannot enforce this policy."""
+        if self.conceal_flow_from or self.require_timestamps:
+            return True
+        return any(rule.conditional for rule in self.rules.values())
+
+    def readers_for(self,
+                    definition: "WorkflowDefinition",
+                    activity_id: str,
+                    fieldname: str,
+                    variables: Mapping[str, object] | None = None,
+                    ) -> tuple[str, ...]:
+        """Resolve the full reader set for ``activity_id.fieldname``.
+
+        The producer of the field and :attr:`extra_readers` are always
+        included — a participant must be able to re-read what they
+        wrote, and auditors see everything.
+        """
+        activity = definition.activity(activity_id)
+        rule = self.rule_for(activity_id, fieldname)
+        if rule is not None:
+            readers = set(rule.resolve(variables))
+        else:
+            readers = {
+                other.participant
+                for other in definition.activities.values()
+                if fieldname in other.requests
+            }
+        readers.add(activity.participant)
+        readers.update(self.extra_readers)
+        return tuple(sorted(readers))
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe serialization."""
+        return {
+            "rules": [rule.to_dict() for rule in self.rules.values()],
+            "extra_readers": list(self.extra_readers),
+            "conceal_flow_from": list(self.conceal_flow_from),
+            "require_timestamps": self.require_timestamps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "SecurityPolicy":
+        """Deserialize the output of :meth:`to_dict`."""
+        policy = cls(
+            extra_readers=tuple(data.get("extra_readers", ())),  # type: ignore[arg-type]
+            conceal_flow_from=tuple(data.get("conceal_flow_from", ())),  # type: ignore[arg-type]
+            require_timestamps=bool(data.get("require_timestamps", False)),
+        )
+        for item in data.get("rules", ()):  # type: ignore[union-attr]
+            policy.add_rule(FieldRule.from_dict(item))  # type: ignore[arg-type]
+        return policy

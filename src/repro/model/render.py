@@ -1,0 +1,114 @@
+"""Rendering workflow definitions: Graphviz DOT and ASCII summaries.
+
+Process diagrams are how the paper communicates (Figs. 1–9); an
+open-source release needs the equivalent tooling.  ``to_dot`` emits a
+Graphviz digraph (guards as edge labels, split/join kinds as node
+shapes); ``to_ascii`` prints a terminal-friendly adjacency summary used
+by the examples and the CLI.
+"""
+
+from __future__ import annotations
+
+from .controlflow import END, JoinKind, SplitKind
+from .definition import WorkflowDefinition
+
+__all__ = ["to_dot", "to_ascii"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(definition: WorkflowDefinition,
+           include_participants: bool = True) -> str:
+    """Render a definition as a Graphviz DOT digraph.
+
+    AND-split/join activities render as boxes with doubled borders,
+    XOR routers as diamonds, plain activities as rounded boxes; guard
+    conditions label their edges; termination edges point at a filled
+    end circle (the paper's "End of workflow" marker).
+    """
+    lines = [
+        f'digraph "{_escape(definition.process_name)}" {{',
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica", fontsize=11];',
+        '  edge [fontname="Helvetica", fontsize=9];',
+        '  __start__ [shape=circle, label="", width=0.25, '
+        "style=filled, fillcolor=black];",
+    ]
+    has_end = any(t.target == END for t in definition.transitions)
+    if has_end:
+        lines.append(
+            '  __end__ [shape=doublecircle, label="", width=0.2, '
+            "style=filled, fillcolor=black];"
+        )
+
+    for activity in definition.activities.values():
+        if (activity.split is SplitKind.XOR
+                or activity.join is JoinKind.XOR):
+            shape = "diamond"
+        elif (activity.split is SplitKind.AND
+              or activity.join is JoinKind.AND):
+            shape = "box, peripheries=2"
+        else:
+            shape = "box, style=rounded"
+        label = activity.name or activity.activity_id
+        if include_participants:
+            label = f"{label}\\n{activity.participant}"
+        lines.append(
+            f'  "{_escape(activity.activity_id)}" '
+            f'[shape={shape}, label="{_escape(label)}"];'
+        )
+
+    lines.append(f'  __start__ -> "{_escape(definition.start_activity)}";')
+    for transition in definition.transitions:
+        target = "__end__" if transition.target == END \
+            else f'"{_escape(transition.target)}"'
+        attributes = []
+        if transition.condition is not None:
+            attributes.append(f'label="{_escape(transition.condition)}"')
+        suffix = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(
+            f'  "{_escape(transition.source)}" -> {target}{suffix};'
+        )
+    # Implicit ends (no outgoing edges at all).
+    sources = {t.source for t in definition.transitions}
+    for activity_id in definition.activities:
+        if activity_id not in sources:
+            if not has_end:
+                lines.append(
+                    '  __end__ [shape=doublecircle, label="", width=0.2, '
+                    "style=filled, fillcolor=black];"
+                )
+                has_end = True
+            lines.append(f'  "{_escape(activity_id)}" -> __end__;')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(definition: WorkflowDefinition) -> str:
+    """Terminal-friendly summary: one line per activity with its edges."""
+    lines = [
+        f"workflow {definition.process_name!r} "
+        f"(designer {definition.designer})",
+    ]
+    for activity in definition.activities.values():
+        marks = []
+        if activity.activity_id == definition.start_activity:
+            marks.append("start")
+        if activity.split is not SplitKind.NONE:
+            marks.append(f"split={activity.split.value}")
+        if activity.join is not JoinKind.NONE:
+            marks.append(f"join={activity.join.value}")
+        suffix = f" [{', '.join(marks)}]" if marks else ""
+        lines.append(f"  {activity.activity_id}: "
+                     f"{activity.participant}{suffix}")
+        for transition in definition.outgoing(activity.activity_id):
+            guard = (f"  when {transition.condition}"
+                     if transition.condition is not None else "")
+            target = "(end)" if transition.target == END \
+                else transition.target
+            lines.append(f"    -> {target}{guard}")
+        if not definition.outgoing(activity.activity_id):
+            lines.append("    -> (end)")
+    return "\n".join(lines)

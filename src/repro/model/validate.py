@@ -1,0 +1,171 @@
+"""Structural validation of workflow definitions.
+
+Run by the workflow designer before signing the initial document and by
+AEAs when they first parse a definition.  Uses :mod:`networkx` for the
+graph-reachability checks.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import DefinitionError, PolicyError
+from .controlflow import END, JoinKind, SplitKind
+from .definition import WorkflowDefinition
+from .expressions import guard_variables
+
+__all__ = ["validate_definition", "definition_graph"]
+
+
+def definition_graph(definition: WorkflowDefinition,
+                     include_end: bool = False) -> nx.DiGraph:
+    """Build the control-flow digraph of a definition.
+
+    With *include_end*, transitions to the END sentinel appear as edges
+    to a node named :data:`~repro.model.controlflow.END`.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(definition.activities)
+    for transition in definition.transitions:
+        if transition.target == END and not include_end:
+            continue
+        graph.add_edge(transition.source, transition.target)
+    return graph
+
+
+def validate_definition(definition: WorkflowDefinition) -> None:
+    """Validate structure, control flow, data flow, and policy.
+
+    Raises :class:`DefinitionError` or :class:`PolicyError` describing
+    the first problem found.
+    """
+    if not definition.activities:
+        raise DefinitionError("workflow has no activities")
+    if definition.start_activity not in definition.activities:
+        raise DefinitionError(
+            f"start activity {definition.start_activity!r} does not exist"
+        )
+
+    graph = definition_graph(definition)
+
+    # Every activity reachable from the start.
+    reachable = nx.descendants(graph, definition.start_activity)
+    reachable.add(definition.start_activity)
+    unreachable = set(definition.activities) - reachable
+    if unreachable:
+        raise DefinitionError(
+            f"activities unreachable from start: {sorted(unreachable)}"
+        )
+
+    # At least one end activity, and every activity can reach one.
+    ends = definition.end_activities()
+    if not ends:
+        raise DefinitionError(
+            "workflow has no end activity (every activity has outgoing "
+            "edges — infinite process)"
+        )
+    can_finish = set(ends)
+    for end in ends:
+        can_finish |= nx.ancestors(graph, end)
+    stuck = set(definition.activities) - can_finish
+    if stuck:
+        raise DefinitionError(
+            f"activities that can never reach an end: {sorted(stuck)}"
+        )
+
+    produced = definition.fields_produced()
+
+    for activity in definition.activities.values():
+        out_edges = definition.outgoing(activity.activity_id)
+        in_edges = definition.incoming(activity.activity_id)
+
+        # Split consistency.
+        if activity.split is SplitKind.AND and any(
+            t.target == END for t in out_edges
+        ):
+            raise DefinitionError(
+                f"{activity.activity_id!r}: AND-split branches cannot "
+                f"target END (termination must be an exclusive choice)"
+            )
+        if activity.split is SplitKind.NONE and len(out_edges) > 1:
+            raise DefinitionError(
+                f"{activity.activity_id!r}: {len(out_edges)} outgoing edges "
+                f"but split=NONE"
+            )
+        if activity.split is SplitKind.XOR:
+            defaults = [t for t in out_edges if t.condition is None]
+            if len(defaults) > 1:
+                raise DefinitionError(
+                    f"{activity.activity_id!r}: XOR-split with multiple "
+                    f"default edges"
+                )
+            if len(out_edges) < 2:
+                raise DefinitionError(
+                    f"{activity.activity_id!r}: XOR-split needs at least "
+                    f"two outgoing edges"
+                )
+            for transition in out_edges:
+                if transition.condition is None:
+                    continue
+                for name in guard_variables(transition.condition):
+                    if name not in produced:
+                        raise DefinitionError(
+                            f"guard on {transition.source}->"
+                            f"{transition.target} reads {name!r}, which no "
+                            f"activity produces"
+                        )
+        if activity.split is SplitKind.AND and len(out_edges) < 2:
+            raise DefinitionError(
+                f"{activity.activity_id!r}: AND-split needs at least two "
+                f"outgoing edges"
+            )
+
+        # Join consistency.
+        if activity.join is JoinKind.NONE and len(in_edges) > 1:
+            raise DefinitionError(
+                f"{activity.activity_id!r}: {len(in_edges)} incoming edges "
+                f"but join=NONE"
+            )
+        if activity.join is JoinKind.AND and len(in_edges) < 2:
+            raise DefinitionError(
+                f"{activity.activity_id!r}: AND-join needs at least two "
+                f"incoming edges"
+            )
+
+        # Requested variables must be produced somewhere.
+        for name in activity.requests:
+            if name not in produced:
+                raise DefinitionError(
+                    f"{activity.activity_id!r} requests {name!r}, which no "
+                    f"activity produces"
+                )
+
+    # Policy rules must reference real fields, and every requester must
+    # be a possible reader under at least one clause.
+    for (activity_id, fieldname), rule in definition.policy.rules.items():
+        if activity_id not in definition.activities:
+            raise PolicyError(
+                f"policy rule references unknown activity {activity_id!r}"
+            )
+        if fieldname not in definition.activity(activity_id).response_names:
+            raise PolicyError(
+                f"policy rule references {activity_id}.{fieldname}, but "
+                f"that activity does not produce {fieldname!r}"
+            )
+        for name in rule.guard_variables():
+            if name not in produced:
+                raise PolicyError(
+                    f"policy guard for {activity_id}.{fieldname} reads "
+                    f"{name!r}, which no activity produces"
+                )
+
+    # Loops must re-enter through XOR-joins: an AND-join on a cycle can
+    # never collect all branches and NONE-joins reject multiple edges.
+    for cycle in nx.simple_cycles(graph):
+        if not any(
+            definition.activity(aid).join is JoinKind.XOR for aid in cycle
+        ):
+            raise DefinitionError(
+                f"loop {cycle} has no XOR-join entry point; it could "
+                f"never execute a second iteration"
+            )

@@ -1,0 +1,197 @@
+"""XPDL-like XML serialization of workflow definitions.
+
+The WfMC XPDL standard [20 in the paper] defines an XML interchange
+format for process definitions; DRA4WfMS embeds the definition in the
+application-definition section of every document.  This module converts
+:class:`WorkflowDefinition` to and from that XML form.  The encoding is
+canonical-friendly: attribute-ordering and whitespace never carry
+meaning, so the designer's signature survives any parse/serialize
+round trip.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from ..errors import DefinitionError
+from .activity import Activity, FieldSpec
+from .controlflow import JoinKind, SplitKind, Transition
+from .definition import WorkflowDefinition
+from .policy import FieldRule, ReaderClause, SecurityPolicy
+
+__all__ = ["definition_to_xml", "definition_from_xml"]
+
+
+def definition_to_xml(definition: WorkflowDefinition) -> ET.Element:
+    """Serialize *definition* into a ``<WorkflowDefinition>`` element."""
+    root = ET.Element("WorkflowDefinition", {
+        "ProcessName": definition.process_name,
+        "Designer": definition.designer,
+        "StartActivity": definition.start_activity,
+    })
+    if definition.description:
+        description = ET.SubElement(root, "Description")
+        description.text = definition.description
+
+    activities = ET.SubElement(root, "Activities")
+    for activity in definition.activities.values():
+        node = ET.SubElement(activities, "Activity", {
+            "ActivityId": activity.activity_id,
+            "Participant": activity.participant,
+            "Split": activity.split.value,
+            "Join": activity.join.value,
+        })
+        if activity.name:
+            node.set("Name", activity.name)
+        if activity.description:
+            description = ET.SubElement(node, "Description")
+            description.text = activity.description
+        if activity.requests:
+            requests = ET.SubElement(node, "Requests")
+            for name in activity.requests:
+                request = ET.SubElement(requests, "Request")
+                request.text = name
+        if activity.responses:
+            responses = ET.SubElement(node, "Responses")
+            for spec in activity.responses:
+                response = ET.SubElement(responses, "Response", {
+                    "Name": spec.name, "Type": spec.ftype,
+                })
+                if spec.description:
+                    response.text = spec.description
+
+    transitions = ET.SubElement(root, "Transitions")
+    for transition in definition.transitions:
+        node = ET.SubElement(transitions, "Transition", {
+            "From": transition.source,
+            "To": transition.target,
+            "Priority": str(transition.priority),
+        })
+        if transition.condition is not None:
+            condition = ET.SubElement(node, "Condition")
+            condition.text = transition.condition
+
+    root.append(_policy_to_xml(definition.policy))
+    return root
+
+
+def _policy_to_xml(policy: SecurityPolicy) -> ET.Element:
+    node = ET.Element("SecurityPolicy", {
+        "RequireTimestamps": "true" if policy.require_timestamps else "false",
+    })
+    if policy.extra_readers:
+        extra = ET.SubElement(node, "ExtraReaders")
+        for identity in policy.extra_readers:
+            reader = ET.SubElement(extra, "Reader")
+            reader.text = identity
+    if policy.conceal_flow_from:
+        conceal = ET.SubElement(node, "ConcealFlowFrom")
+        for identity in policy.conceal_flow_from:
+            participant = ET.SubElement(conceal, "Participant")
+            participant.text = identity
+    for rule in policy.rules.values():
+        rule_node = ET.SubElement(node, "Rule", {
+            "Activity": rule.activity_id, "Field": rule.fieldname,
+        })
+        for clause in rule.clauses:
+            clause_node = ET.SubElement(rule_node, "Clause")
+            if clause.condition is not None:
+                condition = ET.SubElement(clause_node, "Condition")
+                condition.text = clause.condition
+            for identity in clause.readers:
+                reader = ET.SubElement(clause_node, "Reader")
+                reader.text = identity
+    return node
+
+
+def definition_from_xml(root: ET.Element) -> WorkflowDefinition:
+    """Parse a ``<WorkflowDefinition>`` element back into the model."""
+    if root.tag != "WorkflowDefinition":
+        raise DefinitionError(
+            f"expected <WorkflowDefinition>, got <{root.tag}>"
+        )
+    definition = WorkflowDefinition(
+        process_name=root.get("ProcessName", ""),
+        designer=root.get("Designer", ""),
+    )
+    description = root.find("Description")
+    if description is not None and description.text:
+        definition.description = description.text
+
+    activities = root.find("Activities")
+    if activities is None:
+        raise DefinitionError("definition has no <Activities> section")
+    for node in activities.findall("Activity"):
+        requests = tuple(
+            request.text or ""
+            for request in node.findall("Requests/Request")
+        )
+        responses = tuple(
+            FieldSpec(
+                name=response.get("Name", ""),
+                ftype=response.get("Type", "string"),
+                description=response.text or "",
+            )
+            for response in node.findall("Responses/Response")
+        )
+        activity_description = node.find("Description")
+        definition.add_activity(Activity(
+            activity_id=node.get("ActivityId", ""),
+            participant=node.get("Participant", ""),
+            name=node.get("Name", ""),
+            description=(activity_description.text or ""
+                         if activity_description is not None else ""),
+            requests=requests,
+            responses=responses,
+            split=SplitKind(node.get("Split", "none")),
+            join=JoinKind(node.get("Join", "none")),
+        ))
+
+    transitions = root.find("Transitions")
+    if transitions is not None:
+        for node in transitions.findall("Transition"):
+            condition_node = node.find("Condition")
+            definition.add_transition(Transition(
+                source=node.get("From", ""),
+                target=node.get("To", ""),
+                condition=(condition_node.text
+                           if condition_node is not None else None),
+                priority=int(node.get("Priority", "0")),
+            ))
+
+    definition.start_activity = root.get("StartActivity", "")
+    policy_node = root.find("SecurityPolicy")
+    if policy_node is not None:
+        definition.policy = _policy_from_xml(policy_node)
+    return definition
+
+
+def _policy_from_xml(node: ET.Element) -> SecurityPolicy:
+    policy = SecurityPolicy(
+        extra_readers=tuple(
+            reader.text or "" for reader in node.findall("ExtraReaders/Reader")
+        ),
+        conceal_flow_from=tuple(
+            participant.text or ""
+            for participant in node.findall("ConcealFlowFrom/Participant")
+        ),
+        require_timestamps=node.get("RequireTimestamps") == "true",
+    )
+    for rule_node in node.findall("Rule"):
+        clauses = []
+        for clause_node in rule_node.findall("Clause"):
+            condition_node = clause_node.find("Condition")
+            clauses.append(ReaderClause(
+                readers=tuple(
+                    reader.text or ""
+                    for reader in clause_node.findall("Reader")
+                ),
+                condition=(condition_node.text
+                           if condition_node is not None else None),
+            ))
+        policy.add_rule(FieldRule(
+            activity_id=rule_node.get("Activity", ""),
+            fieldname=rule_node.get("Field", ""),
+            clauses=tuple(clauses),
+        ))
+    return policy

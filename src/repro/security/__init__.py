@@ -1,0 +1,46 @@
+"""Security evaluation: threat model and executable attacks.
+
+Turns the paper's §1 security arguments into runnable experiments: the
+same adversary capabilities are exercised against the centralized
+engine, the distributed engines, and DRA4WfMS.
+"""
+
+from .attacks import (
+    AttackSuite,
+    eavesdrop_distributed,
+    eavesdrop_dra_field,
+    mitm_distributed,
+    repudiate_centralized,
+    repudiate_dra_execution,
+    rollback_dra_document,
+    superuser_tamper_centralized,
+    swap_dra_ciphertexts,
+    tamper_dra_field,
+)
+from .threat import (
+    MALICIOUS_ADMIN,
+    NETWORK_ATTACKER,
+    REPUDIATING_PARTICIPANT,
+    Adversary,
+    AttackOutcome,
+    Capability,
+)
+
+__all__ = [
+    "Adversary",
+    "AttackOutcome",
+    "AttackSuite",
+    "Capability",
+    "MALICIOUS_ADMIN",
+    "NETWORK_ATTACKER",
+    "REPUDIATING_PARTICIPANT",
+    "eavesdrop_distributed",
+    "eavesdrop_dra_field",
+    "mitm_distributed",
+    "repudiate_centralized",
+    "repudiate_dra_execution",
+    "rollback_dra_document",
+    "superuser_tamper_centralized",
+    "swap_dra_ciphertexts",
+    "tamper_dra_field",
+]

@@ -1,0 +1,412 @@
+"""Executable attacks against the three WfMS architectures.
+
+Each function mounts one concrete attack and reports an
+:class:`~repro.security.threat.AttackOutcome`; :class:`AttackSuite`
+runs the whole matrix.  These are the paper's §1 security arguments as
+tests: engine-based WfMSs *fail* the superuser/tampering/repudiation
+scenarios, DRA4WfMS detects or rebuts every one of them.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from ..baselines.centralized import CentralizedWfms
+from ..baselines.distributed import DistributedWfms
+from ..crypto.backend import CryptoBackend, default_backend
+from ..crypto.pki import KeyDirectory
+from ..document.cer import CER
+from ..document.document import Dra4wfmsDocument
+from ..document.nonrepudiation import nonrepudiation_scope
+from ..document.sections import KIND_STANDARD, KIND_TFC
+from ..document.verify import verify_document
+from ..errors import (
+    ReplayDetected,
+    ReproError,
+    TamperDetected,
+    VerificationError,
+    XmlEncryptionError,
+)
+from ..xmlsec.xmldsig import find_by_id
+from .threat import AttackOutcome
+
+__all__ = [
+    "tamper_dra_field",
+    "swap_dra_ciphertexts",
+    "rollback_dra_document",
+    "eavesdrop_dra_field",
+    "repudiate_dra_execution",
+    "superuser_tamper_centralized",
+    "repudiate_centralized",
+    "mitm_distributed",
+    "eavesdrop_distributed",
+    "AttackSuite",
+]
+
+
+def _reverify(document: Dra4wfmsDocument, directory: KeyDirectory,
+              backend: CryptoBackend) -> tuple[bool, str]:
+    """Run full verification; return (detected, detail)."""
+    try:
+        verify_document(document, directory, backend)
+        return False, "verification passed (alteration NOT detected)"
+    except (TamperDetected, VerificationError, ReproError) as exc:
+        return True, f"detected: {type(exc).__name__}: {exc}"
+
+
+def _mutable_copy(document: Dra4wfmsDocument) -> Dra4wfmsDocument:
+    return Dra4wfmsDocument(copy.deepcopy(document.root))
+
+
+# ---------------------------------------------------------------------------
+# Attacks on DRA4WfMS documents
+# ---------------------------------------------------------------------------
+
+
+def tamper_dra_field(document: Dra4wfmsDocument, directory: KeyDirectory,
+                     backend: CryptoBackend | None = None) -> AttackOutcome:
+    """Superuser/MITM edits a stored execution result's ciphertext."""
+    backend = backend or default_backend()
+    altered = _mutable_copy(document)
+    target = None
+    for cer in altered.cers(include_definition=False):
+        if cer.kind in (KIND_STANDARD, KIND_TFC) and cer.encrypted_fields():
+            target = cer.encrypted_fields()[0]
+            break
+    if target is None:
+        raise ValueError("document has no encrypted execution result")
+    cipher_value = target.element.find("CipherData/CipherValue")
+    cipher_value.text = "QUJD" + (cipher_value.text or "")[4:]
+    detected, detail = _reverify(altered, directory, backend)
+    return AttackOutcome(
+        attack="tamper-stored-result",
+        system="dra4wfms",
+        succeeded=not detected,
+        detected=detected,
+        detail=detail,
+    )
+
+
+def swap_dra_ciphertexts(document: Dra4wfmsDocument,
+                         directory: KeyDirectory,
+                         backend: CryptoBackend | None = None,
+                         ) -> AttackOutcome:
+    """Splicing attack: swap two encrypted fields between CERs."""
+    backend = backend or default_backend()
+    altered = _mutable_copy(document)
+    fields = []
+    for cer in altered.cers(include_definition=False):
+        fields.extend(cer.encrypted_fields())
+        if len(fields) >= 2:
+            break
+    if len(fields) < 2:
+        raise ValueError("need two encrypted fields to swap")
+    a = fields[0].element.find("CipherData/CipherValue")
+    b = fields[1].element.find("CipherData/CipherValue")
+    a.text, b.text = b.text, a.text
+    detected, detail = _reverify(altered, directory, backend)
+    return AttackOutcome(
+        attack="splice-ciphertexts",
+        system="dra4wfms",
+        succeeded=not detected,
+        detected=detected,
+        detail=detail,
+    )
+
+
+def rollback_dra_document(document: Dra4wfmsDocument,
+                          directory: KeyDirectory,
+                          pool=None,
+                          backend: CryptoBackend | None = None,
+                          ) -> AttackOutcome:
+    """Truncation attack: present an earlier (valid!) document state.
+
+    Stripping the newest CERs yields a *correctly signed* prefix — the
+    one alteration pure signature verification cannot catch.  The
+    document pool's monotonicity guard is the defence; when a *pool* is
+    supplied the attack is run against it.
+    """
+    backend = backend or default_backend()
+    altered = _mutable_copy(document)
+    results = altered.results_section
+    cers = results.findall("CER")
+    if len(cers) < 2:
+        raise ValueError("need at least two CERs to roll back")
+    # Remove the newest activity execution entirely (its CER(s)).
+    last = CER(cers[-1])
+    for node in cers[::-1]:
+        cer = CER(node)
+        if (cer.activity_id, cer.iteration) == (last.activity_id,
+                                                last.iteration):
+            results.remove(node)
+
+    doc_detected, doc_detail = _reverify(altered, directory, backend)
+    if pool is None:
+        return AttackOutcome(
+            attack="rollback-truncation",
+            system="dra4wfms",
+            succeeded=not doc_detected,
+            detected=doc_detected,
+            detail=doc_detail + " (no pool guard in path)",
+        )
+    try:
+        pool.store(altered)
+        return AttackOutcome(
+            attack="rollback-truncation",
+            system="dra4wfms",
+            succeeded=True,
+            detected=False,
+            detail="pool accepted a truncated document",
+        )
+    except TamperDetected as exc:
+        return AttackOutcome(
+            attack="rollback-truncation",
+            system="dra4wfms",
+            succeeded=False,
+            detected=True,
+            detail=f"pool monotonicity guard: {exc}",
+        )
+
+
+def eavesdrop_dra_field(document: Dra4wfmsDocument,
+                        outsider_identity: str,
+                        outsider_private_key,
+                        backend: CryptoBackend | None = None,
+                        ) -> AttackOutcome:
+    """An eavesdropper (or the cloud provider) tries to read a field."""
+    backend = backend or default_backend()
+    for cer in document.cers(include_definition=False):
+        for enc in cer.encrypted_fields():
+            if outsider_identity in enc.recipients:
+                continue
+            try:
+                enc.decrypt(outsider_identity, outsider_private_key, backend)
+                return AttackOutcome(
+                    attack="eavesdrop-confidential-field",
+                    system="dra4wfms",
+                    succeeded=True,
+                    detected=False,
+                    detail=f"decrypted {enc.name!r} without authorisation",
+                )
+            except XmlEncryptionError as exc:
+                return AttackOutcome(
+                    attack="eavesdrop-confidential-field",
+                    system="dra4wfms",
+                    succeeded=False,
+                    detected=True,
+                    detail=f"rejected: {exc}",
+                )
+    raise ValueError("no field the outsider is excluded from")
+
+
+def repudiate_dra_execution(document: Dra4wfmsDocument,
+                            directory: KeyDirectory,
+                            activity_id: str,
+                            iteration: int = 0,
+                            backend: CryptoBackend | None = None,
+                            ) -> AttackOutcome:
+    """A participant denies having executed an activity.
+
+    The rebuttal is Algorithm 1: their CER's signature verifies under
+    their PKI-certified key and its nonrepudiation scope pins exactly
+    which document state they countersigned.
+    """
+    backend = backend or default_backend()
+    cer = (document.find_cer(activity_id, iteration, KIND_STANDARD)
+           or document.find_cer(activity_id, iteration, KIND_TFC))
+    if cer is None:
+        raise ValueError(f"no CER for {activity_id}^{iteration}")
+    try:
+        verify_document(document, directory, backend)
+    except ReproError as exc:
+        return AttackOutcome(
+            attack="repudiate-execution",
+            system="dra4wfms",
+            succeeded=True,
+            detected=True,
+            detail=f"document invalid, denial stands: {exc}",
+        )
+    scope = nonrepudiation_scope(document, cer)
+    return AttackOutcome(
+        attack="repudiate-execution",
+        system="dra4wfms",
+        succeeded=False,
+        detected=True,
+        detail=(
+            f"denial rebutted: signature of {cer.participant!r} over "
+            f"{cer.cer_id!r} verifies; nonrepudiation scope covers "
+            f"{len(scope)} CERs"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Attacks on the engine-based baselines
+# ---------------------------------------------------------------------------
+
+
+def superuser_tamper_centralized(system: CentralizedWfms, process_id: str,
+                                 activity_id: str,
+                                 iteration: int = 0) -> AttackOutcome:
+    """The DB admin silently rewrites a stored result and the logs."""
+    admin = system.superuser()
+    row_id = f"{process_id}/{activity_id}/{iteration}"
+    admin.silent_update(
+        "activity_results", row_id,
+        {"values": '{"decision": "FORGED: reject everything"}'},
+    )
+    admin.rewrite_log(drop_row_id=row_id)
+    forged = system.stored_result(process_id, activity_id, iteration)
+    detected = system.detect_tampering(process_id)
+    return AttackOutcome(
+        attack="tamper-stored-result",
+        system="centralized-engine",
+        succeeded=(forged.get("decision", "").startswith("FORGED")
+                   and not detected),
+        detected=detected,
+        detail="superuser rewrote the row and erased the audit trail; "
+               "the engine has no cryptographic evidence to notice",
+    )
+
+
+def repudiate_centralized(system: CentralizedWfms, process_id: str,
+                          activity_id: str,
+                          iteration: int = 0) -> AttackOutcome:
+    """A participant denies the stored result is theirs."""
+    provable = system.can_prove_result(process_id, activity_id, iteration)
+    return AttackOutcome(
+        attack="repudiate-execution",
+        system="centralized-engine",
+        succeeded=not provable,
+        detected=False,
+        detail="stored rows carry no signature; the engine cannot rebut "
+               "the participant's denial",
+    )
+
+
+def mitm_distributed(system: DistributedWfms,
+                     responders: dict) -> AttackOutcome:
+    """Alter a migrating process instance on the public network."""
+    marker = "MITM-FORGED"
+
+    def hook(source: str, target: str, payload: dict) -> dict:
+        for name in payload.get("variables", {}):
+            payload["variables"][name] = marker
+            break
+        return payload
+
+    system.install_transit_hook(hook)
+    process_id, migrations = system.run(responders)
+    forged = any(
+        value == marker
+        for value in system.stored_variables(process_id).values()
+    )
+    if system.use_ssl:
+        return AttackOutcome(
+            attack="alter-in-transit",
+            system="distributed-engine(ssl)",
+            succeeded=forged,
+            detected=False,
+            detail="SSL protects the channel; the hook never saw plaintext",
+        )
+    return AttackOutcome(
+        attack="alter-in-transit",
+        system="distributed-engine(plain)",
+        succeeded=forged and not system.detect_tampering(process_id),
+        detected=system.detect_tampering(process_id),
+        detail=f"instance altered during {len(migrations)} migrations; "
+               f"no engine noticed",
+    )
+
+
+def eavesdrop_distributed(system: DistributedWfms,
+                          responders: dict) -> AttackOutcome:
+    """Capture migrating instances on the public network."""
+    process_id, _ = system.run(responders)
+    captured = [
+        c for c in system.wire_captures
+        if c.get("state", {}).get("variables")
+    ]
+    succeeded = bool(captured) and not system.use_ssl
+    return AttackOutcome(
+        attack="eavesdrop-in-transit",
+        system=("distributed-engine(ssl)" if system.use_ssl
+                else "distributed-engine(plain)"),
+        succeeded=succeeded,
+        detected=False,
+        detail=(f"captured {len(captured)} plaintext instance states"
+                if succeeded else "nothing readable on the wire"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The full comparison matrix
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AttackSuite:
+    """Runs every attack against every architecture on one workload."""
+
+    outcomes: list[AttackOutcome]
+
+    @classmethod
+    def run(cls, *, dra_document: Dra4wfmsDocument,
+            directory: KeyDirectory,
+            outsider_identity: str,
+            outsider_private_key,
+            centralized: CentralizedWfms,
+            centralized_process: str,
+            repudiated_activity: str,
+            distributed_plain: DistributedWfms,
+            distributed_ssl: DistributedWfms,
+            responders: dict,
+            pool=None,
+            backend: CryptoBackend | None = None) -> "AttackSuite":
+        """Execute the matrix and collect outcomes."""
+        backend = backend or default_backend()
+        outcomes = [
+            tamper_dra_field(dra_document, directory, backend),
+            swap_dra_ciphertexts(dra_document, directory, backend),
+            rollback_dra_document(dra_document, directory, pool, backend),
+            eavesdrop_dra_field(dra_document, outsider_identity,
+                                outsider_private_key, backend),
+            repudiate_dra_execution(dra_document, directory,
+                                    repudiated_activity, backend=backend),
+            superuser_tamper_centralized(centralized, centralized_process,
+                                         repudiated_activity),
+            repudiate_centralized(centralized, centralized_process,
+                                  repudiated_activity),
+            mitm_distributed(distributed_plain, responders),
+            mitm_distributed(distributed_ssl, responders),
+            eavesdrop_distributed(distributed_plain, responders),
+            eavesdrop_distributed(distributed_ssl, responders),
+        ]
+        return cls(outcomes=outcomes)
+
+    def by_system(self) -> dict[str, list[AttackOutcome]]:
+        """Group outcomes per architecture."""
+        grouped: dict[str, list[AttackOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.system, []).append(outcome)
+        return grouped
+
+    def dra_all_secure(self) -> bool:
+        """True when DRA4WfMS resisted every attack."""
+        return all(
+            outcome.secure for outcome in self.outcomes
+            if outcome.system == "dra4wfms"
+        )
+
+    def baselines_all_vulnerable(self) -> bool:
+        """True when each engine baseline failed at least one attack."""
+        grouped = self.by_system()
+        engine_systems = [
+            system for system in grouped if system != "dra4wfms"
+            and not system.endswith("(ssl)")
+        ]
+        return all(
+            any(not outcome.secure for outcome in grouped[system])
+            for system in engine_systems
+        )

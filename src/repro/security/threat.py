@@ -1,0 +1,85 @@
+"""Threat model for the cross-enterprise WfMS comparison.
+
+Paper §1 enumerates the adversaries a cloud-hosted WfMS faces; the
+attack harness instantiates each capability against all three
+architectures (centralized engine, distributed engines, DRA4WfMS) so
+the security claims become executable assertions rather than prose.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Capability", "Adversary", "AttackOutcome"]
+
+
+class Capability(enum.Enum):
+    """What an adversary can do."""
+
+    #: Read traffic on the public network between sites.
+    EAVESDROP_NETWORK = "eavesdrop-network"
+    #: Modify traffic on the public network (man in the middle).
+    ALTER_NETWORK = "alter-network"
+    #: Administrator access to a server's storage and logs (the cloud
+    #: provider's superuser, §1).
+    SUPERUSER_STORAGE = "superuser-storage"
+    #: Re-send previously captured messages (replay).
+    REPLAY = "replay"
+    #: A *legitimate participant* lying about their own past actions.
+    REPUDIATE = "repudiate"
+
+
+@dataclass(frozen=True)
+class Adversary:
+    """A named adversary with a capability set."""
+
+    name: str
+    capabilities: frozenset[Capability]
+
+    def can(self, capability: Capability) -> bool:
+        """Capability check."""
+        return capability in self.capabilities
+
+
+#: The network attacker of §1 ("eavesdropped … intercept the process
+#: instances and then alter their contents").
+NETWORK_ATTACKER = Adversary(
+    "network-attacker",
+    frozenset({Capability.EAVESDROP_NETWORK, Capability.ALTER_NETWORK,
+               Capability.REPLAY}),
+)
+
+#: The cloud/DB administrator ("the associated existence of superusers
+#: represents a serious threat").
+MALICIOUS_ADMIN = Adversary(
+    "malicious-admin",
+    frozenset({Capability.SUPERUSER_STORAGE}),
+)
+
+#: A dishonest participant trying to deny their own execution (§1).
+REPUDIATING_PARTICIPANT = Adversary(
+    "repudiating-participant",
+    frozenset({Capability.REPUDIATE}),
+)
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of running one attack against one system."""
+
+    attack: str
+    system: str
+    #: Did the adversary achieve their goal?  For integrity attacks:
+    #: the alteration was accepted / went unnoticed.  For
+    #: confidentiality: the plaintext was disclosed.  For repudiation:
+    #: the denial could not be rebutted.
+    succeeded: bool
+    #: Did the system (or any honest offline verifier) detect it?
+    detected: bool
+    detail: str
+
+    @property
+    def secure(self) -> bool:
+        """The system behaved securely against this attack."""
+        return not self.succeeded

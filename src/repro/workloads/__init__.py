@@ -1,0 +1,33 @@
+"""Workloads: the paper's experimental processes and synthetic generators."""
+
+from .chinese_wall import chinese_wall_definition, chinese_wall_responders
+from .figure9 import (
+    figure9_responders,
+    figure_9a_definition,
+    figure_9b_definition,
+)
+from .generator import (
+    auto_responders,
+    chain_definition,
+    diamond_definition,
+    loop_definition,
+    participant_pool,
+    random_definition,
+)
+from .participants import World, build_world
+
+__all__ = [
+    "World",
+    "auto_responders",
+    "build_world",
+    "chain_definition",
+    "chinese_wall_definition",
+    "chinese_wall_responders",
+    "diamond_definition",
+    "figure9_responders",
+    "figure_9a_definition",
+    "figure_9b_definition",
+    "loop_definition",
+    "participant_pool",
+    "random_definition",
+]

@@ -1,0 +1,106 @@
+"""The flow-information-concealment scenario of Fig. 4 (Chinese wall).
+
+Peter inputs ``X`` (confidential — readable by Amy only, per [21]'s
+conflict-of-interest requirement).  Tony inputs ``Y`` and the control
+flow then branches on ``Func(X)`` — but Tony must not see ``X``, so he
+*cannot* route the document, and he cannot element-wise encrypt ``Y``
+either, because ``Y`` goes to John when ``Func(X)`` holds and to Mary
+otherwise.
+
+The basic operational model provably fails on this workflow (the AEA
+raises :class:`~repro.errors.PolicyError`); the advanced model routes
+through the TFC server, which decrypts Tony's bundle, evaluates
+``Func(X)``, re-encrypts ``Y`` for exactly the right reader, and
+forwards the document.
+"""
+
+from __future__ import annotations
+
+from ..core.aea import ActivityContext, Responder
+from ..model.builder import WorkflowBuilder
+from ..model.controlflow import END
+from ..model.definition import WorkflowDefinition
+
+__all__ = ["PARTICIPANTS", "DESIGNER", "GUARD",
+           "chinese_wall_definition", "chinese_wall_responders"]
+
+PARTICIPANTS = {
+    "A1": "peter@consultalot.example",
+    "A2": "tony@consultalot.example",
+    "A4": "john@bank-a.example",
+    "A5": "mary@bank-b.example",
+    "A6": "amy@audit.example",
+}
+
+DESIGNER = "designer@consultalot.example"
+
+#: ``Func(X)``: route to John when the deal targets Bank A.
+GUARD = "X == 'bank-a-engagement'"
+
+
+def chinese_wall_definition(
+    participants: dict[str, str] | None = None,
+    designer: str = DESIGNER,
+) -> WorkflowDefinition:
+    """Build the Fig. 4 workflow with its conditional security policy."""
+    who = dict(PARTICIPANTS)
+    if participants:
+        who.update(participants)
+    peter, tony = who["A1"], who["A2"]
+    john, mary, amy = who["A4"], who["A5"], who["A6"]
+    builder = (
+        WorkflowBuilder(
+            "chinese-wall", designer=designer,
+            description="Fig. 4: conditional routing concealed from the "
+                        "forwarding participant",
+        )
+        .activity("A1", peter, name="Input engagement target",
+                  responses=["X"])
+        .activity("A2", tony, name="Input proposal",
+                  responses=["Y"], split="xor")
+        .activity("A4", john, name="Bank A assessment",
+                  requests=["Y"], responses=["john_verdict"])
+        .activity("A5", mary, name="Bank B assessment",
+                  requests=["Y"], responses=["mary_verdict"])
+        .activity("A6", amy, name="Compliance audit", join="xor",
+                  requests=["X"], responses=["audit"])
+        .transition("A1", "A2")
+        .transition("A2", "A4", condition=GUARD)
+        .transition("A2", "A5", priority=1)
+        .transition("A4", "A6").transition("A5", "A6")
+        .transition("A6", END)
+        # X is for Amy's eyes only (plus its producer, Peter).
+        .readers("A1", "X", [amy])
+        # Y goes to John *or* Mary depending on Func(X) — which the
+        # producing participant (Tony) cannot evaluate.
+        .readers("A2", "Y", [john], condition=GUARD)
+        .readers("A2", "Y", [mary])
+        # Tony must not learn the routing decision.
+        .conceal_flow_from(tony)
+    )
+    return builder.build()
+
+
+def chinese_wall_responders(target: str = "bank-a-engagement",
+                            ) -> dict[str, Responder]:
+    """Responders; *target* selects the branch (``Func(X)`` truth value)."""
+
+    def peter(context: ActivityContext) -> dict[str, str]:
+        return {"X": target}
+
+    def tony(context: ActivityContext) -> dict[str, str]:
+        return {"Y": "proposal: restructure credit portfolio"}
+
+    def john(context: ActivityContext) -> dict[str, str]:
+        return {"john_verdict": f"bank-a view on {context.requests['Y']!r}: "
+                                f"viable"}
+
+    def mary(context: ActivityContext) -> dict[str, str]:
+        return {"mary_verdict": f"bank-b view on {context.requests['Y']!r}: "
+                                f"viable"}
+
+    def amy(context: ActivityContext) -> dict[str, str]:
+        return {"audit": f"engagement {context.requests['X']!r} handled "
+                         f"without conflict of interest"}
+
+    return {"A1": peter, "A2": tony, "A4": john, "A5": mary, "A6": amy}

@@ -1,0 +1,124 @@
+"""The two experimental workflows of the paper (Fig. 9).
+
+Figure 9A: five activities with "representative flow control mechanisms
+such as sequence, loop, split, and join"::
+
+    Initial ─▶ A ─▶ AND-split ─▶ B1 ─▶ AND-join ─▶ C ─▶ D ──▶ Accept(End)
+               ▲             └▶ B2 ─▶              │
+               └────── "Attachment is insufficient" ┘ (loop back)
+
+Figure 9B is the *same* process executed under the advanced operational
+model (through a TFC server, with timestamps).
+
+The experiment in Table 1/2 runs the process twice around the loop:
+the first decision is "Attachment is insufficient" (loop back to A),
+the second is "Accept" (terminate).  That yields exactly ten activity
+executions — the ten measured rows of each table.
+"""
+
+from __future__ import annotations
+
+from ..core.aea import ActivityContext, Responder
+from ..model.builder import WorkflowBuilder
+from ..model.controlflow import END
+from ..model.definition import WorkflowDefinition
+
+__all__ = [
+    "PARTICIPANTS",
+    "figure_9a_definition",
+    "figure_9b_definition",
+    "figure9_responders",
+]
+
+#: Default participant identities for the five activities.
+PARTICIPANTS = {
+    "A": "submitter@acme.example",
+    "B1": "reviewer1@acme.example",
+    "B2": "reviewer2@partner.example",
+    "C": "consolidator@partner.example",
+    "D": "approver@megacorp.example",
+}
+
+#: The designer who signs the initial document.
+DESIGNER = "designer@acme.example"
+
+
+def figure_9a_definition(
+    participants: dict[str, str] | None = None,
+    designer: str = DESIGNER,
+) -> WorkflowDefinition:
+    """Build the Figure 9A workflow definition."""
+    who = dict(PARTICIPANTS)
+    if participants:
+        who.update(participants)
+    builder = (
+        WorkflowBuilder(
+            "figure-9a", designer=designer,
+            description="Five-activity review workflow with sequence, "
+                        "AND-split/join and a loop (paper Fig. 9A)",
+        )
+        .activity("A", who["A"], name="Submit application",
+                  responses=["attachment"], split="and", join="xor")
+        .activity("B1", who["B1"], name="Technical review",
+                  requests=["attachment"], responses=["review1"])
+        .activity("B2", who["B2"], name="Financial review",
+                  requests=["attachment"], responses=["review2"])
+        .activity("C", who["C"], name="Consolidate reviews", join="and",
+                  requests=["review1", "review2"], responses=["summary"])
+        .activity("D", who["D"], name="Approve", split="xor",
+                  requests=["summary"], responses=["decision"])
+        .transition("A", "B1").transition("A", "B2")
+        .transition("B1", "C").transition("B2", "C")
+        .transition("C", "D")
+        .transition("D", END, condition="decision == 'accept'")
+        .transition("D", "A", priority=1)   # "Attachment is insufficient"
+    )
+    return builder.build()
+
+
+def figure_9b_definition(
+    participants: dict[str, str] | None = None,
+    designer: str = DESIGNER,
+) -> WorkflowDefinition:
+    """Figure 9B: the same process, forced through the advanced model."""
+    definition = figure_9a_definition(participants, designer)
+    definition.process_name = "figure-9b"
+    definition.policy.require_timestamps = True
+    return definition
+
+
+def figure9_responders(loop_iterations: int = 1) -> dict[str, Responder]:
+    """Responders reproducing the paper's two-pass execution.
+
+    Activity ``D`` answers "Attachment is insufficient" for the first
+    *loop_iterations* passes and "accept" afterwards, so the process
+    executes ``loop_iterations + 1`` rounds of all five activities.
+    """
+
+    def submit(context: ActivityContext) -> dict[str, str]:
+        return {"attachment": f"application-form-v{context.iteration + 1} "
+                              f"with supporting documents"}
+
+    def review1(context: ActivityContext) -> dict[str, str]:
+        return {"review1": f"technical review of "
+                           f"{context.requests['attachment'][:20]}…: adequate"}
+
+    def review2(context: ActivityContext) -> dict[str, str]:
+        return {"review2": "financial review: budget plausible"}
+
+    def consolidate(context: ActivityContext) -> dict[str, str]:
+        return {"summary": f"{context.requests['review1']} / "
+                           f"{context.requests['review2']}"}
+
+    def approve(context: ActivityContext) -> dict[str, str]:
+        if context.iteration < loop_iterations:
+            return {"decision": "attachment is insufficient"}
+        return {"decision": "accept"}
+
+    return {
+        "A": submit,
+        "B1": review1,
+        "B2": review2,
+        "C": consolidate,
+        "D": approve,
+    }

@@ -1,0 +1,230 @@
+"""Synthetic workflow generation for scaling benches and property tests.
+
+The paper's evaluation uses a fixed five-activity process; its prose
+claims, however, are about *scaling* ("the size of the DRA4WfMS and the
+time for decrypting and verifying signatures were proportional to the
+numbers of CERs and signatures").  These generators produce workflows
+of arbitrary shape so the claims can be tested across sizes:
+
+* :func:`chain_definition` — n activities in sequence;
+* :func:`diamond_definition` — AND-split into *width* parallel branches;
+* :func:`loop_definition` — a body executed *k* times around a loop;
+* :func:`random_definition` — a random composition of the above blocks
+  (always valid by construction).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.aea import ActivityContext, Responder
+from ..model.builder import WorkflowBuilder
+from ..model.controlflow import END
+from ..model.definition import WorkflowDefinition
+
+__all__ = [
+    "chain_definition",
+    "diamond_definition",
+    "loop_definition",
+    "random_definition",
+    "auto_responders",
+    "participant_pool",
+]
+
+
+def participant_pool(count: int, domain: str = "enterprise.example",
+                     ) -> list[str]:
+    """Deterministic participant identities ``p0@…, p1@…``."""
+    return [f"p{i}@{domain}" for i in range(count)]
+
+
+def chain_definition(length: int,
+                     participants: list[str] | None = None,
+                     designer: str = "designer@enterprise.example",
+                     ) -> WorkflowDefinition:
+    """``length`` activities in sequence, each reading its predecessor."""
+    if length < 1:
+        raise ValueError("chain length must be >= 1")
+    pool = participants or participant_pool(length)
+    builder = WorkflowBuilder(f"chain-{length}", designer=designer)
+    for i in range(length):
+        requests = [f"v{i - 1}"] if i > 0 else []
+        builder.activity(f"A{i}", pool[i % len(pool)],
+                         requests=requests, responses=[f"v{i}"])
+        if i > 0:
+            builder.transition(f"A{i - 1}", f"A{i}")
+    builder.transition(f"A{length - 1}", END)
+    return builder.build()
+
+
+def diamond_definition(width: int,
+                       participants: list[str] | None = None,
+                       designer: str = "designer@enterprise.example",
+                       ) -> WorkflowDefinition:
+    """AND-split into *width* parallel reviews, then an AND-join."""
+    if width < 2:
+        raise ValueError("diamond width must be >= 2")
+    pool = participants or participant_pool(width + 2)
+    builder = WorkflowBuilder(f"diamond-{width}", designer=designer)
+    builder.activity("S", pool[0], responses=["subject"], split="and")
+    join_requests = []
+    for i in range(width):
+        builder.activity(f"P{i}", pool[(i + 1) % len(pool)],
+                         requests=["subject"], responses=[f"opinion{i}"])
+        builder.transition("S", f"P{i}")
+        builder.transition(f"P{i}", "J")
+        join_requests.append(f"opinion{i}")
+    builder.activity("J", pool[-1], join="and",
+                     requests=join_requests, responses=["verdict"])
+    builder.transition("J", END)
+    return builder.build()
+
+
+def loop_definition(body_length: int = 2,
+                    participants: list[str] | None = None,
+                    designer: str = "designer@enterprise.example",
+                    ) -> WorkflowDefinition:
+    """A sequential body whose last activity loops back to the first.
+
+    The loop guard reads the final activity's ``verdict`` field;
+    :func:`auto_responders` answers ``"again"`` until the requested
+    iteration count is reached.
+    """
+    if body_length < 1:
+        raise ValueError("loop body must have at least one activity")
+    pool = participants or participant_pool(body_length)
+    builder = WorkflowBuilder(f"loop-{body_length}", designer=designer)
+    for i in range(body_length):
+        join = "xor" if i == 0 else "none"
+        split = "xor" if i == body_length - 1 else "none"
+        requests = [f"v{i - 1}"] if i > 0 else []
+        responses = ["verdict"] if i == body_length - 1 else [f"v{i}"]
+        builder.activity(f"L{i}", pool[i % len(pool)],
+                         requests=requests, responses=responses,
+                         split=split, join=join)
+        if i > 0:
+            builder.transition(f"L{i - 1}", f"L{i}")
+    last = f"L{body_length - 1}"
+    builder.transition(last, END, condition="verdict == 'done'")
+    builder.transition(last, "L0", priority=1)
+    return builder.build()
+
+
+def random_definition(seed: int,
+                      blocks: int = 3,
+                      designer: str = "designer@enterprise.example",
+                      ) -> WorkflowDefinition:
+    """A random but always-valid workflow: a sequence of blocks.
+
+    Each block is a single activity, an AND-diamond (2–3 branches), or
+    an XOR choice (2 branches re-joining).  Using construction rules
+    rather than rejection sampling keeps generation O(size).
+    """
+    rng = random.Random(seed)
+    pool = participant_pool(6)
+    builder = WorkflowBuilder(f"random-{seed}", designer=designer)
+    counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"{prefix}{counter}"
+
+    def participant() -> str:
+        return rng.choice(pool)
+
+    # Entry activity.
+    previous = fresh("N")
+    previous_var = f"out_{previous}"
+    builder.activity(previous, participant(), responses=[previous_var])
+
+    for _ in range(blocks):
+        kind = rng.choice(("single", "diamond", "choice"))
+        if kind == "single":
+            node = fresh("N")
+            var = f"out_{node}"
+            builder.activity(node, participant(),
+                             requests=[previous_var], responses=[var])
+            builder.transition(previous, node)
+            previous, previous_var = node, var
+        elif kind == "diamond":
+            width = rng.randint(2, 3)
+            split_node, join_node = previous, fresh("J")
+            # Retrofit the split kind by rebuilding is impossible with
+            # the frozen Activity, so insert an explicit splitter.
+            splitter = fresh("S")
+            builder.activity(splitter, participant(),
+                             requests=[previous_var],
+                             responses=[f"out_{splitter}"], split="and")
+            builder.transition(split_node, splitter)
+            branch_vars = []
+            for b in range(width):
+                node = fresh("P")
+                var = f"out_{node}"
+                builder.activity(node, participant(),
+                                 requests=[f"out_{splitter}"],
+                                 responses=[var])
+                builder.transition(splitter, node)
+                builder.transition(node, join_node)
+                branch_vars.append(var)
+            builder.activity(join_node, participant(), join="and",
+                             requests=branch_vars,
+                             responses=[f"out_{join_node}"])
+            previous, previous_var = join_node, f"out_{join_node}"
+        else:  # choice
+            chooser = fresh("X")
+            chooser_var = f"out_{chooser}"
+            builder.activity(chooser, participant(),
+                             requests=[previous_var],
+                             responses=[chooser_var], split="xor")
+            builder.transition(previous, chooser)
+            left, right, join_node = fresh("P"), fresh("P"), fresh("J")
+            for node in (left, right):
+                builder.activity(node, participant(),
+                                 requests=[chooser_var],
+                                 responses=[f"out_{node}"])
+                builder.transition(node, join_node)
+            builder.transition(chooser, left,
+                               condition=f"{chooser_var} == 'left'")
+            builder.transition(chooser, right, priority=1)
+            builder.activity(join_node, participant(), join="xor",
+                             responses=[f"out_{join_node}"])
+            previous, previous_var = join_node, f"out_{join_node}"
+
+    builder.transition(previous, END)
+    return builder.build()
+
+
+def auto_responders(definition: WorkflowDefinition,
+                    loop_iterations: int = 1,
+                    choice: str = "left") -> dict[str, Responder]:
+    """Responders that drive any generated workflow to completion.
+
+    * every plain field gets a deterministic payload;
+    * a field named ``verdict`` (the loop guard of
+      :func:`loop_definition`) answers ``"again"`` until the activity's
+      iteration reaches *loop_iterations*, then ``"done"``;
+    * the routing fields of :func:`random_definition` choices answer
+      *choice*.
+    """
+    responders: dict[str, Responder] = {}
+    for activity in definition.activities.values():
+
+        def respond(context: ActivityContext,
+                    _names=tuple(activity.response_names)) -> dict[str, str]:
+            values: dict[str, str] = {}
+            for name in _names:
+                if name == "verdict":
+                    values[name] = ("done" if context.iteration
+                                    >= loop_iterations else "again")
+                elif context.definition.activity(
+                        context.activity_id).split.value == "xor":
+                    values[name] = choice
+                else:
+                    values[name] = (f"payload of {name} from "
+                                    f"{context.activity_id}"
+                                    f"#{context.iteration}")
+            return values
+
+        responders[activity.activity_id] = respond
+    return responders

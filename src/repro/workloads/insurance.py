@@ -1,0 +1,177 @@
+"""A realistic cross-enterprise workload: insurance claim processing.
+
+The paper's introduction motivates cross-enterprise WfMSs with business
+processes spanning companies; this workload models one with four
+enterprises (the insurer, a hospital, an independent fraud assessor,
+and a bank) and every control pattern at once:
+
+* XOR triage by claim amount (large claims take the full-review path);
+* AND-split of medical and fraud assessments, AND-joined for
+  consolidation;
+* a loop (the senior approver can send the claim back for re-filing);
+* field-level confidentiality: the claimant's bank account is readable
+  by the bank's payment desk only, and the medical report never reaches
+  the bank.
+
+The default responders exercise *both* branches in one process
+instance: the first filing is a large claim (full review) that gets
+sent back, the re-filed claim is small (fast track) and is approved.
+"""
+
+from __future__ import annotations
+
+from ..core.aea import ActivityContext, Responder
+from ..model.builder import WorkflowBuilder
+from ..model.controlflow import END
+from ..model.definition import WorkflowDefinition
+
+__all__ = ["PARTICIPANTS", "DESIGNER", "THRESHOLD",
+           "insurance_definition", "insurance_responders"]
+
+PARTICIPANTS = {
+    "FILE": "claimant@public.example",
+    "TRIAGE": "triage@insurer.example",
+    "DISPATCH": "casework@insurer.example",
+    "MEDICAL": "physician@hospital.example",
+    "FRAUD": "investigator@assessor.example",
+    "CONSOLIDATE": "casework@insurer.example",
+    "FAST": "fasttrack@insurer.example",
+    "DECIDE": "senior@insurer.example",
+    "PAY": "payments@bank.example",
+    "NOTIFY": "service@insurer.example",
+}
+
+DESIGNER = "process-office@insurer.example"
+
+#: Claims at or above this amount take the full-review path.
+THRESHOLD = 10_000
+
+
+def insurance_definition(
+    participants: dict[str, str] | None = None,
+    designer: str = DESIGNER,
+) -> WorkflowDefinition:
+    """Build the ten-activity insurance claim workflow."""
+    who = dict(PARTICIPANTS)
+    if participants:
+        who.update(participants)
+    builder = (
+        WorkflowBuilder(
+            "insurance-claim", designer=designer,
+            description="Cross-enterprise claim handling: insurer, "
+                        "hospital, fraud assessor, bank",
+        )
+        .activity("FILE", who["FILE"], name="File claim", join="xor",
+                  responses=[_int("claim_amount"), "incident_desc",
+                             "bank_account"])
+        .activity("TRIAGE", who["TRIAGE"], name="Triage",
+                  requests=["claim_amount"], responses=["triage_note"],
+                  split="xor")
+        .activity("DISPATCH", who["DISPATCH"], name="Dispatch reviews",
+                  requests=["incident_desc"], responses=["case_ref"],
+                  split="and")
+        .activity("MEDICAL", who["MEDICAL"], name="Medical assessment",
+                  requests=["incident_desc", "case_ref"],
+                  responses=["medical_report"])
+        .activity("FRAUD", who["FRAUD"], name="Fraud assessment",
+                  requests=["incident_desc", "claim_amount", "case_ref"],
+                  responses=["fraud_score"])
+        .activity("CONSOLIDATE", who["CONSOLIDATE"], join="and",
+                  name="Consolidate assessments",
+                  requests=["medical_report", "fraud_score"],
+                  responses=["consolidated_note"])
+        .activity("FAST", who["FAST"], name="Fast-track check",
+                  requests=["claim_amount"], responses=["fast_note"])
+        .activity("DECIDE", who["DECIDE"], name="Decide", join="xor",
+                  requests=["claim_amount"], responses=["decision"],
+                  split="xor")
+        .activity("PAY", who["PAY"], name="Pay out",
+                  requests=["bank_account", "claim_amount"],
+                  responses=["payment_ref"])
+        .activity("NOTIFY", who["NOTIFY"], name="Notify rejection",
+                  requests=["decision"], responses=["notice"])
+        .transition("FILE", "TRIAGE")
+        .transition("TRIAGE", "DISPATCH",
+                    condition=f"claim_amount >= {THRESHOLD}")
+        .transition("TRIAGE", "FAST", priority=1)
+        .transition("DISPATCH", "MEDICAL")
+        .transition("DISPATCH", "FRAUD")
+        .transition("MEDICAL", "CONSOLIDATE")
+        .transition("FRAUD", "CONSOLIDATE")
+        .transition("CONSOLIDATE", "DECIDE")
+        .transition("FAST", "DECIDE")
+        .transition("DECIDE", "PAY", condition="decision == 'approved'")
+        .transition("DECIDE", "FILE",
+                    condition="decision == 'more-info'", priority=1)
+        .transition("DECIDE", "NOTIFY", priority=2)
+        .transition("PAY", END)
+        .transition("NOTIFY", END)
+        # Field-level confidentiality across enterprise boundaries:
+        # the bank account is for the payment desk only, and the
+        # medical report stays inside insurer+hospital.
+        .readers("FILE", "bank_account", [PARTICIPANTS["PAY"]])
+        .readers("MEDICAL", "medical_report",
+                 [PARTICIPANTS["CONSOLIDATE"], PARTICIPANTS["DECIDE"]])
+        .readers("FRAUD", "fraud_score",
+                 [PARTICIPANTS["CONSOLIDATE"], PARTICIPANTS["DECIDE"]])
+    )
+    return builder.build()
+
+
+def _int(name: str):
+    from ..model.activity import FieldSpec
+
+    return FieldSpec(name, "int")
+
+
+def insurance_responders(first_amount: int = 25_000,
+                         refiled_amount: int = 5_000,
+                         ) -> dict[str, Responder]:
+    """Responders driving both branches plus one loop iteration."""
+
+    def file_claim(context: ActivityContext) -> dict[str, str]:
+        amount = first_amount if context.iteration == 0 else refiled_amount
+        return {
+            "claim_amount": str(amount),
+            "incident_desc": f"water damage, filing #{context.iteration}",
+            "bank_account": "DE02 1203 0000 0000 2020 51",
+        }
+
+    def triage(context: ActivityContext) -> dict[str, str]:
+        return {"triage_note":
+                f"amount {context.requests['claim_amount']} triaged"}
+
+    def dispatch(context: ActivityContext) -> dict[str, str]:
+        return {"case_ref": f"CASE-{context.process_id[:6]}"}
+
+    def medical(context: ActivityContext) -> dict[str, str]:
+        return {"medical_report": "injuries consistent with the incident"}
+
+    def fraud(context: ActivityContext) -> dict[str, str]:
+        return {"fraud_score": "low (0.12)"}
+
+    def consolidate(context: ActivityContext) -> dict[str, str]:
+        return {"consolidated_note":
+                f"{context.requests['medical_report']} / "
+                f"fraud {context.requests['fraud_score']}"}
+
+    def fast(context: ActivityContext) -> dict[str, str]:
+        return {"fast_note": "within fast-track limits"}
+
+    def decide(context: ActivityContext) -> dict[str, str]:
+        if context.iteration == 0:
+            return {"decision": "more-info"}
+        return {"decision": "approved"}
+
+    def pay(context: ActivityContext) -> dict[str, str]:
+        return {"payment_ref":
+                f"PAY-{context.requests['claim_amount']}-ok"}
+
+    def notify(context: ActivityContext) -> dict[str, str]:
+        return {"notice": f"claim {context.requests['decision']}"}
+
+    return {
+        "FILE": file_claim, "TRIAGE": triage, "DISPATCH": dispatch,
+        "MEDICAL": medical, "FRAUD": fraud, "CONSOLIDATE": consolidate,
+        "FAST": fast, "DECIDE": decide, "PAY": pay, "NOTIFY": notify,
+    }

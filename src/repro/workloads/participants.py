@@ -1,0 +1,173 @@
+"""Simulated cross-enterprise participant population.
+
+Builds the PKI world the paper assumes: enterprises, each with its own
+certificate authority, and participants enrolled under their
+enterprise's CA.  All CAs are mutually trusted inside one
+:class:`~repro.crypto.pki.KeyDirectory`, modelling the cross-enterprise
+trust agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.backend import CryptoBackend, default_backend
+from ..crypto.keys import KeyPair
+from ..crypto.pki import CertificateAuthority, KeyDirectory
+
+__all__ = ["World", "build_world"]
+
+#: Default RSA modulus for simulated participants.  1024-bit keys keep
+#: full-process tests fast; benches that reproduce the paper's tables
+#: use 2048-bit keys (see ``benchmarks/``).
+DEFAULT_BITS = 1024
+
+
+@dataclass
+class World:
+    """A ready-to-use population: directory, key pairs, authorities."""
+
+    directory: KeyDirectory
+    keypairs: dict[str, KeyPair]
+    authorities: dict[str, CertificateAuthority]
+    backend: CryptoBackend = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def keypair(self, identity: str) -> KeyPair:
+        """Key pair of one participant."""
+        return self.keypairs[identity]
+
+    def add_participant(self, identity: str,
+                        bits: int = DEFAULT_BITS) -> KeyPair:
+        """Enroll a new participant under their enterprise's CA.
+
+        The enterprise is the domain part of ``user@domain``; a CA is
+        created on first use of a domain.
+        """
+        domain = identity.rsplit("@", 1)[-1]
+        ca = self.authorities.get(domain)
+        if ca is None:
+            ca = CertificateAuthority(f"ca.{domain}", backend=self.backend)
+            self.authorities[domain] = ca
+            self.directory.trust(ca)
+        keypair = KeyPair.generate(identity, bits=bits, backend=self.backend)
+        self.directory.enroll(keypair, ca.name)
+        self.keypairs[identity] = keypair
+        return keypair
+
+    # -- persistence (used by the CLI) --------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe snapshot of the whole world (INCLUDES private keys).
+
+        Meant for demos and tests; a production deployment would keep
+        each private key on its owner's machine only.
+        """
+        return {
+            "authorities": [
+                {"name": ca.name, "keypair": ca.keypair.to_dict()}
+                for ca in self.authorities.values()
+            ],
+            "keypairs": [kp.to_dict() for kp in self.keypairs.values()],
+            "certificates": [
+                cert.to_dict() for cert in self.directory.certificates()
+            ],
+        }
+
+    def to_public_dict(self) -> dict[str, object]:
+        """Verification-only snapshot: CA public keys + certificates.
+
+        This is what a third-party auditor needs to verify documents —
+        no private key of any party included.
+        """
+        from ..crypto.keys import public_key_to_dict
+
+        return {
+            "authorities": [
+                {"name": ca.name,
+                 "public_key": public_key_to_dict(ca.public_key)}
+                for ca in self.authorities.values()
+            ],
+            "certificates": [
+                cert.to_dict() for cert in self.directory.certificates()
+            ],
+        }
+
+    @classmethod
+    def from_public_dict(cls, data: dict[str, object],
+                         backend: CryptoBackend | None = None) -> "World":
+        """Restore a verification-only world (no private keys).
+
+        ``keypairs`` is empty and the CAs cannot issue; the directory
+        resolves public keys for verification.
+        """
+        from ..crypto.keys import public_key_from_dict
+        from ..crypto.pki import Certificate
+
+        backend = backend or default_backend()
+        world = cls(directory=KeyDirectory(), keypairs={},
+                    authorities={}, backend=backend)
+        for item in data.get("authorities", ()):  # type: ignore[union-attr]
+            ca = CertificateAuthority(
+                str(item["name"]),  # type: ignore[index]
+                public_key=public_key_from_dict(item["public_key"]),  # type: ignore[index]
+                backend=backend,
+            )
+            world.authorities[ca.name.removeprefix("ca.")] = ca
+            world.directory.trust(ca)
+        for item in data.get("certificates", ()):  # type: ignore[union-attr]
+            world.directory.register(
+                Certificate.from_dict(item)  # type: ignore[arg-type]
+            )
+        return world
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object],
+                  backend: CryptoBackend | None = None) -> "World":
+        """Restore a world saved by :meth:`to_dict`."""
+        from ..crypto.pki import Certificate
+
+        backend = backend or default_backend()
+        world = cls(directory=KeyDirectory(), keypairs={},
+                    authorities={}, backend=backend)
+        for item in data.get("authorities", ()):  # type: ignore[union-attr]
+            keypair = KeyPair.from_dict(item["keypair"])  # type: ignore[index]
+            ca = CertificateAuthority(str(item["name"]),  # type: ignore[index]
+                                      keypair=keypair, backend=backend)
+            domain = ca.name.removeprefix("ca.")
+            world.authorities[domain] = ca
+            world.directory.trust(ca)
+        for item in data.get("keypairs", ()):  # type: ignore[union-attr]
+            keypair = KeyPair.from_dict(item)  # type: ignore[arg-type]
+            world.keypairs[keypair.identity] = keypair
+        max_serial: dict[str, int] = {}
+        for item in data.get("certificates", ()):  # type: ignore[union-attr]
+            cert = Certificate.from_dict(item)  # type: ignore[arg-type]
+            world.directory.register(cert)
+            max_serial[cert.issuer] = max(
+                max_serial.get(cert.issuer, 0), cert.serial
+            )
+        # Keep issuing from past the restored serials.
+        for ca in world.authorities.values():
+            ca._next_serial = max_serial.get(ca.name, 0) + 1
+        return world
+
+
+def build_world(identities: list[str],
+                bits: int = DEFAULT_BITS,
+                backend: CryptoBackend | None = None) -> World:
+    """Create a cross-enterprise world for the given identities.
+
+    ``user@domain`` identities are grouped into enterprises by domain;
+    each domain gets its own CA, and the returned directory trusts all
+    of them.
+    """
+    backend = backend or default_backend()
+    world = World(
+        directory=KeyDirectory(),
+        keypairs={},
+        authorities={},
+        backend=backend,
+    )
+    for identity in identities:
+        world.add_participant(identity, bits=bits)
+    return world

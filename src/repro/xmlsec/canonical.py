@@ -1,0 +1,137 @@
+"""Deterministic XML canonicalization.
+
+Digital signatures must be computed over a byte stream, but two XML
+serializations of the *same* infoset can differ (attribute order,
+quoting, whitespace between attributes).  This module implements a
+small, strict canonical form — a subset of Exclusive XML
+Canonicalization adequate for documents this library itself produces:
+
+* UTF-8 output;
+* attributes sorted lexicographically by name;
+* double-quoted attribute values with ``&amp; &lt; &gt; &quot; &#9;
+  &#10; &#13;`` escaping;
+* text content escaped (``& < >``) and preserved byte-for-byte
+  otherwise;
+* no XML declaration, comments, or processing instructions;
+* empty elements serialized as ``<tag></tag>`` (never ``<tag/>``).
+
+The guarantee the rest of the stack relies on is *round-trip
+stability*: ``canonicalize(parse(canonicalize(e))) == canonicalize(e)``,
+which the property tests check on random trees.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+
+from ..errors import CanonicalizationError
+
+__all__ = ["canonicalize", "parse_xml", "to_bytes"]
+
+# Characters outside the XML 1.0 Char production (control characters
+# other than TAB/LF/CR, surrogates, and the U+FFFE/U+FFFF
+# noncharacters).  Such characters cannot be represented in well-formed
+# XML at all — not even as character references — so canonical output
+# containing them would fail to re-parse and break every signature
+# downstream.  Fail closed instead (found by the round-trip property
+# test).
+_INVALID_XML_CHAR = re.compile(
+    "[^\t\n\r\x20-퟿-�\U00010000-\U0010ffff]"
+)
+
+# Conservative XML Name subset for tags and attribute names.
+_XML_NAME = re.compile(r"^[A-Za-z_][A-Za-z0-9._\-]*$")
+
+
+def _check_chars(text: str, where: str) -> None:
+    match = _INVALID_XML_CHAR.search(text)
+    if match is not None:
+        raise CanonicalizationError(
+            f"{where} contains a character (U+{ord(match.group()):04X}) "
+            f"that cannot be represented in XML; encode binary data as "
+            f"base64 instead"
+        )
+
+
+def _escape_text(text: str) -> str:
+    _check_chars(text, "text content")
+    # CR must be a character reference: parsers apply line-end
+    # normalization (CR → LF) to literal carriage returns, which would
+    # break round-trip stability (exactly why W3C C14N escapes it too).
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace("\r", "&#13;")
+    )
+
+
+def _escape_attr(value: str) -> str:
+    _check_chars(value, "attribute value")
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+        .replace("\t", "&#9;")
+        .replace("\n", "&#10;")
+        .replace("\r", "&#13;")
+    )
+
+
+def _write(element: ET.Element, out: list[str]) -> None:
+    tag = element.tag
+    if not isinstance(tag, str):
+        # Comment/PI nodes have callable tags in ElementTree; canonical
+        # form excludes them entirely.
+        return
+    if not _XML_NAME.match(tag):
+        raise CanonicalizationError(f"invalid element name {tag!r}")
+    out.append(f"<{tag}")
+    for name in sorted(element.keys()):
+        if not _XML_NAME.match(name):
+            raise CanonicalizationError(f"invalid attribute name {name!r}")
+        value = element.get(name)
+        out.append(f' {name}="{_escape_attr(value or "")}"')
+    out.append(">")
+    if element.text:
+        out.append(_escape_text(element.text))
+    for child in element:
+        _write(child, out)
+        if child.tail:
+            out.append(_escape_text(child.tail))
+    out.append(f"</{tag}>")
+
+
+def canonicalize(element: ET.Element) -> bytes:
+    """Return the canonical UTF-8 byte serialization of *element*.
+
+    The element's own tail text is excluded (it belongs to the parent),
+    matching XML-DSig reference processing.
+    """
+    if element is None:
+        raise CanonicalizationError("cannot canonicalize None")
+    out: list[str] = []
+    _write(element, out)
+    return "".join(out).encode("utf-8")
+
+
+def to_bytes(element: ET.Element) -> bytes:
+    """Alias of :func:`canonicalize` for readability at call sites."""
+    return canonicalize(element)
+
+
+def parse_xml(data: bytes | str) -> ET.Element:
+    """Parse XML bytes/str into an Element, wrapping parse errors."""
+    if isinstance(data, bytes):
+        try:
+            data = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CanonicalizationError(
+                f"document is not valid UTF-8: {exc}"
+            ) from exc
+    try:
+        return ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise CanonicalizationError(f"malformed XML: {exc}") from exc

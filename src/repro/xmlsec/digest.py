@@ -1,0 +1,41 @@
+"""Digest helpers for XML signature references."""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import xml.etree.ElementTree as ET
+
+from ..crypto.backend import CryptoBackend, default_backend
+from ..errors import XmlSecError
+from .canonical import canonicalize
+
+__all__ = ["digest_element", "b64", "unb64"]
+
+
+def digest_element(element: ET.Element,
+                   backend: CryptoBackend | None = None) -> bytes:
+    """SHA-256 digest of the canonical form of *element*."""
+    backend = backend or default_backend()
+    return backend.digest(canonicalize(element))
+
+
+def b64(data: bytes) -> str:
+    """Base64-encode *data* for embedding in XML text nodes."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def unb64(text: str | None) -> bytes:
+    """Decode Base64 text from an XML node (``None`` → empty).
+
+    Raises :class:`~repro.errors.XmlSecError` on malformed input —
+    corrupted Base64 in a hostile document must fail closed, not leak
+    a :class:`binascii.Error`.
+    """
+    if text is None:
+        return b""
+    try:
+        return base64.b64decode(text.strip().encode("ascii"),
+                                validate=True)
+    except (binascii.Error, UnicodeEncodeError, ValueError) as exc:
+        raise XmlSecError(f"malformed base64 content: {exc}") from exc

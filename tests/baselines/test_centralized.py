@@ -1,0 +1,68 @@
+"""The centralized engine-based baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.centralized import CentralizedWfms
+from repro.errors import AuthorizationError
+from repro.workloads.figure9 import (
+    PARTICIPANTS,
+    figure9_responders,
+    figure_9a_definition,
+)
+
+
+@pytest.fixture()
+def engine():
+    return CentralizedWfms(figure_9a_definition())
+
+
+class TestExecution:
+    def test_full_run_matches_workflow(self, engine):
+        process_id, steps = engine.run(figure9_responders(1))
+        assert [s.activity_id for s in steps] == \
+            ["A", "B1", "B2", "C", "D"] * 2
+        assert [s.iteration for s in steps] == [0] * 5 + [1] * 5
+
+    def test_engine_sees_all_variables_in_plaintext(self, engine):
+        # This is the confidentiality gap: the engine (and its admin)
+        # read everything.
+        process_id, _ = engine.run(figure9_responders(0))
+        variables = engine.variables_of(process_id)
+        assert set(variables) == {"attachment", "review1", "review2",
+                                  "summary", "decision"}
+        assert variables["decision"] == "accept"
+
+    def test_stored_result(self, engine):
+        process_id, _ = engine.run(figure9_responders(0))
+        assert engine.stored_result(process_id, "D")["decision"] == "accept"
+
+    def test_authorization_checked(self, engine):
+        process_id = engine.start_process()
+        with pytest.raises(AuthorizationError):
+            engine.execute(process_id, "A", "mallory@evil.example",
+                           {"attachment": "x"})
+
+    def test_two_processes_isolated(self, engine):
+        p1, _ = engine.run(figure9_responders(0))
+        p2, _ = engine.run(figure9_responders(0))
+        assert p1 != p2
+        assert engine.stored_result(p1, "A") is not None
+        assert engine.stored_result(p2, "A") is not None
+
+
+class TestSecurityGap:
+    def test_cannot_prove_results(self, engine):
+        process_id, _ = engine.run(figure9_responders(0))
+        assert not engine.can_prove_result(process_id, "D")
+
+    def test_tampering_undetectable(self, engine):
+        process_id, _ = engine.run(figure9_responders(0))
+        admin = engine.superuser()
+        admin.silent_update(
+            "activity_results", f"{process_id}/D/0",
+            {"values": '{"decision": "reject"}'},
+        )
+        assert engine.stored_result(process_id, "D")["decision"] == "reject"
+        assert not engine.detect_tampering(process_id)

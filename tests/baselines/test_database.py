@@ -1,0 +1,82 @@
+"""The engine database and its superuser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.database import EngineDatabase
+from repro.errors import StorageError
+
+
+@pytest.fixture()
+def db():
+    database = EngineDatabase("test-db")
+    database.create_table("t")
+    return database
+
+
+class TestRegularOperations:
+    def test_insert_get(self, db):
+        db.insert("t", "r1", {"a": "1"})
+        assert db.get("t", "r1") == {"a": "1"}
+
+    def test_duplicate_insert_rejected(self, db):
+        db.insert("t", "r1", {"a": "1"})
+        with pytest.raises(StorageError):
+            db.insert("t", "r1", {"a": "2"})
+
+    def test_update(self, db):
+        db.insert("t", "r1", {"a": "1", "b": "2"})
+        db.update("t", "r1", {"a": "10"})
+        assert db.get("t", "r1") == {"a": "10", "b": "2"}
+
+    def test_missing_row(self, db):
+        with pytest.raises(StorageError):
+            db.get("t", "ghost")
+
+    def test_missing_table(self, db):
+        with pytest.raises(StorageError):
+            db.get("ghost", "r")
+
+    def test_duplicate_table(self, db):
+        with pytest.raises(StorageError):
+            db.create_table("t")
+
+    def test_select_all(self, db):
+        db.insert("t", "r1", {"a": "1"})
+        db.insert("t", "r2", {"a": "2"})
+        assert set(db.select("t")) == {"r1", "r2"}
+
+    def test_operations_are_audited(self, db):
+        db.insert("t", "r1", {"a": "1"})
+        db.update("t", "r1", {"a": "2"})
+        operations = [(e.operation, e.row_id) for e in db.audit_log]
+        assert operations == [("insert", "r1"), ("update", "r1")]
+        sequences = [e.sequence for e in db.audit_log]
+        assert sequences == sorted(sequences)
+
+
+class TestSuperuser:
+    def test_silent_update_leaves_no_audit_trace(self, db):
+        db.insert("t", "r1", {"value": "genuine"})
+        log_before = list(db.audit_log)
+        db.superuser().silent_update("t", "r1", {"value": "forged"})
+        assert db.get("t", "r1")["value"] == "forged"
+        assert db.audit_log == log_before  # nothing recorded
+
+    def test_rewrite_log_selective(self, db):
+        db.insert("t", "r1", {"a": "1"})
+        db.insert("t", "r2", {"a": "2"})
+        removed = db.superuser().rewrite_log(drop_row_id="r1")
+        assert removed == 1
+        assert all(e.row_id != "r1" for e in db.audit_log)
+
+    def test_rewrite_log_total(self, db):
+        db.insert("t", "r1", {"a": "1"})
+        assert db.superuser().rewrite_log() == 1
+        assert db.audit_log == []
+
+    def test_forge_log_entry(self, db):
+        db.superuser().forge_log_entry("insert", "t", "phantom",
+                                       "never happened")
+        assert db.audit_log[-1].row_id == "phantom"

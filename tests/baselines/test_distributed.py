@@ -1,0 +1,109 @@
+"""The distributed engine-based baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.distributed import DistributedWfms
+from repro.errors import RuntimeFault
+from repro.workloads.figure9 import figure9_responders, figure_9a_definition
+
+
+@pytest.fixture()
+def plain():
+    return DistributedWfms(figure_9a_definition(), engines=3, use_ssl=False)
+
+
+@pytest.fixture()
+def ssl():
+    return DistributedWfms(figure_9a_definition(), engines=3, use_ssl=True)
+
+
+class TestExecution:
+    def test_full_run(self, ssl):
+        process_id, migrations = ssl.run(figure9_responders(1))
+        variables = ssl.stored_variables(process_id)
+        assert variables["decision"] == "accept"
+
+    def test_activities_spread_over_engines(self, ssl):
+        engines_used = {ssl.engine_for(a).engine_id
+                        for a in ("A", "B1", "B2", "C", "D")}
+        assert len(engines_used) == 3
+
+    def test_instance_migrates(self, ssl):
+        _, migrations = ssl.run(figure9_responders(0))
+        assert migrations  # engines differ → at least one hop
+        assert all(m.protected for m in migrations)
+
+    def test_single_engine_never_migrates(self):
+        system = DistributedWfms(figure_9a_definition(), engines=1)
+        _, migrations = system.run(figure9_responders(0))
+        assert migrations == []
+
+    def test_coherence_single_owner(self, ssl):
+        process_id, _ = ssl.run(figure9_responders(0))
+        owners = [e for e in ssl.engines if process_id in e.owned]
+        assert len(owners) == 1
+
+    def test_step_budget(self, ssl):
+        with pytest.raises(RuntimeFault):
+            ssl.run(figure9_responders(10**9), max_steps=12)
+
+    def test_needs_engines(self):
+        with pytest.raises(RuntimeFault):
+            DistributedWfms(figure_9a_definition(), engines=0)
+
+
+class TestTransitExposure:
+    def test_plaintext_wire_capturable(self, plain):
+        plain.run(figure9_responders(0))
+        assert plain.wire_captures
+        # The captures contain actual variable plaintext.
+        assert any(c["state"]["variables"] for c in plain.wire_captures)
+
+    def test_ssl_wire_opaque(self, ssl):
+        ssl.run(figure9_responders(0))
+        assert ssl.wire_captures == []
+
+    def test_mitm_alters_unprotected_instance(self, plain):
+        def hook(source, target, payload):
+            for name in payload["variables"]:
+                payload["variables"][name] = "FORGED"
+            return payload
+
+        plain.install_transit_hook(hook)
+        process_id, _ = plain.run(figure9_responders(0))
+        values = plain.stored_variables(process_id)
+        assert "FORGED" in values.values()
+        assert not plain.detect_tampering(process_id)
+
+    def test_mitm_blocked_by_ssl(self, ssl):
+        called = []
+
+        def hook(source, target, payload):
+            called.append(True)
+            return payload
+
+        ssl.install_transit_hook(hook)
+        ssl.run(figure9_responders(0))
+        assert called == []
+
+
+class TestSecurityGap:
+    def test_cannot_prove_results(self, ssl):
+        process_id, _ = ssl.run(figure9_responders(0))
+        assert not ssl.can_prove_result(process_id, "D")
+
+    def test_any_engine_superuser_can_tamper(self, ssl):
+        process_id, _ = ssl.run(figure9_responders(0))
+        owner = next(e for e in ssl.engines if process_id in e.owned)
+        state = owner.load_instance(process_id)
+        state["variables"]["decision"] = "reject"
+        import json
+
+        owner.superuser().silent_update(
+            "instances", process_id,
+            {"state": json.dumps(state, sort_keys=True)},
+        )
+        assert ssl.stored_variables(process_id)["decision"] == "reject"
+        assert not ssl.detect_tampering(process_id)

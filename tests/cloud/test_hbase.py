@@ -1,0 +1,227 @@
+"""Simulated HBase: tables, regions, splits, balancing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.hbase import SimHBase
+from repro.errors import RegionError, StorageError
+
+
+@pytest.fixture()
+def hbase():
+    cluster = SimHBase(region_servers=3, split_threshold_rows=8)
+    cluster.create_table("t")
+    return cluster
+
+
+class TestTableOps:
+    def test_create_duplicate_rejected(self, hbase):
+        with pytest.raises(StorageError):
+            hbase.create_table("t")
+
+    def test_unknown_table(self, hbase):
+        with pytest.raises(StorageError):
+            hbase.regions_of("ghost")
+        with pytest.raises(RegionError):
+            hbase.get("ghost", "row")
+
+    def test_put_get(self, hbase):
+        hbase.put("t", "row1", "cf", "q", b"value")
+        row = hbase.get("t", "row1")
+        assert row == {("cf", "q"): b"value"}
+
+    def test_get_missing_row(self, hbase):
+        assert hbase.get("t", "ghost") == {}
+
+    def test_multiple_cells_per_row(self, hbase):
+        hbase.put("t", "r", "cf", "a", b"1")
+        hbase.put("t", "r", "cf", "b", b"2")
+        hbase.put("t", "r", "other", "a", b"3")
+        assert len(hbase.get("t", "r")) == 3
+
+    def test_overwrite_cell(self, hbase):
+        hbase.put("t", "r", "cf", "q", b"old")
+        hbase.put("t", "r", "cf", "q", b"new")
+        assert hbase.get("t", "r")[("cf", "q")] == b"new"
+
+    def test_delete_row(self, hbase):
+        hbase.put("t", "r", "cf", "q", b"v")
+        hbase.delete_row("t", "r")
+        assert hbase.get("t", "r") == {}
+
+
+class TestScan:
+    @pytest.fixture()
+    def populated(self, hbase):
+        for i in range(20):
+            hbase.put("t", f"key{i:02d}", "cf", "q", str(i).encode())
+        return hbase
+
+    def test_full_scan_ordered(self, populated):
+        rows = populated.scan("t")
+        assert [k for k, _ in rows] == [f"key{i:02d}" for i in range(20)]
+
+    def test_range_scan(self, populated):
+        rows = populated.scan("t", start_key="key05", stop_key="key10")
+        assert [k for k, _ in rows] == \
+            ["key05", "key06", "key07", "key08", "key09"]
+
+    def test_limit(self, populated):
+        assert len(populated.scan("t", limit=7)) == 7
+
+    def test_scan_crosses_regions(self, populated):
+        # 20 rows with threshold 8 forces at least one split.
+        assert populated.region_count("t") >= 2
+        assert len(populated.scan("t")) == 20
+
+
+class TestRegions:
+    def test_auto_split(self, hbase):
+        for i in range(30):
+            hbase.put("t", f"r{i:03d}", "cf", "q", b"v")
+        assert hbase.region_count("t") >= 3
+        assert hbase.stats["splits"] >= 2
+        assert hbase.total_rows("t") == 30
+        # Every row still reachable after splits.
+        for i in range(30):
+            assert hbase.get("t", f"r{i:03d}") != {}
+
+    def test_region_ranges_partition_keyspace(self, hbase):
+        for i in range(40):
+            hbase.put("t", f"r{i:03d}", "cf", "q", b"v")
+        regions = hbase.regions_of("t")
+        assert regions[0].start_key == ""
+        for left, right in zip(regions, regions[1:]):
+            assert left.end_key == right.start_key
+
+    def test_regions_assigned_to_servers(self, hbase):
+        for i in range(40):
+            hbase.put("t", f"r{i:03d}", "cf", "q", b"v")
+        hosted = sum(len(s.regions) for s in hbase.servers.values())
+        assert hosted == hbase.region_count("t") + 0  # only table "t"
+
+    def test_balance_moves_regions(self):
+        cluster = SimHBase(region_servers=2, split_threshold_rows=4)
+        cluster.create_table("t")
+        for i in range(40):
+            cluster.put("t", f"r{i:03d}", "cf", "q", b"v")
+        # Force imbalance: pile everything on one server.
+        all_regions = [r for s in cluster.servers.values()
+                       for r in s.regions]
+        for server in cluster.servers.values():
+            server.regions = []
+        first = next(iter(cluster.servers.values()))
+        first.regions = all_regions
+        moved = cluster.balance()
+        assert moved > 0
+        loads = [s.load for s in cluster.servers.values()]
+        assert max(loads) - min(loads) <= max(r.row_count
+                                              for r in all_regions)
+
+    def test_store_files_written_to_hdfs(self, hbase):
+        for i in range(30):
+            hbase.put("t", f"r{i:03d}", "cf", "q", b"v")
+        assert hbase.hdfs.list_files("/hbase/t/")
+
+
+def test_needs_a_region_server():
+    with pytest.raises(StorageError):
+        SimHBase(region_servers=0)
+
+
+class TestRegionServerFailure:
+    def test_unflushed_writes_survive_via_wal(self):
+        cluster = SimHBase(region_servers=2, split_threshold_rows=1000)
+        cluster.create_table("t")
+        for i in range(12):
+            cluster.put("t", f"r{i:02d}", "cf", "q", f"v{i}".encode())
+        # Nothing flushed yet (huge memstore threshold): the rows live
+        # only in memory + WAL.
+        region = cluster.regions_of("t")[0]
+        victim = cluster.server_of(region).server_id
+        replayed = cluster.kill_server(victim)
+        assert replayed == 12
+        for i in range(12):
+            assert cluster.get("t", f"r{i:02d}") == \
+                {("cf", "q"): f"v{i}".encode()}
+
+    def test_deletes_survive_recovery(self):
+        cluster = SimHBase(region_servers=2, split_threshold_rows=1000)
+        cluster.create_table("t")
+        cluster.put("t", "keep", "cf", "q", b"1")
+        cluster.put("t", "drop", "cf", "q", b"2")
+        cluster.delete_row("t", "drop")
+        victim = cluster.server_of(cluster.regions_of("t")[0]).server_id
+        cluster.kill_server(victim)
+        assert cluster.get("t", "keep") != {}
+        assert cluster.get("t", "drop") == {}
+
+    def test_flushed_plus_wal_recovery(self):
+        cluster = SimHBase(region_servers=3, split_threshold_rows=1000,
+                           memstore_flush_bytes=1)  # flush every put
+        cluster.create_table("t")
+        cluster.put("t", "a", "cf", "q", b"flushed")
+        cluster.memstore_flush_bytes = 1 << 30  # stop flushing
+        cluster.put("t", "b", "cf", "q", b"wal-only")
+        victim = cluster.server_of(cluster.regions_of("t")[0]).server_id
+        cluster.kill_server(victim)
+        assert cluster.get("t", "a")[("cf", "q")] == b"flushed"
+        assert cluster.get("t", "b")[("cf", "q")] == b"wal-only"
+
+    def test_regions_reassigned_to_survivors(self):
+        cluster = SimHBase(region_servers=3, split_threshold_rows=4)
+        cluster.create_table("t")
+        for i in range(20):
+            cluster.put("t", f"r{i:02d}", "cf", "q", b"v")
+        cluster.kill_server("rs0")
+        for region in cluster.regions_of("t"):
+            host = cluster.server_of(region)
+            assert host.alive and host.server_id != "rs0"
+        assert cluster.total_rows("t") == 20
+
+    def test_dead_server_gets_no_new_regions(self):
+        cluster = SimHBase(region_servers=2, split_threshold_rows=4)
+        cluster.create_table("t")
+        cluster.kill_server("rs0")
+        for i in range(20):
+            cluster.put("t", f"r{i:02d}", "cf", "q", b"v")
+        assert all(not r for r in (cluster.servers["rs0"].regions,))
+
+    def test_last_server_death_is_fatal(self):
+        cluster = SimHBase(region_servers=1)
+        cluster.create_table("t")
+        cluster.put("t", "r", "cf", "q", b"v")
+        with pytest.raises(RegionError, match="last region server"):
+            cluster.kill_server("rs0")
+
+    def test_kill_unknown_or_dead(self):
+        cluster = SimHBase(region_servers=2)
+        with pytest.raises(RegionError):
+            cluster.kill_server("rs9")
+        cluster.kill_server("rs0")
+        with pytest.raises(RegionError, match="already dead"):
+            cluster.kill_server("rs0")
+
+    def test_combined_datanode_and_regionserver_failure(self):
+        # The full §1 durability story: lose a storage node AND a
+        # serving node; acknowledged data still readable.
+        cluster = SimHBase(region_servers=2, split_threshold_rows=1000)
+        cluster.create_table("t")
+        for i in range(8):
+            cluster.put("t", f"r{i}", "cf", "q", str(i).encode())
+        cluster.hdfs.kill_node("dn0")
+        victim = cluster.server_of(cluster.regions_of("t")[0]).server_id
+        cluster.kill_server(victim)
+        for i in range(8):
+            assert cluster.get("t", f"r{i}")[("cf", "q")] == str(i).encode()
+
+    def test_balance_skips_dead_servers(self):
+        cluster = SimHBase(region_servers=3, split_threshold_rows=4)
+        cluster.create_table("t")
+        for i in range(30):
+            cluster.put("t", f"r{i:02d}", "cf", "q", b"v")
+        cluster.kill_server("rs0")
+        cluster.balance()
+        assert cluster.servers["rs0"].regions == []
+        assert cluster.total_rows("t") == 30

@@ -1,0 +1,130 @@
+"""Simulated HDFS: blocks, replication, failure handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.hdfs import SimHdfs
+from repro.cloud.simclock import SimClock
+from repro.errors import StorageError
+
+
+@pytest.fixture()
+def hdfs():
+    return SimHdfs(datanodes=4, replication=3, block_size=64)
+
+
+class TestBasicIO:
+    def test_write_read_roundtrip(self, hdfs):
+        hdfs.write("/f", b"hello world")
+        assert hdfs.read("/f") == b"hello world"
+
+    def test_multi_block_file(self, hdfs):
+        data = bytes(range(256)) * 2  # 512 B = 8 blocks of 64
+        hdfs.write("/big", data)
+        assert hdfs.read("/big") == data
+
+    def test_empty_file(self, hdfs):
+        hdfs.write("/empty", b"")
+        assert hdfs.read("/empty") == b""
+
+    def test_overwrite(self, hdfs):
+        hdfs.write("/f", b"one")
+        hdfs.write("/f", b"two")
+        assert hdfs.read("/f") == b"two"
+
+    def test_missing_file(self, hdfs):
+        with pytest.raises(StorageError):
+            hdfs.read("/ghost")
+
+    def test_delete(self, hdfs):
+        hdfs.write("/f", b"data")
+        hdfs.delete("/f")
+        assert not hdfs.exists("/f")
+        with pytest.raises(StorageError):
+            hdfs.read("/f")
+        with pytest.raises(StorageError):
+            hdfs.delete("/f")
+
+    def test_list_files(self, hdfs):
+        hdfs.write("/a/1", b"x")
+        hdfs.write("/a/2", b"y")
+        hdfs.write("/b/1", b"z")
+        assert hdfs.list_files("/a/") == ["/a/1", "/a/2"]
+        assert len(hdfs.list_files()) == 3
+
+    def test_stats(self, hdfs):
+        hdfs.write("/f", b"12345")
+        hdfs.read("/f")
+        assert hdfs.stats["writes"] == 1
+        assert hdfs.stats["reads"] == 1
+        assert hdfs.stats["bytes_written"] == 5
+
+
+class TestReplication:
+    def test_blocks_replicated(self, hdfs):
+        hdfs.write("/f", b"replicated")
+        holders = [n for n in hdfs.nodes.values() if n.blocks]
+        assert len(holders) == 3
+
+    def test_replication_capped_by_cluster_size(self):
+        small = SimHdfs(datanodes=2, replication=3)
+        small.write("/f", b"data")
+        assert small.under_replicated_blocks() == 0
+
+    def test_clock_charged(self):
+        clock = SimClock()
+        hdfs = SimHdfs(datanodes=3, replication=3, clock=clock)
+        hdfs.write("/f", b"x" * 1000)
+        assert clock.now() > 0
+
+
+class TestFailures:
+    def test_read_survives_single_failure(self, hdfs):
+        hdfs.write("/f", b"durable data")
+        victim = next(n.node_id for n in hdfs.nodes.values() if n.blocks)
+        hdfs.kill_node(victim)
+        assert hdfs.read("/f") == b"durable data"
+
+    def test_rereplication_restores_target(self, hdfs):
+        hdfs.write("/f", b"durable data")
+        victim = next(n.node_id for n in hdfs.nodes.values() if n.blocks)
+        hdfs.kill_node(victim)
+        assert hdfs.under_replicated_blocks() == 0
+        assert hdfs.stats["rereplications"] > 0
+
+    def test_read_survives_two_failures(self, hdfs):
+        hdfs.write("/f", b"very durable")
+        holders = [n.node_id for n in hdfs.nodes.values() if n.blocks]
+        hdfs.kill_node(holders[0])
+        hdfs.kill_node(holders[1])
+        assert hdfs.read("/f") == b"very durable"
+
+    def test_total_loss_detected(self):
+        hdfs = SimHdfs(datanodes=2, replication=2)
+        hdfs.write("/f", b"doomed")
+        for node_id in list(hdfs.nodes):
+            hdfs.kill_node(node_id)
+        with pytest.raises(StorageError, match="no live replica"):
+            hdfs.read("/f")
+
+    def test_kill_unknown_node(self, hdfs):
+        with pytest.raises(StorageError):
+            hdfs.kill_node("dn99")
+
+    def test_writes_after_failure_use_live_nodes(self, hdfs):
+        hdfs.kill_node("dn0")
+        hdfs.write("/f", b"post-failure")
+        assert hdfs.read("/f") == b"post-failure"
+        assert not hdfs.nodes["dn0"].blocks
+
+    def test_no_live_nodes(self):
+        hdfs = SimHdfs(datanodes=1, replication=1)
+        hdfs.kill_node("dn0")
+        with pytest.raises(StorageError, match="no live datanodes"):
+            hdfs.write("/f", b"x")
+
+
+def test_needs_a_datanode():
+    with pytest.raises(StorageError):
+        SimHdfs(datanodes=0)

@@ -1,0 +1,72 @@
+"""MapReduce engine over the simulated HBase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.hbase import SimHBase
+from repro.cloud.mapreduce import MapReduceEngine
+
+
+@pytest.fixture()
+def cluster():
+    hbase = SimHBase(region_servers=3, split_threshold_rows=10)
+    hbase.create_table("events")
+    for i in range(50):
+        hbase.put("events", f"e{i:03d}", "d", "kind",
+                  b"even" if i % 2 == 0 else b"odd")
+        hbase.put("events", f"e{i:03d}", "d", "value", str(i).encode())
+    return hbase
+
+
+def test_word_count_style_job(cluster):
+    engine = MapReduceEngine(cluster)
+
+    def map_fn(row_key, row):
+        yield row[("d", "kind")].decode(), 1
+
+    results, stats = engine.run("events", map_fn,
+                                lambda key, values: sum(values))
+    assert results == {"even": 25, "odd": 25}
+    assert stats.input_rows == 50
+    assert stats.shuffled_records == 50
+    assert stats.reduce_groups == 2
+
+
+def test_one_map_task_per_region(cluster):
+    engine = MapReduceEngine(cluster)
+    _, stats = engine.run("events", lambda k, r: [], lambda k, v: None)
+    assert stats.map_tasks == cluster.region_count("events")
+    assert stats.map_tasks >= 2  # splits happened
+
+
+def test_aggregation_job(cluster):
+    engine = MapReduceEngine(cluster)
+
+    def map_fn(row_key, row):
+        yield "total", int(row[("d", "value")])
+
+    results, _ = engine.run("events", map_fn,
+                            lambda key, values: sum(values))
+    assert results["total"] == sum(range(50))
+
+
+def test_makespan_accounting(cluster):
+    engine = MapReduceEngine(cluster)
+    before = cluster.clock.now()
+    _, stats = engine.run("events", lambda k, r: [("x", 1)],
+                          lambda k, v: len(v))
+    assert stats.simulated_makespan_seconds > 0
+    assert stats.simulated_makespan_seconds <= stats.total_compute_seconds + 1e-9
+    assert cluster.clock.now() >= before + stats.simulated_makespan_seconds
+
+
+def test_empty_table():
+    hbase = SimHBase(region_servers=1)
+    hbase.create_table("empty")
+    results, stats = MapReduceEngine(hbase).run(
+        "empty", lambda k, r: [("k", 1)], lambda k, v: sum(v)
+    )
+    assert results == {}
+    assert stats.input_rows == 0
+    assert stats.map_tasks == 1

@@ -1,0 +1,37 @@
+"""Network cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.network import LAN, WAN, NetworkModel
+
+
+def test_transfer_cost_components():
+    model = NetworkModel(latency_seconds=0.01,
+                         bandwidth_bytes_per_second=1000)
+    assert model.transfer_seconds(0) == pytest.approx(0.01)
+    assert model.transfer_seconds(500) == pytest.approx(0.01 + 0.5)
+
+
+def test_rpc_is_two_transfers():
+    model = NetworkModel(latency_seconds=0.002,
+                         bandwidth_bytes_per_second=1e6)
+    assert model.rpc_seconds(100, 900) == pytest.approx(
+        model.transfer_seconds(100) + model.transfer_seconds(900)
+    )
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        LAN.transfer_seconds(-1)
+
+
+def test_lan_faster_than_wan():
+    assert LAN.transfer_seconds(10_000) < WAN.transfer_seconds(10_000)
+
+
+def test_cost_monotone_in_size():
+    sizes = [0, 100, 10_000, 1_000_000]
+    costs = [WAN.transfer_seconds(s) for s in sizes]
+    assert costs == sorted(costs)

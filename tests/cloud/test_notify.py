@@ -1,0 +1,62 @@
+"""Notification service unit tests."""
+
+from __future__ import annotations
+
+from repro.cloud.network import WAN
+from repro.cloud.notify import NotificationService
+from repro.cloud.simclock import SimClock
+
+
+def make_service():
+    clock = SimClock()
+    return clock, NotificationService(clock=clock, network=WAN)
+
+
+def test_notify_and_inbox():
+    clock, service = make_service()
+    note = service.notify("alice@x", "p1", "A")
+    assert note.recipient == "alice@x"
+    assert note.sent_at == clock.now()
+    assert service.inbox("alice@x") == [note]
+    assert service.sent == 1
+
+
+def test_inboxes_are_per_identity():
+    _, service = make_service()
+    service.notify("alice@x", "p1", "A")
+    service.notify("bob@y", "p1", "B")
+    assert len(service.inbox("alice@x")) == 1
+    assert len(service.inbox("bob@y")) == 1
+    assert service.inbox("carol@z") == []
+
+
+def test_inbox_ordering():
+    _, service = make_service()
+    service.notify("alice@x", "p1", "A")
+    service.notify("alice@x", "p1", "B")
+    activities = [n.activity_id for n in service.inbox("alice@x")]
+    assert activities == ["A", "B"]
+
+
+def test_drain_clears_inbox():
+    _, service = make_service()
+    service.notify("alice@x", "p1", "A")
+    drained = service.drain("alice@x")
+    assert [n.activity_id for n in drained] == ["A"]
+    assert service.inbox("alice@x") == []
+    assert service.drain("alice@x") == []
+
+
+def test_delivery_charges_the_clock():
+    clock, service = make_service()
+    before = clock.now()
+    service.notify("alice@x", "p1", "A")
+    assert clock.now() > before
+
+
+def test_inbox_returns_copy():
+    _, service = make_service()
+    service.notify("alice@x", "p1", "A")
+    listed = service.inbox("alice@x")
+    listed.clear()
+    assert len(service.inbox("alice@x")) == 1

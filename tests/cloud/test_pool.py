@@ -1,0 +1,114 @@
+"""Document pool: storage, history, TO-DO index, replay & rollback guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.hbase import SimHBase
+from repro.cloud.pool import DocumentPool
+from repro.document import build_initial_document
+from repro.errors import ReplayDetected, StorageError, TamperDetected
+from repro.workloads.figure9 import DESIGNER
+
+
+@pytest.fixture()
+def pool():
+    return DocumentPool(SimHBase(region_servers=2))
+
+
+@pytest.fixture()
+def initial(world, fig9a, backend):
+    return build_initial_document(fig9a, world.keypair(DESIGNER),
+                                  backend=backend)
+
+
+class TestRegistration:
+    def test_register_then_store(self, pool, initial):
+        pool.register_process(initial.process_id)
+        assert pool.is_registered(initial.process_id)
+        assert pool.store(initial) == 0
+
+    def test_replay_rejected(self, pool, initial):
+        pool.register_process(initial.process_id)
+        with pytest.raises(ReplayDetected):
+            pool.register_process(initial.process_id)
+
+    def test_store_unregistered_rejected(self, pool, initial):
+        with pytest.raises(StorageError, match="never registered"):
+            pool.store(initial)
+
+
+class TestVersioning:
+    def test_latest_and_history(self, pool, initial, fig9a_trace):
+        final = fig9a_trace.final_document
+        pool.register_process(final.process_id)
+        # Reuse growing snapshots from the same instance: initial is a
+        # different instance, so build history from the final doc only.
+        pool.store(final)
+        pool.store(final)
+        assert len(pool.history(final.process_id)) == 2
+        assert pool.latest(final.process_id).to_bytes() == final.to_bytes()
+
+    def test_latest_missing(self, pool):
+        with pytest.raises(StorageError):
+            pool.latest("ghost")
+
+    def test_process_ids(self, pool, initial, fig9a_trace):
+        pool.register_process(initial.process_id)
+        pool.register_process(fig9a_trace.final_document.process_id)
+        assert set(pool.process_ids()) == {
+            initial.process_id, fig9a_trace.final_document.process_id
+        }
+
+
+class TestRollbackGuard:
+    def test_shrinking_document_rejected(self, pool, fig9a_trace):
+        final = fig9a_trace.final_document
+        pool.register_process(final.process_id)
+        pool.store(final)
+        truncated = final.clone()
+        cers = truncated.results_section.findall("CER")
+        truncated.results_section.remove(cers[-1])
+        with pytest.raises(TamperDetected, match="rollback"):
+            pool.store(truncated)
+
+    def test_growing_document_accepted(self, world, fig9a, backend, pool,
+                                       initial):
+        from repro.core import ActivityExecutionAgent
+        from repro.workloads.figure9 import PARTICIPANTS
+
+        pool.register_process(initial.process_id)
+        pool.store(initial)
+        agent = ActivityExecutionAgent(world.keypair(PARTICIPANTS["A"]),
+                                       world.directory, backend)
+        grown = agent.execute_activity(initial, "A",
+                                       {"attachment": "x"}).document
+        pool.store(grown)
+        assert pool.latest(initial.process_id).execution_count("A") == 1
+
+
+class TestTodoIndex:
+    def test_add_and_search(self, pool):
+        pool.add_todo("alice@x", "p1", "A")
+        pool.add_todo("alice@x", "p2", "B")
+        pool.add_todo("bob@y", "p1", "C")
+        entries = pool.todo_for("alice@x")
+        assert {(e.process_id, e.activity_id) for e in entries} == \
+            {("p1", "A"), ("p2", "B")}
+        assert len(pool.todo_for("bob@y")) == 1
+        assert pool.todo_for("carol@z") == []
+
+    def test_add_idempotent(self, pool):
+        pool.add_todo("alice@x", "p1", "A")
+        pool.add_todo("alice@x", "p1", "A")
+        assert len(pool.todo_for("alice@x")) == 1
+
+    def test_remove(self, pool):
+        pool.add_todo("alice@x", "p1", "A")
+        pool.remove_todo("alice@x", "p1", "A")
+        assert pool.todo_for("alice@x") == []
+
+    def test_prefix_isolation(self, pool):
+        # "alice@x" must not see "alice@xy"'s entries.
+        pool.add_todo("alice@xy", "p1", "A")
+        assert pool.todo_for("alice@x") == []

@@ -1,0 +1,147 @@
+"""Stateful property test: the document pool against a reference model.
+
+Hypothesis drives random interleavings of register/store/todo/archive/
+purge operations and checks the pool's observable behaviour against a
+plain in-memory model after every step.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.cloud.hbase import SimHBase
+from repro.cloud.pool import DocumentPool
+from repro.document import Dra4wfmsDocument
+from repro.errors import ReplayDetected, StorageError
+
+_TEMPLATE: bytes | None = None
+
+
+def _template_bytes() -> bytes:
+    """A small valid document, built once per process."""
+    global _TEMPLATE
+    if _TEMPLATE is None:
+        from repro.crypto.fast import FastBackend
+        from repro.document import build_initial_document
+        from repro.workloads import build_world
+        from repro.workloads.generator import chain_definition
+
+        backend = FastBackend()
+        world = build_world(["designer@enterprise.example",
+                             "p0@enterprise.example"], bits=1024,
+                            backend=backend)
+        definition = chain_definition(1, ["p0@enterprise.example"],
+                                      designer="designer@enterprise.example")
+        _TEMPLATE = build_initial_document(
+            definition, world.keypair("designer@enterprise.example"),
+            backend=backend, process_id="template",
+        ).to_bytes()
+    return _TEMPLATE
+
+
+def _doc_for(process_id: str) -> Dra4wfmsDocument:
+    document = Dra4wfmsDocument.from_bytes(_template_bytes())
+    document.header.set("ProcessId", process_id)
+    return document
+
+
+class PoolMachine(RuleBasedStateMachine):
+    """Random pool workloads vs a dict model."""
+
+    process_ids = Bundle("process_ids")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.pool = DocumentPool(SimHBase(region_servers=2,
+                                          split_threshold_rows=8))
+        self.registered: set[str] = set()
+        self.stored: dict[str, bytes] = {}
+        self.purged: set[str] = set()
+        self.todos: set[tuple[str, str, str]] = set()
+        self._counter = 0
+
+    @rule(target=process_ids)
+    def register(self):
+        self._counter += 1
+        process_id = f"proc{self._counter:04d}"
+        self.pool.register_process(process_id)
+        self.registered.add(process_id)
+        return process_id
+
+    @rule(process_id=process_ids)
+    def replay_rejected(self, process_id):
+        try:
+            self.pool.register_process(process_id)
+            raise AssertionError("replay accepted")
+        except ReplayDetected:
+            pass
+
+    @rule(process_id=process_ids)
+    def store(self, process_id):
+        if process_id in self.purged:
+            return
+        document = _doc_for(process_id)
+        self.pool.store(document)
+        self.stored[process_id] = document.to_bytes()
+
+    @rule(process_id=process_ids,
+          participant=st.sampled_from(["a@x", "b@y"]),
+          activity=st.sampled_from(["A0", "A1"]))
+    def add_todo(self, process_id, participant, activity):
+        self.pool.add_todo(participant, process_id, activity)
+        self.todos.add((participant, process_id, activity))
+
+    @rule(process_id=process_ids,
+          participant=st.sampled_from(["a@x", "b@y"]),
+          activity=st.sampled_from(["A0", "A1"]))
+    def remove_todo(self, process_id, participant, activity):
+        self.pool.remove_todo(participant, process_id, activity)
+        self.todos.discard((participant, process_id, activity))
+
+    @rule(process_id=process_ids)
+    def purge(self, process_id):
+        if process_id not in self.registered:
+            return
+        self.pool.purge(process_id)
+        self.purged.add(process_id)
+        self.stored.pop(process_id, None)
+        self.todos = {t for t in self.todos if t[1] != process_id}
+
+    @invariant()
+    def stored_documents_retrievable(self):
+        for process_id, blob in self.stored.items():
+            assert self.pool.latest(process_id).to_bytes() == blob
+
+    @invariant()
+    def purged_documents_gone(self):
+        for process_id in self.purged:
+            if process_id in self.stored:
+                continue
+            try:
+                self.pool.latest(process_id)
+                raise AssertionError("purged doc still retrievable")
+            except StorageError:
+                pass
+
+    @invariant()
+    def todo_lists_match_model(self):
+        for participant in ("a@x", "b@y"):
+            actual = {
+                (entry.participant, entry.process_id, entry.activity_id)
+                for entry in self.pool.todo_for(participant)
+            }
+            expected = {t for t in self.todos if t[0] == participant}
+            assert actual == expected
+
+
+PoolMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=20, deadline=None,
+)
+TestPoolStateful = PoolMachine.TestCase

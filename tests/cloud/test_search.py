@@ -1,0 +1,180 @@
+"""Pool search & management interfaces (§4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.hbase import SimHBase
+from repro.cloud.pool import DocumentPool
+from repro.errors import StorageError
+from repro.workloads.figure9 import DESIGNER, PARTICIPANTS
+
+
+@pytest.fixture()
+def populated_pool(fig9a_trace, world, fig9a, backend):
+    from repro.document import build_initial_document
+
+    pool = DocumentPool(SimHBase(region_servers=2))
+    final = fig9a_trace.final_document
+    pool.register_process(final.process_id)
+    pool.store(final)
+    # A second, barely-started instance.
+    initial = build_initial_document(fig9a, world.keypair(DESIGNER),
+                                     backend=backend)
+    pool.register_process(initial.process_id)
+    pool.store(initial)
+    return pool, final, initial
+
+
+class TestSummaries:
+    def test_summary_of_finished_instance(self, populated_pool):
+        pool, final, _ = populated_pool
+        summary = pool.summarize(final.process_id)
+        assert summary.process_name == "figure-9a"
+        assert summary.designer == DESIGNER
+        assert summary.executions == 10
+        assert PARTICIPANTS["D"] in summary.participants
+        assert summary.size_bytes == final.size_bytes
+        assert summary.versions == 1
+
+    def test_summary_of_fresh_instance(self, populated_pool):
+        pool, _, initial = populated_pool
+        summary = pool.summarize(initial.process_id)
+        assert summary.executions == 0
+        assert summary.participants == ()
+
+    def test_summary_unknown(self, populated_pool):
+        pool, _, _ = populated_pool
+        with pytest.raises(StorageError):
+            pool.summarize("ghost")
+
+
+class TestSearch:
+    def test_by_process_name(self, populated_pool):
+        pool, _, _ = populated_pool
+        assert len(pool.search(process_name="figure-9a")) == 2
+        assert pool.search(process_name="other") == []
+
+    def test_by_participant(self, populated_pool):
+        pool, final, _ = populated_pool
+        hits = pool.search(participant=PARTICIPANTS["D"])
+        assert [h.process_id for h in hits] == [final.process_id]
+
+    def test_designer_matches_participant_filter(self, populated_pool):
+        pool, _, _ = populated_pool
+        # The designer "participates" in both instances.
+        assert len(pool.search(participant=DESIGNER)) == 2
+
+    def test_by_min_executions(self, populated_pool):
+        pool, final, _ = populated_pool
+        hits = pool.search(min_executions=5)
+        assert [h.process_id for h in hits] == [final.process_id]
+
+    def test_combined_filters(self, populated_pool):
+        pool, final, _ = populated_pool
+        hits = pool.search(process_name="figure-9a",
+                           participant=PARTICIPANTS["B1"],
+                           min_executions=1)
+        assert [h.process_id for h in hits] == [final.process_id]
+
+
+class TestPortalSearch:
+    def test_scoped_to_caller(self, world, fig9b, backend):
+        from repro.cloud import CloudSystem, run_process_in_cloud
+        from repro.document import build_initial_document
+        from repro.workloads.figure9 import figure9_responders
+
+        system = CloudSystem(world.directory,
+                             world.keypair("tfc@cloud.example"),
+                             portals=1, backend=backend)
+        initial = build_initial_document(fig9b, world.keypair(DESIGNER),
+                                         backend=backend)
+        run_process_in_cloud(system, fig9b, initial,
+                             world.keypair(DESIGNER), world.keypairs,
+                             figure9_responders(0))
+
+        reviewer = system.client(world.keypair(PARTICIPANTS["B1"]))
+        hits = reviewer.portal.search_documents(reviewer.session)
+        assert len(hits) == 1
+        assert hits[0].executions == 5
+
+        outsider = system.client(world.keypair("eve@evil.example"))
+        assert outsider.portal.search_documents(outsider.session) == []
+
+
+class TestLifecycle:
+    def test_archive_hides_from_default_search(self, populated_pool):
+        pool, final, _ = populated_pool
+        pool.archive(final.process_id)
+        assert pool.is_archived(final.process_id)
+        default_hits = {h.process_id for h in pool.search()}
+        assert final.process_id not in default_hits
+        all_hits = {h.process_id
+                    for h in pool.search(include_archived=True)}
+        assert final.process_id in all_hits
+        # Archived documents remain retrievable.
+        assert pool.latest(final.process_id).size_bytes == final.size_bytes
+
+    def test_archive_unknown(self, populated_pool):
+        pool, _, _ = populated_pool
+        with pytest.raises(StorageError):
+            pool.archive("ghost")
+
+    def test_purge_deletes_but_blocks_replay(self, populated_pool):
+        from repro.errors import ReplayDetected
+
+        pool, final, _ = populated_pool
+        pool.add_todo("someone@x", final.process_id, "A")
+        pool.purge(final.process_id)
+        with pytest.raises(StorageError):
+            pool.latest(final.process_id)
+        assert pool.todo_for("someone@x") == []
+        # Replay of the purged instance is still rejected.
+        with pytest.raises(ReplayDetected):
+            pool.register_process(final.process_id)
+
+    def test_purge_unknown(self, populated_pool):
+        pool, _, _ = populated_pool
+        with pytest.raises(StorageError):
+            pool.purge("ghost")
+
+
+class TestPortalManage:
+    @pytest.fixture()
+    def cloud(self, world, fig9b, backend):
+        from repro.cloud import CloudSystem, run_process_in_cloud
+        from repro.document import build_initial_document
+        from repro.workloads.figure9 import figure9_responders
+
+        system = CloudSystem(world.directory,
+                             world.keypair("tfc@cloud.example"),
+                             portals=1, backend=backend)
+        initial = build_initial_document(fig9b, world.keypair(DESIGNER),
+                                         backend=backend)
+        final = run_process_in_cloud(system, fig9b, initial,
+                                     world.keypair(DESIGNER),
+                                     world.keypairs,
+                                     figure9_responders(0))
+        return system, final
+
+    def test_designer_archives(self, cloud, world):
+        from repro.errors import PortalError
+
+        system, final = cloud
+        designer = system.client(world.keypair(DESIGNER))
+        designer.portal.manage(designer.session, final.process_id,
+                               "archive")
+        assert system.pool.is_archived(final.process_id)
+
+        with pytest.raises(PortalError, match="unknown manage action"):
+            designer.portal.manage(designer.session, final.process_id,
+                                   "explode")
+
+    def test_non_designer_rejected(self, cloud, world):
+        from repro.errors import PortalError
+
+        system, final = cloud
+        reviewer = system.client(world.keypair(PARTICIPANTS["B1"]))
+        with pytest.raises(PortalError, match="only the designer"):
+            reviewer.portal.manage(reviewer.session, final.process_id,
+                                   "purge")

@@ -1,0 +1,69 @@
+"""Simulated clock semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.simclock import SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now() == 0.0
+
+
+def test_custom_start():
+    assert SimClock(5.0).now() == 5.0
+
+
+def test_advance():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now() == 2.0
+
+
+def test_advance_backwards_rejected():
+    with pytest.raises(ValueError):
+        SimClock().advance(-1)
+
+
+def test_zero_advance_allowed():
+    clock = SimClock(3.0)
+    clock.advance(0)
+    assert clock.now() == 3.0
+
+
+def test_scheduled_callbacks_fire_in_order():
+    clock = SimClock()
+    fired = []
+    clock.schedule(2.0, lambda: fired.append(("b", clock.now())))
+    clock.schedule(1.0, lambda: fired.append(("a", clock.now())))
+    clock.advance(3.0)
+    assert fired == [("a", 1.0), ("b", 2.0)]
+    assert clock.now() == 3.0
+
+
+def test_callbacks_beyond_horizon_wait():
+    clock = SimClock()
+    fired = []
+    clock.schedule(10.0, lambda: fired.append("late"))
+    clock.advance(5.0)
+    assert fired == []
+    assert clock.pending_events == 1
+    clock.advance(5.0)
+    assert fired == ["late"]
+    assert clock.pending_events == 0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        SimClock().schedule(-0.1, lambda: None)
+
+
+def test_same_time_callbacks_fifo():
+    clock = SimClock()
+    fired = []
+    clock.schedule(1.0, lambda: fired.append(1))
+    clock.schedule(1.0, lambda: fired.append(2))
+    clock.advance(2.0)
+    assert fired == [1, 2]

@@ -1,0 +1,140 @@
+"""Property tests: the storage simulators against reference models.
+
+HBase is checked against a plain sorted dict, HDFS against a dict of
+files, under random operation sequences — including random region
+splits (driven by tiny thresholds) and random datanode failures kept
+within the replication budget.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.hbase import SimHBase
+from repro.cloud.hdfs import SimHdfs
+
+_keys = st.text(alphabet="abcdef0123456789", min_size=1, max_size=6)
+_values = st.binary(min_size=0, max_size=64)
+
+
+class TestHBaseModel:
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["put", "delete"]), _keys, _values),
+        max_size=60,
+    ))
+    def test_matches_dict_model(self, ops):
+        cluster = SimHBase(region_servers=2, split_threshold_rows=5)
+        cluster.create_table("t")
+        model: dict[str, bytes] = {}
+        for op, key, value in ops:
+            if op == "put":
+                cluster.put("t", key, "cf", "q", value)
+                model[key] = value
+            else:
+                cluster.delete_row("t", key)
+                model.pop(key, None)
+        # Point reads agree.
+        for key, value in model.items():
+            assert cluster.get("t", key) == {("cf", "q"): value}
+        # Full scans agree and come back sorted, across any splits.
+        scanned = cluster.scan("t")
+        assert [k for k, _ in scanned] == sorted(model)
+        assert {k: row[("cf", "q")] for k, row in scanned} == model
+        # Region ranges always partition the keyspace.
+        regions = cluster.regions_of("t")
+        assert regions[0].start_key == ""
+        for left, right in zip(regions, regions[1:]):
+            assert left.end_key == right.start_key
+
+    @settings(max_examples=15, deadline=None)
+    @given(keys=st.lists(_keys, min_size=12, max_size=40, unique=True))
+    def test_row_count_conserved_across_splits(self, keys):
+        cluster = SimHBase(region_servers=3, split_threshold_rows=4)
+        cluster.create_table("t")
+        for key in keys:
+            cluster.put("t", key, "cf", "q", b"v")
+        assert cluster.total_rows("t") == len(keys)
+        hosted = sum(
+            region.row_count
+            for server in cluster.servers.values()
+            for region in server.regions
+        )
+        assert hosted == len(keys)
+
+
+class TestHdfsModel:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["write", "overwrite", "delete"]),
+                  _keys, _values),
+        max_size=40,
+    ))
+    def test_matches_dict_model(self, ops):
+        hdfs = SimHdfs(datanodes=3, replication=2, block_size=16)
+        model: dict[str, bytes] = {}
+        for op, path, data in ops:
+            if op in ("write", "overwrite"):
+                hdfs.write(path, data)
+                model[path] = data
+            elif path in model:
+                hdfs.delete(path)
+                del model[path]
+        for path, data in model.items():
+            assert hdfs.read(path) == data
+        assert hdfs.list_files() == sorted(model)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        files=st.dictionaries(_keys, _values, min_size=1, max_size=10),
+        victim=st.integers(0, 3),
+    )
+    def test_single_failure_never_loses_data(self, files, victim):
+        hdfs = SimHdfs(datanodes=4, replication=3, block_size=16)
+        for path, data in files.items():
+            hdfs.write(path, data)
+        hdfs.kill_node(f"dn{victim}")
+        for path, data in files.items():
+            assert hdfs.read(path) == data
+        assert hdfs.under_replicated_blocks() == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(files=st.dictionaries(_keys, _values, min_size=1, max_size=6))
+    def test_two_failures_within_replication_budget(self, files):
+        hdfs = SimHdfs(datanodes=5, replication=3, block_size=16)
+        for path, data in files.items():
+            hdfs.write(path, data)
+        hdfs.kill_node("dn0")
+        hdfs.kill_node("dn1")
+        for path, data in files.items():
+            assert hdfs.read(path) == data
+
+
+class TestRegionServerRecoveryModel:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["put", "delete", "kill"]),
+                      _keys, _values),
+            min_size=5, max_size=50,
+        ),
+    )
+    def test_random_kills_never_lose_acknowledged_writes(self, ops):
+        cluster = SimHBase(region_servers=3, split_threshold_rows=6)
+        cluster.create_table("t")
+        model: dict[str, bytes] = {}
+        killed = 0
+        for op, key, value in ops:
+            if op == "put":
+                cluster.put("t", key, "cf", "q", value)
+                model[key] = value
+            elif op == "delete":
+                cluster.delete_row("t", key)
+                model.pop(key, None)
+            elif killed < 2:  # keep one server alive
+                victim = f"rs{killed}"
+                cluster.kill_server(victim)
+                killed += 1
+        for key, value in model.items():
+            assert cluster.get("t", key) == {("cf", "q"): value}
+        assert [k for k, _ in cluster.scan("t")] == sorted(model)

@@ -1,0 +1,89 @@
+"""Shared fixtures: worlds, definitions, and executed traces.
+
+Key generation and full process executions are comparatively expensive,
+so they are session-scoped; tests that mutate documents must work on
+``document.clone()`` (the fixtures hand out shared objects).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InMemoryRuntime, TfcServer
+from repro.crypto import KeyPair
+from repro.crypto.backend import PureBackend
+from repro.crypto.fast import FastBackend
+from repro.document import build_initial_document
+from repro.workloads import build_world, figure9_responders
+from repro.workloads.figure9 import DESIGNER, PARTICIPANTS
+from repro.workloads.figure9 import figure_9a_definition, figure_9b_definition
+
+TFC_IDENTITY = "tfc@cloud.example"
+OUTSIDER = "eve@evil.example"
+
+
+@pytest.fixture(scope="session")
+def backend():
+    """The fast (OpenSSL) backend used for the bulk of the tests."""
+    return FastBackend()
+
+
+@pytest.fixture(scope="session")
+def pure_backend():
+    """Deterministic pure-Python backend (seeded DRBG)."""
+    return PureBackend(seed=b"repro-test-suite")
+
+
+@pytest.fixture(scope="session")
+def world(backend):
+    """PKI world with the Fig. 9 participants, a TFC, and an outsider.
+
+    The outsider has a certificate (so verification of their *claimed*
+    signatures resolves) but is never a designated participant.
+    """
+    identities = [DESIGNER, *PARTICIPANTS.values(), TFC_IDENTITY, OUTSIDER]
+    return build_world(identities, bits=1024, backend=backend)
+
+
+@pytest.fixture(scope="session")
+def fig9a(world):
+    """The Figure 9A definition."""
+    return figure_9a_definition()
+
+
+@pytest.fixture(scope="session")
+def fig9b(world):
+    """The Figure 9B definition (advanced model)."""
+    return figure_9b_definition()
+
+
+@pytest.fixture(scope="session")
+def fig9a_trace(world, fig9a, backend):
+    """One full basic-model execution of Fig. 9A (two loop passes)."""
+    initial = build_initial_document(
+        fig9a, world.keypair(DESIGNER), backend=backend
+    )
+    runtime = InMemoryRuntime(world.directory, world.keypairs,
+                              backend=backend)
+    return runtime.run(initial, fig9a, figure9_responders(1), mode="basic")
+
+
+@pytest.fixture(scope="session")
+def fig9b_run(world, fig9b, backend):
+    """One full advanced-model execution; returns (trace, tfc server)."""
+    initial = build_initial_document(
+        fig9b, world.keypair(DESIGNER), backend=backend
+    )
+    tfc = TfcServer(world.keypair(TFC_IDENTITY), world.directory,
+                    backend=backend)
+    runtime = InMemoryRuntime(world.directory, world.keypairs, tfc=tfc,
+                              backend=backend)
+    trace = runtime.run(initial, fig9b, figure9_responders(1),
+                        mode="advanced")
+    return trace, tfc
+
+
+@pytest.fixture(scope="session")
+def outsider_keypair(world) -> KeyPair:
+    """The certified-but-unauthorised outsider."""
+    return world.keypair(OUTSIDER)

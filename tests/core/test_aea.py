@@ -1,0 +1,177 @@
+"""Activity Execution Agent behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aea import ActivityExecutionAgent
+from repro.document import build_initial_document
+from repro.errors import (
+    AuthorizationError,
+    JoinNotReady,
+    PolicyError,
+    RuntimeFault,
+)
+from repro.workloads.chinese_wall import chinese_wall_definition
+from repro.workloads.figure9 import DESIGNER, PARTICIPANTS
+
+
+@pytest.fixture()
+def initial(world, fig9a, backend):
+    return build_initial_document(fig9a, world.keypair(DESIGNER),
+                                  backend=backend)
+
+
+def agent_for(world, backend, identity):
+    return ActivityExecutionAgent(world.keypair(identity), world.directory,
+                                  backend)
+
+
+class TestExecution:
+    def test_first_activity(self, world, fig9a, backend, initial):
+        agent = agent_for(world, backend, PARTICIPANTS["A"])
+        result = agent.execute_activity(initial, "A",
+                                        {"attachment": "the form"})
+        assert result.iteration == 0
+        assert result.routing is not None
+        assert result.routing.next_activities == ("B1", "B2")
+        assert result.document.execution_count("A") == 1
+        assert result.timings.verify_seconds > 0
+        assert result.timings.sign_seconds > 0
+
+    def test_accepts_serialized_bytes(self, world, backend, initial):
+        agent = agent_for(world, backend, PARTICIPANTS["A"])
+        result = agent.execute_activity(initial.to_bytes(), "A",
+                                        {"attachment": "x"})
+        assert result.document.execution_count("A") == 1
+
+    def test_responder_callable_sees_context(self, world, backend, initial):
+        agent = agent_for(world, backend, PARTICIPANTS["A"])
+        seen = {}
+
+        def responder(context):
+            seen["activity"] = context.activity_id
+            seen["iteration"] = context.iteration
+            seen["expected"] = context.expected_responses
+            return {"attachment": "payload"}
+
+        agent.execute_activity(initial, "A", responder)
+        assert seen == {"activity": "A", "iteration": 0,
+                        "expected": {"attachment": "string"}}
+
+    def test_requests_decrypted_for_participant(self, world, backend,
+                                                initial):
+        first = agent_for(world, backend, PARTICIPANTS["A"])
+        after_a = first.execute_activity(
+            initial, "A", {"attachment": "secret form"}
+        ).document
+
+        reviewer = agent_for(world, backend, PARTICIPANTS["B1"])
+        captured = {}
+
+        def responder(context):
+            captured.update(context.requests)
+            return {"review1": "ok"}
+
+        reviewer.execute_activity(after_a, "B1", responder)
+        assert captured == {"attachment": "secret form"}
+
+    def test_wrong_participant_rejected(self, world, backend, initial):
+        impostor = agent_for(world, backend, PARTICIPANTS["D"])
+        with pytest.raises(AuthorizationError, match="designated"):
+            impostor.execute_activity(initial, "A", {"attachment": "x"})
+
+    def test_response_fields_must_match_declaration(self, world, backend,
+                                                    initial):
+        agent = agent_for(world, backend, PARTICIPANTS["A"])
+        with pytest.raises(RuntimeFault, match="must produce"):
+            agent.execute_activity(initial, "A", {"wrong_field": "x"})
+        with pytest.raises(RuntimeFault, match="must produce"):
+            agent.execute_activity(initial, "A",
+                                   {"attachment": "x", "extra": "y"})
+
+    def test_join_not_ready(self, world, backend, initial):
+        # C cannot run before B1/B2.
+        agent = agent_for(world, backend, PARTICIPANTS["A"])
+        after_a = agent.execute_activity(initial, "A",
+                                         {"attachment": "x"}).document
+        joiner = agent_for(world, backend, PARTICIPANTS["C"])
+        with pytest.raises(JoinNotReady):
+            joiner.execute_activity(after_a, "C", {"summary": "premature"})
+
+    def test_unknown_mode(self, world, backend, initial):
+        agent = agent_for(world, backend, PARTICIPANTS["A"])
+        with pytest.raises(RuntimeFault, match="unknown AEA mode"):
+            agent.execute_activity(initial, "A", {"attachment": "x"},
+                                   mode="turbo")
+
+    def test_advanced_mode_needs_tfc(self, world, backend, initial):
+        agent = agent_for(world, backend, PARTICIPANTS["A"])
+        with pytest.raises(RuntimeFault, match="TFC"):
+            agent.execute_activity(initial, "A", {"attachment": "x"},
+                                   mode="advanced")
+
+
+class TestPolicyEnforcement:
+    def test_basic_mode_refuses_tfc_policies(self, world, backend):
+        definition = chinese_wall_definition()
+        # Enroll the chinese-wall participants on the fly.
+        from repro.workloads.chinese_wall import DESIGNER as CW_DESIGNER
+        from repro.workloads.chinese_wall import PARTICIPANTS as CW_WHO
+
+        for identity in [CW_DESIGNER, *CW_WHO.values()]:
+            if identity not in world.directory:
+                world.add_participant(identity)
+        initial = build_initial_document(
+            definition, world.keypair(CW_DESIGNER), backend=backend
+        )
+        peter = ActivityExecutionAgent(world.keypair(CW_WHO["A1"]),
+                                       world.directory, backend)
+        with pytest.raises(PolicyError, match="advanced"):
+            peter.execute_activity(initial, "A1", {"X": "target"})
+
+    def test_unreadable_request_rejected(self, world, backend):
+        # B2 requests a field the policy hides from them.
+        from repro.model.builder import WorkflowBuilder
+        from repro.model.controlflow import END
+
+        definition = (
+            WorkflowBuilder("hide", designer=DESIGNER)
+            .activity("A", PARTICIPANTS["A"], responses=["secret"])
+            .activity("B", PARTICIPANTS["B1"], requests=["secret"])
+            .transition("A", "B").transition("B", END)
+            .readers("A", "secret", [PARTICIPANTS["D"]])
+            .build()
+        )
+        initial = build_initial_document(
+            definition, world.keypair(DESIGNER), backend=backend
+        )
+        producer = agent_for(world, backend, PARTICIPANTS["A"])
+        after_a = producer.execute_activity(initial, "A",
+                                            {"secret": "x"}).document
+        reader = agent_for(world, backend, PARTICIPANTS["B1"])
+        with pytest.raises(AuthorizationError, match="cannot decrypt"):
+            reader.execute_activity(after_a, "B", {})
+
+
+class TestIterations:
+    def test_loop_produces_new_iteration(self, world, fig9a, backend,
+                                         fig9a_trace):
+        document = fig9a_trace.final_document
+        assert document.find_cer("A", 1) is not None
+        cer0 = document.find_cer("A", 0)
+        cer1 = document.find_cer("A", 1)
+        assert cer0.cer_id != cer1.cer_id
+
+    def test_encrypted_definition_flow(self, world, fig9a, backend):
+        readers = {
+            identity: world.directory.public_key_of(identity)
+            for identity in (*fig9a.participants, DESIGNER)
+        }
+        initial = build_initial_document(
+            fig9a, world.keypair(DESIGNER),
+            encrypt_definition_for=readers, backend=backend,
+        )
+        agent = agent_for(world, backend, PARTICIPANTS["A"])
+        result = agent.execute_activity(initial, "A", {"attachment": "x"})
+        assert result.routing.next_activities == ("B1", "B2")

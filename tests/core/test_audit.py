@@ -1,0 +1,95 @@
+"""Audit trails and dispute evidence extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.audit import audit_trail, extract_evidence, render_trail
+from repro.errors import DocumentError
+from repro.workloads.figure9 import PARTICIPANTS
+
+
+class TestEvidence:
+    def test_bundle_for_valid_document(self, fig9a_trace, world, backend):
+        bundle = extract_evidence(fig9a_trace.final_document,
+                                  world.directory, "D", 1, backend)
+        assert bundle.participant == PARTICIPANTS["D"]
+        assert bundle.document_valid
+        assert bundle.cer_id == "cer-D-1"
+        assert len(bundle.scope_cer_ids) == 11
+        assert bundle.certificate.subject == PARTICIPANTS["D"]
+        assert "BOUND" in bundle.verdict()
+
+    def test_report_renders(self, fig9a_trace, world, backend):
+        bundle = extract_evidence(fig9a_trace.final_document,
+                                  world.directory, "C", 0, backend)
+        report = bundle.render_report()
+        assert "dispute evidence" in report
+        assert "cer-C-0" in report
+        assert PARTICIPANTS["C"] in report
+
+    def test_tampered_document_is_inconclusive(self, fig9a_trace, world,
+                                               backend):
+        altered = fig9a_trace.final_document.clone()
+        node = altered.root.find(".//CER/Signature/SignatureValue")
+        node.text = "AAAA" + (node.text or "")[4:]
+        bundle = extract_evidence(altered, world.directory, "D", 1,
+                                  backend)
+        assert not bundle.document_valid
+        assert "INCONCLUSIVE" in bundle.verdict()
+
+    def test_missing_cer_rejected(self, fig9a_trace, world, backend):
+        with pytest.raises(DocumentError, match="no CER"):
+            extract_evidence(fig9a_trace.final_document, world.directory,
+                             "D", 9, backend)
+
+    def test_advanced_model_evidence_has_timestamp(self, fig9b_run,
+                                                   world, backend):
+        trace, tfc = fig9b_run
+        bundle = extract_evidence(trace.final_document, world.directory,
+                                  "A", 0, backend)
+        assert bundle.timestamp is not None
+        assert "TFC witnessed" in bundle.render_report()
+
+
+class TestTrail:
+    def test_basic_trail(self, fig9a_trace):
+        trail = audit_trail(fig9a_trace.final_document)
+        assert trail[0].kind == "definition"
+        executions = [e for e in trail if e.kind == "execution"]
+        assert [(e.activity_id, e.iteration) for e in executions] == [
+            ("A", 0), ("B1", 0), ("B2", 0), ("C", 0), ("D", 0),
+            ("A", 1), ("B1", 1), ("B2", 1), ("C", 1), ("D", 1),
+        ]
+
+    def test_advanced_trail_has_tfc_entries(self, fig9b_run):
+        trace, _ = fig9b_run
+        trail = audit_trail(trace.final_document)
+        tfc_entries = [e for e in trail if e.kind == "tfc"]
+        assert len(tfc_entries) == 10
+        assert all(e.timestamp is not None for e in tfc_entries)
+
+    def test_trail_includes_amendments(self, world, fig9a, backend):
+        from repro.core import ActivityExecutionAgent
+        from repro.document import build_initial_document
+        from repro.document.amendments import DelegateActivity
+        from repro.workloads.figure9 import DESIGNER
+
+        deputy = "deputy2@megacorp.example"
+        if deputy not in world.directory:
+            world.add_participant(deputy)
+        initial = build_initial_document(fig9a, world.keypair(DESIGNER),
+                                         backend=backend)
+        approver = ActivityExecutionAgent(
+            world.keypair(PARTICIPANTS["D"]), world.directory, backend)
+        amended = approver.amend(
+            initial, DelegateActivity("D", deputy, reason="audit season"))
+        trail = audit_trail(amended)
+        amendment_entries = [e for e in trail if e.kind == "amendment"]
+        assert len(amendment_entries) == 1
+        assert "audit season" in amendment_entries[0].description
+
+    def test_render_trail(self, fig9a_trace):
+        text = render_trail(fig9a_trace.final_document)
+        assert fig9a_trace.final_document.process_id in text
+        assert "[execution]" in text

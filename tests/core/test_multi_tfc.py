@@ -1,0 +1,148 @@
+"""Multiple TFC servers in one process (one notary per enterprise).
+
+Fig. 6 draws a TFC box per routing hop; nothing in the model requires a
+single server.  Each enterprise can operate its own TFC: the AEA
+encrypts its intermediate bundle to *its* TFC, that TFC finalises and
+countersigns, and the successor — possibly in another enterprise —
+routes through a different TFC.  Verification accepts the set of
+expected TFC identities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ActivityExecutionAgent, TfcServer
+from repro.document import build_initial_document, verify_document
+from repro.document.nonrepudiation import nonrepudiation_scope_ids
+from repro.errors import VerificationError
+from repro.workloads.figure9 import DESIGNER, PARTICIPANTS
+
+TFC_ACME = "tfc@acme.example"
+TFC_PARTNER = "tfc@partner.example"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def enroll_tfcs(world):
+    for identity in (TFC_ACME, TFC_PARTNER):
+        if identity not in world.directory:
+            world.add_participant(identity)
+
+
+@pytest.fixture()
+def two_tfcs(world, backend):
+    # A two-member federation: each server trusts the other's CERs.
+    federation = {TFC_ACME, TFC_PARTNER}
+    return (
+        TfcServer(world.keypair(TFC_ACME), world.directory,
+                  backend=backend, trusted_tfcs=federation),
+        TfcServer(world.keypair(TFC_PARTNER), world.directory,
+                  backend=backend, trusted_tfcs=federation),
+    )
+
+
+def run_with(world, backend, fig9b, tfc_for):
+    """Drive Fig. 9B manually, choosing the TFC per activity."""
+    document = build_initial_document(fig9b, world.keypair(DESIGNER),
+                                      backend=backend)
+    order = ["A", "B1", "B2", "C", "D"]
+    branch_docs = {}
+    for activity_id in order:
+        tfc = tfc_for(activity_id)
+        agent = ActivityExecutionAgent(
+            world.keypair(PARTICIPANTS[activity_id]), world.directory,
+            backend,
+        )
+        source = document if activity_id != "C" else branch_docs["B1"]
+        merge = [branch_docs["B2"]] if activity_id == "C" else []
+        values = {
+            "A": {"attachment": "x"}, "B1": {"review1": "r"},
+            "B2": {"review2": "r"}, "C": {"summary": "s"},
+            "D": {"decision": "accept"},
+        }[activity_id]
+        result = agent.execute_activity(
+            source.clone(), activity_id, values, mode="advanced",
+            tfc_identity=tfc.identity, tfc_public_key=tfc.public_key,
+            merge_with=merge,
+        )
+        finalized = tfc.process(result.document).document
+        if activity_id in ("B1", "B2"):
+            branch_docs[activity_id] = finalized
+        else:
+            document = finalized
+    return document
+
+
+class TestTwoTfcs:
+    def test_alternating_tfcs_verify(self, world, backend, fig9b,
+                                     two_tfcs):
+        acme_tfc, partner_tfc = two_tfcs
+        # Acme activities use acme's TFC, the rest use the partner's.
+        by_enterprise = {
+            "A": acme_tfc, "B1": acme_tfc,
+            "B2": partner_tfc, "C": partner_tfc, "D": partner_tfc,
+        }
+        final = run_with(world, backend, fig9b, by_enterprise.__getitem__)
+        report = verify_document(
+            final, world.directory, backend,
+            tfc_identities={acme_tfc.identity, partner_tfc.identity},
+        )
+        assert report.cers_checked == 11
+
+        # Each TFC recorded exactly its own activities.
+        assert sorted(r.activity_id for r in acme_tfc.records) == \
+            ["A", "B1"]
+        assert sorted(r.activity_id for r in partner_tfc.records) == \
+            ["B2", "C", "D"]
+
+    def test_cascade_crosses_tfc_boundaries(self, world, backend, fig9b,
+                                            two_tfcs):
+        acme_tfc, partner_tfc = two_tfcs
+        final = run_with(
+            world, backend, fig9b,
+            lambda a: acme_tfc if a in ("A", "B1") else partner_tfc,
+        )
+        # D's scope reaches back through BOTH notaries to the designer.
+        final_cer = final.find_cer("D", 0, "tfc")
+        scope = nonrepudiation_scope_ids(final, final_cer)
+        assert "cer-def" in scope
+        participants = {
+            cer.participant for cer in final.cers()
+            if cer.cer_id in scope
+        }
+        assert {acme_tfc.identity, partner_tfc.identity} <= participants
+
+    def test_unexpected_tfc_rejected(self, world, backend, fig9b,
+                                     two_tfcs):
+        acme_tfc, partner_tfc = two_tfcs
+        final = run_with(world, backend, fig9b, lambda a: acme_tfc)
+        with pytest.raises(VerificationError, match="unexpected"):
+            verify_document(final, world.directory, backend,
+                            tfc_identities={partner_tfc.identity})
+
+    def test_untrusted_tfc_refused_by_peer(self, world, backend, fig9b):
+        # Without federation config, the partner's TFC refuses to
+        # extend a document finalised by acme's TFC.
+        from repro.errors import VerificationError as VE
+
+        acme = TfcServer(world.keypair(TFC_ACME), world.directory,
+                         backend=backend)
+        partner = TfcServer(world.keypair(TFC_PARTNER), world.directory,
+                            backend=backend)
+        document = build_initial_document(
+            fig9b, world.keypair(DESIGNER), backend=backend)
+        agent_a = ActivityExecutionAgent(
+            world.keypair(PARTICIPANTS["A"]), world.directory, backend)
+        after_a = acme.process(agent_a.execute_activity(
+            document, "A", {"attachment": "x"}, mode="advanced",
+            tfc_identity=acme.identity, tfc_public_key=acme.public_key,
+        ).document).document
+        agent_b1 = ActivityExecutionAgent(
+            world.keypair(PARTICIPANTS["B1"]), world.directory, backend)
+        pending = agent_b1.execute_activity(
+            after_a, "B1", {"review1": "r"}, mode="advanced",
+            tfc_identity=partner.identity,
+            tfc_public_key=partner.public_key,
+        ).document
+        with pytest.raises(VE, match="unexpected"):
+            partner.process(pending)

@@ -1,0 +1,130 @@
+"""Routing: cascade targets and join readiness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aea import ActivityExecutionAgent
+from repro.core.router import cascade_targets, check_join_ready, route_after
+from repro.document import build_initial_document
+from repro.errors import JoinNotReady, RoutingError
+from repro.workloads.figure9 import DESIGNER, PARTICIPANTS
+
+
+@pytest.fixture()
+def initial(world, fig9a, backend):
+    return build_initial_document(fig9a, world.keypair(DESIGNER),
+                                  backend=backend)
+
+
+def run_activity(world, backend, document, activity_id, values,
+                 merge_with=None):
+    participant = {
+        "A": PARTICIPANTS["A"], "B1": PARTICIPANTS["B1"],
+        "B2": PARTICIPANTS["B2"], "C": PARTICIPANTS["C"],
+        "D": PARTICIPANTS["D"],
+    }[activity_id]
+    agent = ActivityExecutionAgent(world.keypair(participant),
+                                   world.directory, backend)
+    return agent.execute_activity(document, activity_id, values,
+                                  merge_with=merge_with or []).document
+
+
+class TestCascadeTargets:
+    def test_start_activity_signs_designer(self, initial, fig9a):
+        targets = cascade_targets(initial, fig9a, "A")
+        assert [t.get("Id") for t in targets] == ["sig-def"]
+
+    def test_sequence_signs_predecessor(self, world, backend, initial,
+                                        fig9a):
+        after_a = run_activity(world, backend, initial, "A",
+                               {"attachment": "x"})
+        targets = cascade_targets(after_a, fig9a, "B1")
+        assert [t.get("Id") for t in targets] == ["sig-A-0"]
+
+    def test_and_join_signs_all_branches(self, world, backend, initial,
+                                         fig9a):
+        after_a = run_activity(world, backend, initial, "A",
+                               {"attachment": "x"})
+        branch1 = run_activity(world, backend, after_a.clone(), "B1",
+                               {"review1": "r"})
+        merged = run_activity(world, backend, after_a.clone(), "B2",
+                              {"review2": "r"}).merge(branch1)
+        targets = cascade_targets(merged, fig9a, "C")
+        assert sorted(t.get("Id") for t in targets) == \
+            ["sig-B1-0", "sig-B2-0"]
+
+    def test_loop_reentry_signs_latest(self, fig9a_trace, fig9a):
+        # After D^0 (loop back), A's targets are D's latest signature.
+        document = fig9a_trace.final_document
+        targets = cascade_targets(document, fig9a, "A")
+        assert [t.get("Id") for t in targets] == ["sig-D-1"]
+
+    def test_pending_intermediate_blocks_routing(self, world, fig9b,
+                                                 backend):
+        from repro.core import TfcServer
+
+        initial = build_initial_document(fig9b, world.keypair(DESIGNER),
+                                         backend=backend)
+        tfc = TfcServer(world.keypair("tfc@cloud.example"),
+                        world.directory, backend=backend)
+        agent = ActivityExecutionAgent(world.keypair(PARTICIPANTS["A"]),
+                                       world.directory, backend)
+        pending = agent.execute_activity(
+            initial, "A", {"attachment": "x"}, mode="advanced",
+            tfc_identity=tfc.identity, tfc_public_key=tfc.public_key,
+        ).document
+        with pytest.raises(RoutingError, match="unfinalised"):
+            cascade_targets(pending, fig9b, "B1")
+
+
+class TestJoinReadiness:
+    def test_start_always_ready(self, initial, fig9a):
+        check_join_ready(initial, fig9a, "A")
+
+    def test_sequence_requires_predecessor(self, initial, fig9a):
+        with pytest.raises(JoinNotReady):
+            check_join_ready(initial, fig9a, "B1")
+
+    def test_and_join_requires_all_branches(self, world, backend, initial,
+                                            fig9a):
+        after_a = run_activity(world, backend, initial, "A",
+                               {"attachment": "x"})
+        branch1 = run_activity(world, backend, after_a.clone(), "B1",
+                               {"review1": "r"})
+        with pytest.raises(JoinNotReady, match="missing branches"):
+            check_join_ready(branch1, fig9a, "C")
+        merged = branch1.merge(
+            run_activity(world, backend, after_a.clone(), "B2",
+                         {"review2": "r"})
+        )
+        check_join_ready(merged, fig9a, "C")
+
+    def test_sibling_consumption_does_not_block(self, world, backend,
+                                                initial, fig9a):
+        # B1 executed on a document that already carries B2's result
+        # (pool-serialised flow): B2's CER consumed A's frontier, but B1
+        # must still be runnable.
+        after_a = run_activity(world, backend, initial, "A",
+                               {"attachment": "x"})
+        after_b2 = run_activity(world, backend, after_a, "B2",
+                                {"review2": "r"})
+        check_join_ready(after_b2, fig9a, "B1")
+
+
+class TestRouteAfter:
+    def test_and_split(self, fig9a):
+        decision = route_after(fig9a, "A", {})
+        assert decision.next_activities == ("B1", "B2")
+        assert decision.next_participants == (PARTICIPANTS["B1"],
+                                              PARTICIPANTS["B2"])
+        assert not decision.terminal
+
+    def test_termination(self, fig9a):
+        decision = route_after(fig9a, "D", {"decision": "accept"})
+        assert decision.terminal
+        assert decision.next_activities == ()
+
+    def test_loop_back(self, fig9a):
+        decision = route_after(fig9a, "D", {"decision": "nope"})
+        assert decision.next_activities == ("A",)

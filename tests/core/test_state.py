@@ -1,0 +1,124 @@
+"""Variable views and execution status reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import VariableView, execution_status
+from repro.document import build_initial_document
+from repro.model.builder import WorkflowBuilder
+from repro.model.controlflow import END
+from repro.workloads.figure9 import DESIGNER, PARTICIPANTS
+
+
+class TestVariableView:
+    def test_reader_sees_permitted_fields(self, world, backend,
+                                          fig9a_trace):
+        document = fig9a_trace.final_document
+        reviewer = world.keypair(PARTICIPANTS["B1"])
+        view = VariableView.for_reader(document, reviewer.identity,
+                                       reviewer.private_key, backend)
+        assert "attachment" in view
+        assert "review1" in view  # own production
+
+    def test_latest_iteration_wins(self, world, backend, fig9a_trace):
+        document = fig9a_trace.final_document
+        reviewer = world.keypair(PARTICIPANTS["B1"])
+        view = VariableView.for_reader(document, reviewer.identity,
+                                       reviewer.private_key, backend)
+        assert "v2" in view["attachment"]  # second loop pass value
+
+    def test_non_reader_sees_nothing(self, backend, fig9a_trace,
+                                     outsider_keypair):
+        document = fig9a_trace.final_document
+        view = VariableView.for_reader(document, outsider_keypair.identity,
+                                       outsider_keypair.private_key,
+                                       backend)
+        assert len(view) == 0
+
+    def test_merged_with_overrides(self):
+        view = VariableView({"a": "1", "b": "2"})
+        merged = view.merged_with({"b": "20", "c": "3"})
+        assert merged.raw == {"a": "1", "b": "20", "c": "3"}
+        assert view.raw == {"a": "1", "b": "2"}  # original untouched
+
+    def test_typed_conversion(self):
+        definition = (
+            WorkflowBuilder("typed", designer="d@x")
+            .activity("A", "p@x", responses=[])
+            .transition("A", END)
+            .build()
+        )
+        from repro.model.activity import Activity, FieldSpec
+
+        definition.activities["A"] = Activity(
+            "A", "p@x",
+            responses=(FieldSpec("n", "int"), FieldSpec("r", "float"),
+                       FieldSpec("ok", "bool"), FieldSpec("s", "string")),
+        )
+        view = VariableView({"n": "42", "r": "2.5", "ok": "true",
+                             "s": "text", "unknown": "kept"})
+        typed = view.typed(definition)
+        assert typed == {"n": 42, "r": 2.5, "ok": True, "s": "text",
+                         "unknown": "kept"}
+
+    def test_bool_parsing(self):
+        view = VariableView({})
+        for text, expected in [("true", True), ("1", True), ("YES", True),
+                               ("false", False), ("0", False),
+                               ("no", False)]:
+            definition = (
+                WorkflowBuilder("b", designer="d@x")
+                .activity("A", "p@x", responses=[])
+                .transition("A", END).build()
+            )
+            from repro.model.activity import Activity, FieldSpec
+
+            definition.activities["A"] = Activity(
+                "A", "p@x", responses=(FieldSpec("flag", "bool"),)
+            )
+            assert VariableView({"flag": text}).typed(definition)["flag"] \
+                is expected
+
+    def test_getitem_missing(self):
+        with pytest.raises(KeyError):
+            VariableView({})["nothing"]
+
+
+class TestExecutionStatus:
+    def test_initial_document(self, world, fig9a, backend):
+        initial = build_initial_document(fig9a, world.keypair(DESIGNER),
+                                         backend=backend)
+        status = execution_status(initial, fig9a)
+        assert status.completed == []
+        assert not status.finished
+        assert status.executions == 0
+
+    def test_finished_process(self, fig9a_trace, fig9a):
+        status = execution_status(fig9a_trace.final_document, fig9a)
+        assert status.finished
+        assert status.executions == 10
+        assert ("D", 1) in status.completed
+
+    def test_advanced_status_has_timestamps(self, fig9b_run, fig9b):
+        trace, _ = fig9b_run
+        status = execution_status(trace.final_document, fig9b)
+        assert len(status.timestamps) == 10
+        assert status.pending_tfc == []
+
+    def test_pending_tfc_tracked(self, world, fig9b, backend):
+        from repro.core import ActivityExecutionAgent, TfcServer
+
+        initial = build_initial_document(fig9b, world.keypair(DESIGNER),
+                                         backend=backend)
+        tfc = TfcServer(world.keypair("tfc@cloud.example"),
+                        world.directory, backend=backend)
+        agent = ActivityExecutionAgent(world.keypair(PARTICIPANTS["A"]),
+                                       world.directory, backend)
+        mid = agent.execute_activity(
+            initial, "A", {"attachment": "x"}, mode="advanced",
+            tfc_identity=tfc.identity, tfc_public_key=tfc.public_key,
+        ).document
+        status = execution_status(mid, fig9b)
+        assert status.pending_tfc == [("A", 0)]
+        assert status.completed == []

@@ -1,0 +1,80 @@
+"""Pure AES against FIPS 197 vectors and structural properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.pure.aes import AES
+from repro.errors import KeyError_
+
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+# FIPS 197 Appendix C vectors.
+FIPS_VECTORS = [
+    ("000102030405060708090a0b0c0d0e0f",
+     "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ("000102030405060708090a0b0c0d0e0f1011121314151617",
+     "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    ("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+     "8ea2b7ca516745bfeafc49904b496089"),
+]
+
+
+@pytest.mark.parametrize("key_hex,ct_hex", FIPS_VECTORS,
+                         ids=["aes128", "aes192", "aes256"])
+def test_fips197_encrypt(key_hex, ct_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.encrypt_block(PLAINTEXT).hex() == ct_hex
+
+
+@pytest.mark.parametrize("key_hex,ct_hex", FIPS_VECTORS,
+                         ids=["aes128", "aes192", "aes256"])
+def test_fips197_decrypt(key_hex, ct_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.decrypt_block(bytes.fromhex(ct_hex)) == PLAINTEXT
+
+
+def test_aes128_known_vector_2():
+    # FIPS 197 Appendix B.
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+    assert AES(key).encrypt_block(plaintext).hex() == \
+        "3925841d02dc09fbdc118597196a0b32"
+
+
+@pytest.mark.parametrize("size", [0, 1, 15, 17, 23, 31, 33])
+def test_invalid_key_sizes_rejected(size):
+    with pytest.raises(KeyError_):
+        AES(b"k" * size)
+
+
+@pytest.mark.parametrize("size", [0, 15, 17, 32])
+def test_invalid_block_sizes_rejected(size):
+    cipher = AES(b"k" * 16)
+    with pytest.raises(KeyError_):
+        cipher.encrypt_block(b"b" * size)
+    with pytest.raises(KeyError_):
+        cipher.decrypt_block(b"b" * size)
+
+
+@given(st.binary(min_size=16, max_size=16),
+       st.sampled_from([16, 24, 32]))
+def test_roundtrip(block, key_size):
+    cipher = AES(bytes(range(key_size)))
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(st.binary(min_size=16, max_size=16))
+def test_encryption_is_permutation_not_identity(block):
+    cipher = AES(b"\x01" * 16)
+    encrypted = cipher.encrypt_block(block)
+    assert len(encrypted) == 16
+    # AES has no fixed points we should ever stumble on by chance.
+    assert encrypted != block
+
+
+def test_different_keys_different_ciphertexts():
+    a = AES(b"a" * 16).encrypt_block(PLAINTEXT)
+    b = AES(b"b" * 16).encrypt_block(PLAINTEXT)
+    assert a != b

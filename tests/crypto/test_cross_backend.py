@@ -1,0 +1,104 @@
+"""Interoperability between the pure and the fast (OpenSSL) backends.
+
+Everything DRA4WfMS produces must be backend-portable: a document
+signed on one backend verifies on the other, sealed payloads open, and
+wrapped keys unwrap.  These tests are the license to use the fast
+backend everywhere else in the suite while still claiming the pure
+implementation is the reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.backend import PureBackend
+from repro.crypto.fast import FastBackend
+from repro.crypto.pure.drbg import HmacDrbg
+from repro.crypto.pure.rsa import generate_keypair
+from repro.errors import DecryptionError, SignatureError
+
+
+@pytest.fixture(scope="module")
+def pure():
+    return PureBackend(seed=b"cross-backend")
+
+
+@pytest.fixture(scope="module")
+def fast():
+    return FastBackend()
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(1024, HmacDrbg(b"cross-key"))
+
+
+def test_digest_agreement(pure, fast):
+    for data in (b"", b"abc", b"x" * 1000):
+        assert pure.digest(data) == fast.digest(data)
+
+
+def test_fast_keygen_usable_by_pure(pure, fast):
+    key = fast.generate_keypair(1024)
+    signature = pure.sign(key, b"msg")
+    pure.verify(key.public_key, b"msg", signature)
+
+
+class TestSignatures:
+    def test_pure_sign_fast_verify(self, pure, fast, keypair):
+        signature = pure.sign(keypair, b"cascade")
+        fast.verify(keypair.public_key, b"cascade", signature)
+
+    def test_fast_sign_pure_verify(self, pure, fast, keypair):
+        signature = fast.sign(keypair, b"cascade")
+        pure.verify(keypair.public_key, b"cascade", signature)
+
+    def test_signatures_are_byte_identical(self, pure, fast, keypair):
+        # PKCS#1 v1.5 signing is deterministic, so the two backends
+        # must produce the same bytes.
+        assert pure.sign(keypair, b"m") == fast.sign(keypair, b"m")
+
+    def test_cross_verify_rejects_tampering(self, pure, fast, keypair):
+        signature = bytearray(pure.sign(keypair, b"m"))
+        signature[5] ^= 1
+        with pytest.raises(SignatureError):
+            fast.verify(keypair.public_key, b"m", bytes(signature))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(max_size=300))
+    def test_property_cross_verification(self, pure, fast, keypair, message):
+        fast.verify(keypair.public_key, message, pure.sign(keypair, message))
+        pure.verify(keypair.public_key, message, fast.sign(keypair, message))
+
+
+class TestKeyWrap:
+    def test_pure_wrap_fast_unwrap(self, pure, fast, keypair):
+        wrapped = pure.wrap_key(keypair.public_key, b"0123456789abcdef")
+        assert fast.unwrap_key(keypair, wrapped) == b"0123456789abcdef"
+
+    def test_fast_wrap_pure_unwrap(self, pure, fast, keypair):
+        wrapped = fast.wrap_key(keypair.public_key, b"0123456789abcdef")
+        assert pure.unwrap_key(keypair, wrapped) == b"0123456789abcdef"
+
+
+class TestSealing:
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(max_size=200), st.binary(max_size=30))
+    def test_pure_seal_fast_open(self, pure, fast, plaintext, aad):
+        key = b"k" * 16
+        assert fast.open_sealed(key, pure.seal(key, plaintext, aad),
+                                aad) == plaintext
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(max_size=200), st.binary(max_size=30))
+    def test_fast_seal_pure_open(self, pure, fast, plaintext, aad):
+        key = b"k" * 16
+        assert pure.open_sealed(key, fast.seal(key, plaintext, aad),
+                                aad) == plaintext
+
+    def test_cross_open_rejects_wrong_aad(self, pure, fast):
+        key = b"k" * 16
+        blob = pure.seal(key, b"data", b"aad-1")
+        with pytest.raises(DecryptionError):
+            fast.open_sealed(key, blob, b"aad-2")

@@ -1,0 +1,87 @@
+"""HMAC-DRBG determinism and distribution sanity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.pure.drbg import HmacDrbg
+
+
+def test_seeded_generators_are_deterministic():
+    a = HmacDrbg(b"seed")
+    b = HmacDrbg(b"seed")
+    assert a.generate(64) == b.generate(64)
+    assert a.generate(10) == b.generate(10)
+
+
+def test_different_seeds_diverge():
+    assert HmacDrbg(b"one").generate(32) != HmacDrbg(b"two").generate(32)
+
+
+def test_personalization_separates_streams():
+    a = HmacDrbg(b"seed", personalization=b"alpha")
+    b = HmacDrbg(b"seed", personalization=b"beta")
+    assert a.generate(32) != b.generate(32)
+
+
+def test_unseeded_generators_differ():
+    assert HmacDrbg().generate(32) != HmacDrbg().generate(32)
+
+
+def test_deterministic_flag():
+    assert HmacDrbg(b"x").deterministic
+    assert not HmacDrbg().deterministic
+
+
+def test_generate_lengths():
+    rng = HmacDrbg(b"seed")
+    assert rng.generate(0) == b""
+    assert len(rng.generate(1)) == 1
+    assert len(rng.generate(100)) == 100
+
+
+def test_generate_negative_rejected():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"seed").generate(-1)
+
+
+def test_reseed_changes_stream():
+    a = HmacDrbg(b"seed")
+    b = HmacDrbg(b"seed")
+    b.reseed(b"fresh entropy")
+    assert a.generate(32) != b.generate(32)
+
+
+def test_successive_outputs_differ():
+    rng = HmacDrbg(b"seed")
+    assert rng.generate(32) != rng.generate(32)
+
+
+@given(st.integers(min_value=1, max_value=10_000))
+def test_randbelow_in_range(upper):
+    rng = HmacDrbg(b"seed")
+    for _ in range(5):
+        assert 0 <= rng.randbelow(upper) < upper
+
+
+def test_randbelow_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"s").randbelow(0)
+
+
+@given(st.integers(min_value=1, max_value=512))
+def test_randbits_has_exact_bit_length(nbits):
+    value = HmacDrbg(b"seed").randbits(nbits)
+    assert value.bit_length() == nbits
+
+
+def test_randbits_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"s").randbits(0)
+
+
+def test_randbelow_covers_small_range():
+    rng = HmacDrbg(b"coverage")
+    seen = {rng.randbelow(4) for _ in range(200)}
+    assert seen == {0, 1, 2, 3}

@@ -1,0 +1,157 @@
+"""AES-GCM: NIST vectors, OpenSSL interop, XML-layer integration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.backend import PureBackend
+from repro.crypto.fast import FastBackend
+from repro.crypto.pure.gcm import gcm_decrypt, gcm_encrypt, ghash
+from repro.errors import DecryptionError
+
+# NIST SP 800-38D test vectors (AES-128).
+KEY = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+IV = bytes.fromhex("cafebabefacedbaddecaf888")
+PT_64 = bytes.fromhex(
+    "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255"
+)
+CT_64 = bytes.fromhex(
+    "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+    "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+)
+AAD = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+
+
+class TestNistVectors:
+    def test_case_1_empty(self):
+        key = bytes(16)
+        ciphertext, tag = gcm_encrypt(key, bytes(12), b"")
+        assert ciphertext == b""
+        assert tag.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+    def test_case_2_single_block(self):
+        key = bytes(16)
+        ciphertext, tag = gcm_encrypt(key, bytes(12), bytes(16))
+        assert ciphertext.hex() == "0388dace60b6a392f328c2b971b2fe78"
+        assert tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+    def test_case_3_four_blocks(self):
+        ciphertext, tag = gcm_encrypt(KEY, IV, PT_64)
+        assert ciphertext == CT_64
+        assert tag.hex() == "4d5c2af327cd64a62cf35abd2ba6fab4"
+
+    def test_case_4_with_aad(self):
+        ciphertext, tag = gcm_encrypt(KEY, IV, PT_64[:60], AAD)
+        assert ciphertext == CT_64[:60]
+        assert tag.hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+
+    def test_decrypt_roundtrip(self):
+        ciphertext, tag = gcm_encrypt(KEY, IV, PT_64[:60], AAD)
+        assert gcm_decrypt(KEY, IV, ciphertext, tag, AAD) == PT_64[:60]
+
+
+class TestFailures:
+    def test_tampered_ciphertext(self):
+        ciphertext, tag = gcm_encrypt(KEY, IV, b"secret")
+        bad = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+        with pytest.raises(DecryptionError):
+            gcm_decrypt(KEY, IV, bad, tag)
+
+    def test_tampered_tag(self):
+        ciphertext, tag = gcm_encrypt(KEY, IV, b"secret")
+        bad_tag = bytes([tag[0] ^ 1]) + tag[1:]
+        with pytest.raises(DecryptionError):
+            gcm_decrypt(KEY, IV, ciphertext, bad_tag)
+
+    def test_wrong_aad(self):
+        ciphertext, tag = gcm_encrypt(KEY, IV, b"secret", b"context-a")
+        with pytest.raises(DecryptionError):
+            gcm_decrypt(KEY, IV, ciphertext, tag, b"context-b")
+
+    def test_bad_iv_length(self):
+        with pytest.raises(DecryptionError):
+            gcm_encrypt(KEY, b"short", b"x")
+
+    def test_ghash_alignment(self):
+        with pytest.raises(ValueError):
+            ghash(1, b"not a block")
+
+
+class TestCrossBackend:
+    @pytest.fixture(scope="class")
+    def pure(self):
+        return PureBackend(seed=b"gcm-tests")
+
+    @pytest.fixture(scope="class")
+    def fast(self):
+        return FastBackend()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(max_size=300), st.binary(max_size=40))
+    def test_pure_seal_fast_open(self, pure, fast, plaintext, aad):
+        key = b"k" * 16
+        blob = pure.seal_gcm(key, plaintext, aad)
+        assert fast.open_gcm(key, blob, aad) == plaintext
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(max_size=300), st.binary(max_size=40))
+    def test_fast_seal_pure_open(self, pure, fast, plaintext, aad):
+        key = b"k" * 16
+        blob = fast.seal_gcm(key, plaintext, aad)
+        assert pure.open_gcm(key, blob, aad) == plaintext
+
+    def test_short_blob_rejected(self, pure, fast):
+        for backend in (pure, fast):
+            with pytest.raises(DecryptionError):
+                backend.open_gcm(b"k" * 16, b"tiny")
+
+
+class TestXmlIntegration:
+    def test_gcm_encrypted_element(self, world, backend):
+        from repro.workloads.figure9 import DESIGNER
+        from repro.xmlsec.canonical import canonicalize, parse_xml
+        from repro.xmlsec.xmlenc import ALG_GCM, decrypt_value, encrypt_value
+
+        keypair = world.keypair(DESIGNER)
+        element = encrypt_value(
+            "e1", "X", b"gcm payload",
+            {keypair.identity: keypair.public_key},
+            backend, algorithm=ALG_GCM,
+        )
+        assert element.get("Algorithm") == ALG_GCM
+        reparsed = parse_xml(canonicalize(element))
+        assert decrypt_value(reparsed, keypair.identity,
+                             keypair.private_key, backend) == b"gcm payload"
+
+    def test_algorithm_rewrite_fails_closed(self, world, backend):
+        from repro.errors import XmlEncryptionError
+        from repro.workloads.figure9 import DESIGNER
+        from repro.xmlsec.xmlenc import ALG_GCM, decrypt_value, encrypt_value
+
+        keypair = world.keypair(DESIGNER)
+        element = encrypt_value(
+            "e1", "X", b"payload",
+            {keypair.identity: keypair.public_key},
+            backend, algorithm=ALG_GCM,
+        )
+        element.set("Algorithm", "aes128ctr-hmacsha256")
+        with pytest.raises(XmlEncryptionError):
+            decrypt_value(element, keypair.identity,
+                          keypair.private_key, backend)
+        element.set("Algorithm", "rot13")
+        with pytest.raises(XmlEncryptionError, match="unsupported"):
+            decrypt_value(element, keypair.identity,
+                          keypair.private_key, backend)
+
+    def test_unknown_algorithm_rejected_on_encrypt(self, world, backend):
+        from repro.errors import XmlEncryptionError
+        from repro.workloads.figure9 import DESIGNER
+        from repro.xmlsec.xmlenc import encrypt_value
+
+        keypair = world.keypair(DESIGNER)
+        with pytest.raises(XmlEncryptionError, match="unsupported"):
+            encrypt_value("e1", "X", b"p",
+                          {keypair.identity: keypair.public_key},
+                          backend, algorithm="des-ecb")

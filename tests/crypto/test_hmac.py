@@ -1,0 +1,74 @@
+"""HMAC-SHA256 against RFC 4231 vectors and the standard library."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.pure.hmac import HMAC, constant_time_compare, hmac_sha256
+
+# RFC 4231 test cases (SHA-256 column).
+RFC4231 = [
+    (b"\x0b" * 20, b"Hi There",
+     "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"),
+    (b"Jefe", b"what do ya want for nothing?",
+     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"),
+    (b"\xaa" * 20, b"\xdd" * 50,
+     "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"),
+    (b"\xaa" * 131,
+     b"Test Using Larger Than Block-Size Key - Hash Key First",
+     "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"),
+]
+
+
+@pytest.mark.parametrize("key,msg,expected", RFC4231,
+                         ids=["case1", "case2", "case3", "long-key"])
+def test_rfc4231_vectors(key, msg, expected):
+    assert hmac_sha256(key, msg).hex() == expected
+
+
+def test_incremental_matches_oneshot():
+    mac = HMAC(b"key")
+    mac.update(b"part one ")
+    mac.update(b"part two")
+    assert mac.digest() == hmac_sha256(b"key", b"part one part two")
+
+
+def test_copy_is_independent():
+    mac = HMAC(b"key", b"base")
+    clone = mac.copy()
+    clone.update(b"-x")
+    assert mac.digest() == hmac_sha256(b"key", b"base")
+    assert clone.digest() == hmac_sha256(b"key", b"base-x")
+
+
+def test_hexdigest():
+    assert bytes.fromhex(HMAC(b"k", b"m").hexdigest()) == hmac_sha256(b"k", b"m")
+
+
+@given(st.binary(max_size=200), st.binary(max_size=2000))
+def test_matches_stdlib(key, msg):
+    assert hmac_sha256(key, msg) == stdlib_hmac.new(
+        key, msg, hashlib.sha256
+    ).digest()
+
+
+class TestConstantTimeCompare:
+    def test_equal(self):
+        assert constant_time_compare(b"same-bytes", b"same-bytes")
+
+    def test_unequal_same_length(self):
+        assert not constant_time_compare(b"aaaa", b"aaab")
+
+    def test_different_lengths(self):
+        assert not constant_time_compare(b"short", b"longer-value")
+
+    def test_empty(self):
+        assert constant_time_compare(b"", b"")
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_agrees_with_equality(self, a, b):
+        assert constant_time_compare(a, b) == (a == b)

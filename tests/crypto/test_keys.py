@@ -1,0 +1,70 @@
+"""Key-pair handling and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.backend import PureBackend
+from repro.crypto.keys import (
+    KeyPair,
+    private_key_from_dict,
+    private_key_to_dict,
+    public_key_from_dict,
+    public_key_to_dict,
+)
+from repro.errors import KeyError_
+
+
+@pytest.fixture(scope="module")
+def keypair(backend):
+    return KeyPair.generate("tester@acme.example", bits=1024, backend=backend)
+
+
+def test_generate_sets_identity(keypair):
+    assert keypair.identity == "tester@acme.example"
+    assert keypair.public_key.n == keypair.private_key.n
+
+
+def test_public_key_roundtrip(keypair):
+    data = public_key_to_dict(keypair.public_key)
+    assert data["kty"] == "RSA"
+    assert public_key_from_dict(data) == keypair.public_key
+
+
+def test_private_key_roundtrip(keypair):
+    data = private_key_to_dict(keypair.private_key)
+    assert private_key_from_dict(data) == keypair.private_key
+
+
+def test_keypair_dict_roundtrip(keypair):
+    restored = KeyPair.from_dict(keypair.to_dict())
+    assert restored.identity == keypair.identity
+    assert restored.private_key == keypair.private_key
+
+
+def test_public_key_rejects_wrong_kty():
+    with pytest.raises(KeyError_):
+        public_key_from_dict({"kty": "EC", "n": "0x3", "e": "0x5"})
+
+
+def test_public_key_rejects_malformed():
+    with pytest.raises(KeyError_):
+        public_key_from_dict({"kty": "RSA", "n": "not-hex", "e": "0x5"})
+    with pytest.raises(KeyError_):
+        public_key_from_dict({"kty": "RSA"})
+
+
+def test_private_key_rejects_malformed():
+    with pytest.raises(KeyError_):
+        private_key_from_dict({"kty": "RSA", "n": "0x1"})
+
+
+def test_sign_uses_identity_key(keypair, backend):
+    signature = keypair.sign(b"message", backend)
+    backend.verify(keypair.public_key, b"message", signature)
+
+
+def test_generate_with_pure_backend_deterministic():
+    a = KeyPair.generate("x@y", bits=512, backend=PureBackend(seed=b"s"))
+    b = KeyPair.generate("x@y", bits=512, backend=PureBackend(seed=b"s"))
+    assert a.private_key == b.private_key

@@ -1,0 +1,139 @@
+"""Padding, CBC/CTR modes, and authenticated sealing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.pure.drbg import HmacDrbg
+from repro.crypto.pure.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_transform,
+    open_sealed,
+    pkcs7_pad,
+    pkcs7_unpad,
+    seal,
+)
+from repro.errors import DecryptionError
+
+KEY = b"0123456789abcdef"
+IV = b"\x00" * 16
+
+
+class TestPkcs7:
+    @given(st.binary(max_size=200))
+    def test_roundtrip(self, data):
+        assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_pad_always_adds(self):
+        assert pkcs7_pad(b"x" * 16) == b"x" * 16 + bytes([16]) * 16
+
+    def test_unpad_rejects_empty(self):
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"")
+
+    def test_unpad_rejects_partial_block(self):
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"x" * 15)
+
+    def test_unpad_rejects_bad_padding_byte(self):
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"x" * 15 + b"\x00")
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"x" * 15 + b"\x11")
+
+    def test_unpad_rejects_inconsistent_padding(self):
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"x" * 14 + b"\x01\x02")
+
+
+class TestCbc:
+    @given(st.binary(max_size=300))
+    def test_roundtrip(self, plaintext):
+        ciphertext = cbc_encrypt(KEY, IV, plaintext)
+        assert cbc_decrypt(KEY, IV, ciphertext) == plaintext
+
+    def test_iv_changes_ciphertext(self):
+        a = cbc_encrypt(KEY, b"\x01" * 16, b"message")
+        b = cbc_encrypt(KEY, b"\x02" * 16, b"message")
+        assert a != b
+
+    def test_bad_iv_length(self):
+        with pytest.raises(DecryptionError):
+            cbc_encrypt(KEY, b"short", b"msg")
+        with pytest.raises(DecryptionError):
+            cbc_decrypt(KEY, b"short", b"x" * 16)
+
+    def test_partial_ciphertext_rejected(self):
+        with pytest.raises(DecryptionError):
+            cbc_decrypt(KEY, IV, b"x" * 17)
+
+    def test_chaining(self):
+        # Identical plaintext blocks must encrypt differently under CBC.
+        ciphertext = cbc_encrypt(KEY, IV, b"A" * 32)
+        assert ciphertext[:16] != ciphertext[16:32]
+
+
+class TestCtr:
+    @given(st.binary(max_size=300))
+    def test_involution(self, data):
+        nonce = b"\x07" * 16
+        once = ctr_transform(KEY, nonce, data)
+        assert ctr_transform(KEY, nonce, once) == data
+
+    def test_counter_wraps_at_128_bits(self):
+        nonce = b"\xff" * 16
+        # Two blocks: the second encryption block uses counter 0.
+        out = ctr_transform(KEY, nonce, b"\x00" * 32)
+        assert len(out) == 32
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(DecryptionError):
+            ctr_transform(KEY, b"short", b"data")
+
+    def test_keystream_position_matters(self):
+        a = ctr_transform(KEY, (1).to_bytes(16, "big"), b"\x00" * 16)
+        b = ctr_transform(KEY, (2).to_bytes(16, "big"), b"\x00" * 16)
+        assert a != b
+
+
+class TestSeal:
+    @given(st.binary(max_size=500), st.binary(max_size=50))
+    def test_roundtrip(self, plaintext, aad):
+        blob = seal(KEY, plaintext, aad, HmacDrbg(b"nonce-seed"))
+        assert open_sealed(KEY, blob, aad) == plaintext
+
+    def test_wrong_key_rejected(self):
+        blob = seal(KEY, b"secret", rng=HmacDrbg(b"n"))
+        with pytest.raises(DecryptionError):
+            open_sealed(b"another-key-0000", blob)
+
+    def test_wrong_aad_rejected(self):
+        blob = seal(KEY, b"secret", b"context-a", HmacDrbg(b"n"))
+        with pytest.raises(DecryptionError):
+            open_sealed(KEY, blob, b"context-b")
+
+    def test_tampered_ciphertext_rejected(self):
+        blob = bytearray(seal(KEY, b"secret", rng=HmacDrbg(b"n")))
+        blob[20] ^= 0x01
+        with pytest.raises(DecryptionError):
+            open_sealed(KEY, bytes(blob))
+
+    def test_tampered_tag_rejected(self):
+        blob = bytearray(seal(KEY, b"secret", rng=HmacDrbg(b"n")))
+        blob[-1] ^= 0x01
+        with pytest.raises(DecryptionError):
+            open_sealed(KEY, bytes(blob))
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(DecryptionError):
+            open_sealed(KEY, b"too-short")
+
+    def test_nonces_are_fresh(self):
+        rng = HmacDrbg(b"n")
+        assert seal(KEY, b"m", rng=rng) != seal(KEY, b"m", rng=rng)
+
+    def test_empty_plaintext(self):
+        blob = seal(KEY, b"", b"aad", HmacDrbg(b"n"))
+        assert open_sealed(KEY, blob, b"aad") == b""

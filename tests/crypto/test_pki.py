@@ -1,0 +1,131 @@
+"""Certificate authority and key directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.pki import Certificate, CertificateAuthority, KeyDirectory
+from repro.errors import CertificateError
+
+
+@pytest.fixture(scope="module")
+def ca(backend):
+    return CertificateAuthority("ca.acme.example", backend=backend)
+
+
+@pytest.fixture(scope="module")
+def other_ca(backend):
+    return CertificateAuthority("ca.megacorp.example", backend=backend)
+
+
+@pytest.fixture(scope="module")
+def alice(backend):
+    return KeyPair.generate("alice@acme.example", bits=1024, backend=backend)
+
+
+class TestCertificateAuthority:
+    def test_issue_and_verify(self, ca, alice):
+        cert = ca.issue(alice.identity, alice.public_key)
+        ca.verify(cert)
+        assert cert.subject == alice.identity
+        assert cert.issuer == ca.name
+
+    def test_serials_increment(self, ca, alice):
+        a = ca.issue("a@x", alice.public_key)
+        b = ca.issue("b@x", alice.public_key)
+        assert b.serial == a.serial + 1
+
+    def test_wrong_issuer_rejected(self, ca, other_ca, alice):
+        cert = ca.issue(alice.identity, alice.public_key)
+        with pytest.raises(CertificateError):
+            other_ca.verify(cert)
+
+    def test_tampered_subject_rejected(self, ca, alice):
+        cert = ca.issue(alice.identity, alice.public_key)
+        forged = Certificate(
+            subject="mallory@evil.example",
+            public_key=cert.public_key,
+            issuer=cert.issuer,
+            serial=cert.serial,
+            not_before=cert.not_before,
+            not_after=cert.not_after,
+            signature=cert.signature,
+        )
+        with pytest.raises(CertificateError):
+            ca.verify(forged)
+
+    def test_revocation(self, ca, alice):
+        cert = ca.issue("revocable@x", alice.public_key)
+        ca.verify(cert)
+        ca.revoke(cert.serial)
+        assert ca.is_revoked(cert.serial)
+        with pytest.raises(CertificateError):
+            ca.verify(cert)
+
+    def test_validity_window(self, ca, alice):
+        cert = ca.issue("timed@x", alice.public_key,
+                        not_before=100.0, not_after=200.0)
+        ca.verify(cert, at_time=150.0)
+        with pytest.raises(CertificateError):
+            ca.verify(cert, at_time=50.0)
+        with pytest.raises(CertificateError):
+            ca.verify(cert, at_time=250.0)
+
+    def test_serialization_roundtrip(self, ca, alice):
+        cert = ca.issue(alice.identity, alice.public_key)
+        restored = Certificate.from_dict(cert.to_dict())
+        assert restored == cert
+        ca.verify(restored)
+
+
+class TestKeyDirectory:
+    def test_enroll_and_lookup(self, ca, alice):
+        directory = KeyDirectory([ca])
+        directory.enroll(alice, ca.name)
+        assert directory.public_key_of(alice.identity) == alice.public_key
+        assert alice.identity in directory
+
+    def test_unknown_identity(self, ca):
+        directory = KeyDirectory([ca])
+        with pytest.raises(CertificateError):
+            directory.public_key_of("nobody@nowhere")
+
+    def test_untrusted_issuer_rejected(self, ca, other_ca, alice):
+        directory = KeyDirectory([other_ca])
+        cert = ca.issue(alice.identity, alice.public_key)
+        with pytest.raises(CertificateError):
+            directory.register(cert)
+
+    def test_cross_enterprise_trust(self, ca, other_ca, backend):
+        # Two enterprises, two CAs, one directory trusting both.
+        directory = KeyDirectory([ca, other_ca])
+        employee_a = KeyPair.generate("pa@acme.example", bits=1024,
+                                      backend=backend)
+        employee_b = KeyPair.generate("pb@megacorp.example", bits=1024,
+                                      backend=backend)
+        directory.enroll(employee_a, ca.name)
+        directory.enroll(employee_b, other_ca.name)
+        assert set(directory.identities()) == {
+            "pa@acme.example", "pb@megacorp.example"
+        }
+
+    def test_revocation_blocks_lookup(self, backend):
+        ca = CertificateAuthority("ca.solo", backend=backend)
+        directory = KeyDirectory([ca])
+        user = KeyPair.generate("victim@solo", bits=1024, backend=backend)
+        cert = directory.enroll(user, ca.name)
+        directory.public_key_of(user.identity)
+        ca.revoke(cert.serial)
+        with pytest.raises(CertificateError):
+            directory.public_key_of(user.identity)
+
+    def test_enroll_unknown_ca(self, alice):
+        directory = KeyDirectory()
+        with pytest.raises(CertificateError):
+            directory.enroll(alice, "ca.ghost")
+
+    def test_certificate_of(self, ca, alice):
+        directory = KeyDirectory([ca])
+        issued = directory.enroll(alice, ca.name)
+        assert directory.certificate_of(alice.identity) == issued

@@ -1,0 +1,71 @@
+"""Miller–Rabin primality testing and prime generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.pure.drbg import HmacDrbg
+from repro.crypto.pure.primes import SMALL_PRIMES, generate_prime, is_probable_prime
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 7919, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [1, 0, -7, 4, 100, 7917, 2**31, 2**61 - 2]
+
+# Carmichael numbers fool Fermat but not Miller–Rabin.
+CARMICHAEL = [561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265]
+
+
+def test_small_primes_table():
+    assert SMALL_PRIMES[0] == 2
+    assert SMALL_PRIMES[-1] < 2000
+    assert 1999 in SMALL_PRIMES
+    # The table itself must contain only primes.
+    for p in SMALL_PRIMES[:50]:
+        assert is_probable_prime(p)
+
+
+@pytest.mark.parametrize("n", KNOWN_PRIMES)
+def test_known_primes(n):
+    assert is_probable_prime(n, HmacDrbg(b"seed"))
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites(n):
+    assert not is_probable_prime(n, HmacDrbg(b"seed"))
+
+
+@pytest.mark.parametrize("n", CARMICHAEL)
+def test_carmichael_numbers_rejected(n):
+    assert not is_probable_prime(n, HmacDrbg(b"seed"))
+
+
+def test_product_of_two_primes_rejected():
+    p, q = 104729, 1299709
+    assert not is_probable_prime(p * q, HmacDrbg(b"seed"))
+
+
+@pytest.mark.parametrize("bits", [64, 128, 256])
+def test_generate_prime_bit_length(bits):
+    rng = HmacDrbg(b"prime-seed")
+    p = generate_prime(bits, rng)
+    assert p.bit_length() == bits
+    assert p % 2 == 1
+    assert is_probable_prime(p, rng)
+
+
+def test_generate_prime_deterministic():
+    assert generate_prime(96, HmacDrbg(b"s")) == generate_prime(96, HmacDrbg(b"s"))
+
+
+def test_generate_prime_different_seeds():
+    assert generate_prime(96, HmacDrbg(b"a")) != generate_prime(96, HmacDrbg(b"b"))
+
+
+def test_generate_prime_top_bits_set():
+    # Both MSBs forced so p*q has exactly 2n bits.
+    p = generate_prime(64, HmacDrbg(b"seed"))
+    assert p >> 62 == 0b11
+
+
+def test_generate_prime_refuses_tiny():
+    with pytest.raises(ValueError):
+        generate_prime(8)

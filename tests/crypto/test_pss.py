@@ -1,0 +1,153 @@
+"""RSASSA-PSS: pure implementation, OpenSSL interop, XML integration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.backend import PureBackend
+from repro.crypto.fast import FastBackend
+from repro.crypto.pure.drbg import HmacDrbg
+from repro.crypto.pure.rsa import generate_keypair
+from repro.errors import SignatureError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(1024, HmacDrbg(b"pss-key"))
+
+
+@pytest.fixture(scope="module")
+def pure():
+    return PureBackend(seed=b"pss-tests")
+
+
+@pytest.fixture(scope="module")
+def fast():
+    return FastBackend()
+
+
+class TestPurePss:
+    def test_roundtrip(self, keypair):
+        signature = keypair.sign_pss(b"message", HmacDrbg(b"salt"))
+        keypair.public_key.verify_pss(b"message", signature)
+
+    def test_randomised(self, keypair):
+        rng = HmacDrbg(b"salts")
+        a = keypair.sign_pss(b"same message", rng)
+        b = keypair.sign_pss(b"same message", rng)
+        assert a != b  # fresh salt each time
+        keypair.public_key.verify_pss(b"same message", a)
+        keypair.public_key.verify_pss(b"same message", b)
+
+    def test_wrong_message_rejected(self, keypair):
+        signature = keypair.sign_pss(b"original", HmacDrbg(b"s"))
+        with pytest.raises(SignatureError):
+            keypair.public_key.verify_pss(b"altered", signature)
+
+    def test_bitflip_rejected(self, keypair):
+        signature = bytearray(keypair.sign_pss(b"msg", HmacDrbg(b"s")))
+        signature[7] ^= 1
+        with pytest.raises(SignatureError):
+            keypair.public_key.verify_pss(b"msg", bytes(signature))
+
+    def test_pkcs1_signature_is_not_a_pss_signature(self, keypair):
+        signature = keypair.sign(b"msg")
+        with pytest.raises(SignatureError):
+            keypair.public_key.verify_pss(b"msg", signature)
+
+    def test_wrong_length_rejected(self, keypair):
+        with pytest.raises(SignatureError):
+            keypair.public_key.verify_pss(b"msg", b"\x00" * 16)
+
+    def test_empty_message(self, keypair):
+        keypair.public_key.verify_pss(
+            b"", keypair.sign_pss(b"", HmacDrbg(b"s"))
+        )
+
+
+class TestCrossBackend:
+    @settings(max_examples=8, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_pure_sign_fast_verify(self, pure, fast, keypair, message):
+        fast.verify_pss(keypair.public_key, message,
+                        pure.sign_pss(keypair, message))
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_fast_sign_pure_verify(self, pure, fast, keypair, message):
+        pure.verify_pss(keypair.public_key, message,
+                        fast.sign_pss(keypair, message))
+
+    def test_fast_rejects_tampered(self, pure, fast, keypair):
+        signature = bytearray(pure.sign_pss(keypair, b"m"))
+        signature[-2] ^= 1
+        with pytest.raises(SignatureError):
+            fast.verify_pss(keypair.public_key, b"m", bytes(signature))
+
+
+class TestXmlIntegration:
+    def test_pss_xml_signature(self, fast, keypair):
+        import xml.etree.ElementTree as ET
+
+        from repro.crypto.keys import KeyPair
+        from repro.xmlsec.xmldsig import (
+            ALG_PSS,
+            XmlSignature,
+            find_by_id,
+            sign_references,
+        )
+
+        signer = KeyPair("signer@x", keypair)
+        root = ET.Element("Doc")
+        data = ET.SubElement(root, "Data", {"Id": "d1"})
+        data.text = "payload"
+        signature = sign_references("sig1", signer.identity,
+                                    signer.private_key, [data],
+                                    backend=fast, algorithm=ALG_PSS)
+        root.append(signature.element)
+        parsed = XmlSignature(find_by_id(root, "sig1"))
+        assert parsed.algorithm == ALG_PSS
+        parsed.verify(keypair.public_key, root, fast)
+
+        data.text = "tampered"
+        with pytest.raises(Exception):
+            parsed.verify(keypair.public_key, root, fast)
+
+    def test_unknown_algorithm_rejected_on_sign(self, fast, keypair):
+        import xml.etree.ElementTree as ET
+
+        from repro.errors import XmlSignatureError
+        from repro.xmlsec.xmldsig import sign_references
+
+        target = ET.Element("Data", {"Id": "d1"})
+        with pytest.raises(XmlSignatureError, match="unsupported"):
+            sign_references("s", "x", keypair, [target], backend=fast,
+                            algorithm="rsa-md5")
+
+    def test_unknown_algorithm_rejected_on_verify(self, fast, keypair):
+        import xml.etree.ElementTree as ET
+
+        from repro.crypto.keys import KeyPair
+        from repro.errors import XmlSignatureError
+        from repro.xmlsec.xmldsig import (
+            XmlSignature,
+            find_by_id,
+            sign_references,
+        )
+
+        signer = KeyPair("signer@x", keypair)
+        root = ET.Element("Doc")
+        data = ET.SubElement(root, "Data", {"Id": "d1"})
+        signature = sign_references("sig1", signer.identity,
+                                    signer.private_key, [data],
+                                    backend=fast)
+        # Downgrade attack: rewrite the algorithm attribute.
+        signature.element.find("SignedInfo/SignatureMethod").set(
+            "Algorithm", "rsa-md5"
+        )
+        root.append(signature.element)
+        with pytest.raises(XmlSignatureError):
+            XmlSignature(find_by_id(root, "sig1")).verify(
+                keypair.public_key, root, fast
+            )

@@ -1,0 +1,135 @@
+"""Pure RSA: keygen, PKCS#1 v1.5 signatures and encryption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.pure.drbg import HmacDrbg
+from repro.crypto.pure.rsa import RsaPrivateKey, generate_keypair
+from repro.errors import DecryptionError, KeyError_, SignatureError
+
+
+@pytest.fixture(scope="module")
+def keypair() -> RsaPrivateKey:
+    return generate_keypair(1024, HmacDrbg(b"rsa-test-seed"))
+
+
+@pytest.fixture(scope="module")
+def other_keypair() -> RsaPrivateKey:
+    return generate_keypair(1024, HmacDrbg(b"other-seed"))
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        assert keypair.n.bit_length() == 1024
+        assert keypair.public_key.bits == 1024
+        assert keypair.byte_length == 128
+
+    def test_crt_consistency(self, keypair):
+        assert keypair.p * keypair.q == keypair.n
+        phi = (keypair.p - 1) * (keypair.q - 1)
+        assert (keypair.d * keypair.e) % phi == 1
+
+    def test_deterministic_with_seed(self):
+        a = generate_keypair(512, HmacDrbg(b"same"))
+        b = generate_keypair(512, HmacDrbg(b"same"))
+        assert a == b
+
+    def test_refuses_small_or_odd_sizes(self):
+        with pytest.raises(KeyError_):
+            generate_keypair(256)
+        with pytest.raises(KeyError_):
+            generate_keypair(1025)
+
+    def test_inconsistent_private_key_rejected(self, keypair):
+        with pytest.raises(KeyError_):
+            RsaPrivateKey(n=keypair.n + 2, e=keypair.e, d=keypair.d,
+                          p=keypair.p, q=keypair.q)
+
+    def test_fingerprint_stable_and_distinct(self, keypair, other_keypair):
+        assert (keypair.public_key.fingerprint()
+                == keypair.public_key.fingerprint())
+        assert (keypair.public_key.fingerprint()
+                != other_keypair.public_key.fingerprint())
+
+
+class TestSignatures:
+    def test_roundtrip(self, keypair):
+        signature = keypair.sign(b"the document")
+        keypair.public_key.verify(b"the document", signature)
+
+    def test_signature_length_is_modulus_length(self, keypair):
+        assert len(keypair.sign(b"x")) == keypair.byte_length
+
+    def test_wrong_message_rejected(self, keypair):
+        signature = keypair.sign(b"original")
+        with pytest.raises(SignatureError):
+            keypair.public_key.verify(b"altered", signature)
+
+    def test_bitflip_rejected(self, keypair):
+        signature = bytearray(keypair.sign(b"msg"))
+        signature[10] ^= 0x01
+        with pytest.raises(SignatureError):
+            keypair.public_key.verify(b"msg", bytes(signature))
+
+    def test_wrong_key_rejected(self, keypair, other_keypair):
+        signature = keypair.sign(b"msg")
+        with pytest.raises(SignatureError):
+            other_keypair.public_key.verify(b"msg", signature)
+
+    def test_wrong_length_rejected(self, keypair):
+        with pytest.raises(SignatureError):
+            keypair.public_key.verify(b"msg", b"\x00" * 64)
+
+    def test_out_of_range_representative_rejected(self, keypair):
+        too_big = (keypair.n + 1).to_bytes(keypair.byte_length, "big")
+        with pytest.raises(SignatureError):
+            keypair.public_key.verify(b"msg", too_big)
+
+    def test_deterministic(self, keypair):
+        assert keypair.sign(b"same") == keypair.sign(b"same")
+
+    def test_empty_message(self, keypair):
+        signature = keypair.sign(b"")
+        keypair.public_key.verify(b"", signature)
+
+
+class TestEncryption:
+    def test_roundtrip(self, keypair):
+        secret = b"a 16-byte AES key"
+        assert keypair.decrypt(
+            keypair.public_key.encrypt(secret, HmacDrbg(b"pad"))
+        ) == secret
+
+    def test_randomized_padding(self, keypair):
+        # Two encryptions of the same plaintext must differ (PKCS#1 PS).
+        c1 = keypair.public_key.encrypt(b"msg", HmacDrbg(b"pad-a"))
+        c2 = keypair.public_key.encrypt(b"msg", HmacDrbg(b"pad-b"))
+        assert c1 != c2
+        assert keypair.decrypt(c1) == keypair.decrypt(c2) == b"msg"
+
+    def test_plaintext_too_long(self, keypair):
+        with pytest.raises(KeyError_):
+            keypair.public_key.encrypt(b"x" * (keypair.byte_length - 10))
+
+    def test_max_length_plaintext(self, keypair):
+        secret = b"y" * (keypair.byte_length - 11)
+        ciphertext = keypair.public_key.encrypt(secret, HmacDrbg(b"p"))
+        assert keypair.decrypt(ciphertext) == secret
+
+    def test_tampered_ciphertext_rejected(self, keypair):
+        ciphertext = bytearray(
+            keypair.public_key.encrypt(b"secret", HmacDrbg(b"p"))
+        )
+        ciphertext[0] ^= 0xFF
+        with pytest.raises(DecryptionError):
+            keypair.decrypt(bytes(ciphertext))
+
+    def test_wrong_key_rejected(self, keypair, other_keypair):
+        ciphertext = keypair.public_key.encrypt(b"secret", HmacDrbg(b"p"))
+        with pytest.raises(DecryptionError):
+            other_keypair.decrypt(ciphertext)
+
+    def test_wrong_length_rejected(self, keypair):
+        with pytest.raises(DecryptionError):
+            keypair.decrypt(b"\x01" * 60)

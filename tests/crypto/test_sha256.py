@@ -1,0 +1,85 @@
+"""Pure SHA-256 against FIPS vectors, hashlib, and property tests."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.pure.sha256 import SHA256, sha256
+
+
+# NIST FIPS 180-4 / well-known vectors.
+KNOWN_VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc",
+     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"),
+    (b"a" * 1_000_000,
+     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"),
+]
+
+
+@pytest.mark.parametrize("message,expected", KNOWN_VECTORS,
+                         ids=["empty", "abc", "two-blocks", "million-a"])
+def test_known_vectors(message, expected):
+    assert sha256(message).hex() == expected
+
+
+def test_incremental_update_equals_oneshot():
+    h = SHA256()
+    h.update(b"hello ")
+    h.update(b"")
+    h.update(b"world")
+    assert h.digest() == sha256(b"hello world")
+
+
+def test_digest_is_idempotent():
+    h = SHA256(b"data")
+    first = h.digest()
+    assert h.digest() == first
+    h.update(b" more")
+    assert h.digest() == sha256(b"data more")
+
+
+def test_copy_is_independent():
+    h = SHA256(b"prefix")
+    clone = h.copy()
+    clone.update(b"-clone")
+    h.update(b"-orig")
+    assert h.digest() == sha256(b"prefix-orig")
+    assert clone.digest() == sha256(b"prefix-clone")
+
+
+def test_hexdigest_matches_digest():
+    h = SHA256(b"xyz")
+    assert bytes.fromhex(h.hexdigest()) == h.digest()
+
+
+def test_update_rejects_str():
+    with pytest.raises(TypeError):
+        SHA256().update("not bytes")  # type: ignore[arg-type]
+
+
+@given(st.binary(max_size=4096))
+def test_matches_hashlib(data):
+    assert sha256(data) == hashlib.sha256(data).digest()
+
+
+@given(st.lists(st.binary(max_size=300), max_size=12))
+def test_chunked_updates_match_hashlib(chunks):
+    h = SHA256()
+    reference = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk)
+        reference.update(chunk)
+    assert h.digest() == reference.digest()
+
+
+@given(st.binary(min_size=50, max_size=80))
+def test_block_boundary_padding(data):
+    # Lengths straddling the 55/56-byte padding boundary are the
+    # classic implementation bug; sweep the whole region.
+    assert sha256(data) == hashlib.sha256(data).digest()

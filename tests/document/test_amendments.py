@@ -1,0 +1,322 @@
+"""Run-time amendments: dynamic flow control and dynamic security policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ActivityExecutionAgent, TfcServer
+from repro.document import build_initial_document, verify_document
+from repro.document.amendments import (
+    AddActivity,
+    DelegateActivity,
+    GrantReader,
+    amendment_cers,
+    amendment_from_xml,
+    amendment_to_xml,
+    apply_amendment,
+    check_authorized,
+    effective_definition,
+)
+from repro.document.nonrepudiation import nonrepudiation_scope_ids
+from repro.errors import (
+    DefinitionError,
+    ReproError,
+    VerificationError,
+)
+from repro.model.activity import Activity, FieldSpec
+from repro.workloads.figure9 import DESIGNER, PARTICIPANTS
+
+DEPUTY = "deputy@megacorp.example"
+AUDITOR = "auditor@regulator.example"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def extra_identities(world):
+    for identity in (DEPUTY, AUDITOR):
+        if identity not in world.directory:
+            world.add_participant(identity)
+
+
+def agent(world, backend, identity):
+    return ActivityExecutionAgent(world.keypair(identity),
+                                  world.directory, backend)
+
+
+@pytest.fixture()
+def after_a(world, fig9a, backend):
+    initial = build_initial_document(fig9a, world.keypair(DESIGNER),
+                                     backend=backend)
+    return agent(world, backend, PARTICIPANTS["A"]).execute_activity(
+        initial, "A", {"attachment": "form"}
+    ).document
+
+
+class TestXmlRoundtrip:
+    @pytest.mark.parametrize("amendment", [
+        DelegateActivity("D", DEPUTY, reason="vacation"),
+        AddActivity(
+            Activity("X1", AUDITOR, requests=("summary",),
+                     responses=(FieldSpec("audit_note"),)),
+            after="C", before="D",
+        ),
+        GrantReader("A", "attachment", AUDITOR, reason="audit"),
+    ], ids=["delegate", "add-activity", "grant-reader"])
+    def test_roundtrip(self, amendment):
+        restored = amendment_from_xml(amendment_to_xml(amendment, "s1"))
+        assert restored == amendment
+
+    def test_malformed_spec_rejected(self):
+        import xml.etree.ElementTree as ET
+
+        with pytest.raises(ReproError):
+            amendment_from_xml(ET.Element("NotASpec"))
+        with pytest.raises(ReproError):
+            amendment_from_xml(ET.Element("AmendmentSpec",
+                                          {"Kind": "unknown"}))
+
+
+class TestApply:
+    def test_delegate(self, fig9a):
+        updated = apply_amendment(fig9a, DelegateActivity("D", DEPUTY))
+        assert updated.activity("D").participant == DEPUTY
+        assert fig9a.activity("D").participant == PARTICIPANTS["D"]
+
+    def test_add_activity_rewires_edge(self, fig9a):
+        amendment = AddActivity(
+            Activity("X1", AUDITOR, requests=("summary",),
+                     responses=(FieldSpec("audit_note"),)),
+            after="C", before="D",
+        )
+        updated = apply_amendment(fig9a, amendment)
+        assert updated.successors("C") == ["X1"]
+        assert updated.successors("X1") == ["D"]
+        assert "X1" in updated.activities
+
+    def test_add_activity_duplicate_id_rejected(self, fig9a):
+        amendment = AddActivity(Activity("D", AUDITOR), after="C",
+                                before="D")
+        with pytest.raises(DefinitionError):
+            apply_amendment(fig9a, amendment)
+
+    def test_add_activity_missing_edge_rejected(self, fig9a):
+        amendment = AddActivity(Activity("X1", AUDITOR), after="A",
+                                before="D")
+        with pytest.raises(DefinitionError, match="no sequence edge"):
+            apply_amendment(fig9a, amendment)
+
+    def test_grant_reader_without_rule(self, fig9a):
+        updated = apply_amendment(
+            fig9a, GrantReader("A", "attachment", AUDITOR)
+        )
+        readers = updated.policy.readers_for(updated, "A", "attachment")
+        assert AUDITOR in readers
+        # Existing readers preserved.
+        assert PARTICIPANTS["B1"] in readers
+
+    def test_grant_reader_extends_existing_rule(self, fig9a):
+        from repro.model.policy import FieldRule, ReaderClause
+
+        fig9a = apply_amendment(fig9a, GrantReader("A", "attachment",
+                                                   AUDITOR))
+        again = apply_amendment(fig9a, GrantReader("A", "attachment",
+                                                   DEPUTY))
+        readers = again.policy.readers_for(again, "A", "attachment")
+        assert AUDITOR in readers and DEPUTY in readers
+
+
+class TestAuthorization:
+    def test_participant_may_delegate_own_activity(self, fig9a):
+        check_authorized(DelegateActivity("D", DEPUTY),
+                         PARTICIPANTS["D"], fig9a)
+
+    def test_designer_may_delegate_any(self, fig9a):
+        check_authorized(DelegateActivity("D", DEPUTY), DESIGNER, fig9a)
+
+    def test_other_participant_may_not_delegate(self, fig9a):
+        with pytest.raises(VerificationError, match="only"):
+            check_authorized(DelegateActivity("D", DEPUTY),
+                             PARTICIPANTS["B1"], fig9a)
+
+    def test_only_designer_adds_activities(self, fig9a):
+        amendment = AddActivity(Activity("X1", AUDITOR), after="C",
+                                before="D")
+        check_authorized(amendment, DESIGNER, fig9a)
+        with pytest.raises(VerificationError, match="designer"):
+            check_authorized(amendment, PARTICIPANTS["C"], fig9a)
+
+    def test_producer_or_designer_grants_readers(self, fig9a):
+        amendment = GrantReader("A", "attachment", AUDITOR)
+        check_authorized(amendment, PARTICIPANTS["A"], fig9a)
+        check_authorized(amendment, DESIGNER, fig9a)
+        with pytest.raises(VerificationError):
+            check_authorized(amendment, PARTICIPANTS["B1"], fig9a)
+
+    def test_delegation_chain(self, fig9a):
+        # After D is delegated to the deputy, the *deputy* (not the
+        # original approver) holds the delegation right.
+        once = apply_amendment(fig9a, DelegateActivity("D", DEPUTY))
+        check_authorized(DelegateActivity("D", AUDITOR), DEPUTY, once)
+        with pytest.raises(VerificationError):
+            check_authorized(DelegateActivity("D", AUDITOR),
+                             PARTICIPANTS["D"], once)
+
+
+class TestEmbeddedAmendments:
+    def test_delegated_execution_end_to_end(self, world, backend,
+                                            after_a):
+        approver = agent(world, backend, PARTICIPANTS["D"])
+        amended = approver.amend(
+            after_a, DelegateActivity("D", DEPUTY, reason="vacation")
+        )
+        verify_document(amended, world.directory, backend)
+        assert effective_definition(amended, backend=backend) \
+            .activity("D").participant == DEPUTY
+
+        # Run the rest of the workflow; the deputy executes D.
+        doc1 = agent(world, backend, PARTICIPANTS["B1"]).execute_activity(
+            amended.clone(), "B1", {"review1": "ok"}).document
+        doc2 = agent(world, backend, PARTICIPANTS["B2"]).execute_activity(
+            amended.clone(), "B2", {"review2": "ok"}).document
+        merged = doc1.merge(doc2)
+        after_c = agent(world, backend, PARTICIPANTS["C"]).execute_activity(
+            merged, "C", {"summary": "fine"}).document
+        result = agent(world, backend, DEPUTY).execute_activity(
+            after_c, "D", {"decision": "accept"})
+        assert result.routing.terminal
+        report = verify_document(result.document, world.directory, backend)
+        assert report.warnings == []
+
+    def test_original_participant_rejected_after_delegation(
+            self, world, backend, after_a):
+        approver = agent(world, backend, PARTICIPANTS["D"])
+        amended = approver.amend(after_a, DelegateActivity("D", DEPUTY))
+        doc1 = agent(world, backend, PARTICIPANTS["B1"]).execute_activity(
+            amended.clone(), "B1", {"review1": "ok"}).document
+        doc2 = agent(world, backend, PARTICIPANTS["B2"]).execute_activity(
+            amended.clone(), "B2", {"review2": "ok"}).document
+        after_c = agent(world, backend, PARTICIPANTS["C"]).execute_activity(
+            doc1.merge(doc2), "C", {"summary": "s"}).document
+        from repro.errors import AuthorizationError
+
+        with pytest.raises(AuthorizationError):
+            approver.execute_activity(after_c, "D", {"decision": "accept"})
+
+    def test_unauthorized_amendment_refused_at_creation(self, world,
+                                                        backend, after_a):
+        reviewer = agent(world, backend, PARTICIPANTS["B1"])
+        with pytest.raises(VerificationError):
+            reviewer.amend(after_a, DelegateActivity("D", DEPUTY))
+
+    def test_forged_amendment_detected_by_verification(self, world,
+                                                       backend, after_a):
+        # B1 signs a delegation CER directly (bypassing the AEA check);
+        # offline verification rejects the document.
+        from repro.document.amendments import make_amendment_cer
+        from repro.document.nonrepudiation import frontier_cers
+
+        forged = after_a.clone()
+        frontier = [c.signature.element for c in frontier_cers(forged)]
+        cer = make_amendment_cer(
+            DelegateActivity("D", PARTICIPANTS["B1"]), 0,
+            world.keypair(PARTICIPANTS["B1"]), frontier, backend,
+        )
+        forged.append_cer(cer)
+        with pytest.raises(VerificationError, match="only"):
+            verify_document(forged, world.directory, backend)
+
+    def test_tampered_amendment_detected(self, world, backend, after_a):
+        approver = agent(world, backend, PARTICIPANTS["D"])
+        amended = approver.amend(after_a, DelegateActivity("D", DEPUTY))
+        node = amended.root.find(".//AmendmentSpec/Delegate")
+        node.set("NewParticipant", "mallory@evil.example")
+        with pytest.raises(ReproError):
+            verify_document(amended, world.directory, backend)
+
+    def test_amendment_joins_the_cascade(self, world, backend, after_a):
+        approver = agent(world, backend, PARTICIPANTS["D"])
+        amended = approver.amend(after_a, DelegateActivity("D", DEPUTY))
+        after_b1 = agent(world, backend, PARTICIPANTS["B1"]) \
+            .execute_activity(amended, "B1", {"review1": "ok"}).document
+        scope = nonrepudiation_scope_ids(
+            after_b1, after_b1.find_cer("B1", 0)
+        )
+        assert "cer-amd-0" in scope
+
+    def test_amendment_sequence_numbers(self, world, backend, after_a):
+        approver = agent(world, backend, PARTICIPANTS["D"])
+        once = approver.amend(after_a, DelegateActivity("D", DEPUTY))
+        deputy = agent(world, backend, DEPUTY)
+        twice = deputy.amend(once, DelegateActivity("D", AUDITOR))
+        cers = amendment_cers(twice)
+        assert [c.iteration for c in cers] == [0, 1]
+        assert effective_definition(twice, backend=backend) \
+            .activity("D").participant == AUDITOR
+
+
+class TestAdHocActivity:
+    def test_designer_inserts_audit_step(self, world, backend, after_a,
+                                         fig9a):
+        designer = agent(world, backend, DESIGNER)
+        amendment = AddActivity(
+            Activity("X1", AUDITOR, requests=(),
+                     responses=(FieldSpec("audit_note"),),
+                     name="Ad-hoc audit"),
+            after="C", before="D", reason="spot check",
+        )
+        amended = designer.amend(after_a, amendment)
+        verify_document(amended, world.directory, backend)
+
+        doc1 = agent(world, backend, PARTICIPANTS["B1"]).execute_activity(
+            amended.clone(), "B1", {"review1": "ok"}).document
+        doc2 = agent(world, backend, PARTICIPANTS["B2"]).execute_activity(
+            amended.clone(), "B2", {"review2": "ok"}).document
+        after_c_result = agent(world, backend, PARTICIPANTS["C"]) \
+            .execute_activity(doc1.merge(doc2), "C", {"summary": "s"})
+        # Routing now goes through the ad-hoc activity.
+        assert after_c_result.routing.next_activities == ("X1",)
+        after_x1 = agent(world, backend, AUDITOR).execute_activity(
+            after_c_result.document, "X1", {"audit_note": "clean"})
+        assert after_x1.routing.next_activities == ("D",)
+        final = agent(world, backend, PARTICIPANTS["D"]).execute_activity(
+            after_x1.document, "D", {"decision": "accept"})
+        assert final.routing.terminal
+        verify_document(final.document, world.directory, backend)
+
+
+class TestDynamicPolicy:
+    def test_grant_applies_to_future_encryptions_only(self, world,
+                                                      backend, fig9a):
+        initial = build_initial_document(fig9a, world.keypair(DESIGNER),
+                                         backend=backend)
+        producer = agent(world, backend, PARTICIPANTS["A"])
+
+        # First execution: auditor NOT a reader.
+        before_doc = producer.execute_activity(
+            initial, "A", {"attachment": "v1"}).document
+        field_before = before_doc.find_cer("A", 0) \
+            .encrypted_field("attachment")
+        assert AUDITOR not in field_before.recipients
+
+        # Producer grants the auditor, approver loops the flow back...
+        granted = producer.amend(
+            before_doc, GrantReader("A", "attachment", AUDITOR)
+        )
+        doc1 = agent(world, backend, PARTICIPANTS["B1"]).execute_activity(
+            granted.clone(), "B1", {"review1": "ok"}).document
+        doc2 = agent(world, backend, PARTICIPANTS["B2"]).execute_activity(
+            granted.clone(), "B2", {"review2": "ok"}).document
+        after_c = agent(world, backend, PARTICIPANTS["C"]).execute_activity(
+            doc1.merge(doc2), "C", {"summary": "s"}).document
+        looped = agent(world, backend, PARTICIPANTS["D"]).execute_activity(
+            after_c, "D", {"decision": "resubmit please"}).document
+
+        # Second iteration of A: auditor IS a reader now.
+        second = producer.execute_activity(
+            looped, "A", {"attachment": "v2"}).document
+        field_after = second.find_cer("A", 1) \
+            .encrypted_field("attachment")
+        assert AUDITOR in field_after.recipients
+        # ...but the grant did not rewrite history.
+        assert AUDITOR not in second.find_cer("A", 0) \
+            .encrypted_field("attachment").recipients
+        verify_document(second, world.directory, backend)

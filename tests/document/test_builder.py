@@ -1,0 +1,128 @@
+"""Initial-document construction by the workflow designer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.document.builder import (
+    build_initial_document,
+    parse_result_bundle,
+    serialize_result_bundle,
+)
+from repro.document.document import Dra4wfmsDocument
+from repro.document.sections import DESIGNER_ACTIVITY, KIND_DEFINITION
+from repro.errors import DocumentFormatError
+from repro.workloads.figure9 import DESIGNER, figure_9a_definition
+
+
+@pytest.fixture()
+def initial(world, fig9a, backend):
+    return build_initial_document(fig9a, world.keypair(DESIGNER),
+                                  backend=backend)
+
+
+class TestInitialDocument:
+    def test_structure(self, initial, fig9a):
+        assert initial.process_name == fig9a.process_name
+        assert len(initial.process_id) == 32
+        cer = initial.definition_cer
+        assert cer.kind == KIND_DEFINITION
+        assert cer.activity_id == DESIGNER_ACTIVITY
+        assert cer.participant == DESIGNER
+        assert initial.designer == DESIGNER
+
+    def test_definition_parseable_without_keys(self, initial, fig9a):
+        assert not initial.definition_is_encrypted
+        assert initial.definition().to_dict() == fig9a.to_dict()
+
+    def test_designer_signature_covers_header(self, initial):
+        referenced = set(initial.definition_cer.signature.referenced_ids)
+        assert {"hdr", "wfdef"} <= referenced
+
+    def test_explicit_process_id(self, world, fig9a, backend):
+        document = build_initial_document(
+            fig9a, world.keypair(DESIGNER), process_id="custom-id-1",
+            backend=backend,
+        )
+        assert document.process_id == "custom-id-1"
+
+    def test_fresh_process_ids(self, world, fig9a, backend):
+        a = build_initial_document(fig9a, world.keypair(DESIGNER),
+                                   backend=backend)
+        b = build_initial_document(fig9a, world.keypair(DESIGNER),
+                                   backend=backend)
+        assert a.process_id != b.process_id
+
+    def test_serialization_roundtrip(self, initial):
+        restored = Dra4wfmsDocument.from_bytes(initial.to_bytes())
+        assert restored.to_bytes() == initial.to_bytes()
+        assert restored.process_id == initial.process_id
+
+    def test_wrong_designer_key_rejected(self, world, fig9a, backend):
+        impostor = world.keypair("submitter@acme.example")
+        with pytest.raises(DocumentFormatError, match="designer"):
+            build_initial_document(fig9a, impostor, backend=backend)
+
+    def test_invalid_definition_rejected(self, world, backend):
+        from repro.model.definition import WorkflowDefinition
+
+        with pytest.raises(Exception):
+            build_initial_document(WorkflowDefinition("empty", DESIGNER),
+                                   world.keypair(DESIGNER), backend=backend)
+
+
+class TestEncryptedDefinition:
+    def test_encrypt_for_participants(self, world, fig9a, backend):
+        readers = {
+            identity: world.directory.public_key_of(identity)
+            for identity in fig9a.participants
+        }
+        document = build_initial_document(
+            fig9a, world.keypair(DESIGNER),
+            encrypt_definition_for=readers, backend=backend,
+        )
+        assert document.definition_is_encrypted
+
+        reader = fig9a.activity("A").participant
+        keypair = world.keypair(reader)
+        restored = document.definition(reader, keypair.private_key, backend)
+        assert restored.to_dict() == fig9a.to_dict()
+
+    def test_non_reader_cannot_parse(self, world, fig9a, backend,
+                                     outsider_keypair):
+        readers = {
+            DESIGNER: world.directory.public_key_of(DESIGNER),
+        }
+        document = build_initial_document(
+            fig9a, world.keypair(DESIGNER),
+            encrypt_definition_for=readers, backend=backend,
+        )
+        with pytest.raises(Exception):
+            document.definition(outsider_keypair.identity,
+                                outsider_keypair.private_key, backend)
+
+    def test_missing_credentials_rejected(self, world, fig9a, backend):
+        document = build_initial_document(
+            fig9a, world.keypair(DESIGNER),
+            encrypt_definition_for={
+                DESIGNER: world.directory.public_key_of(DESIGNER),
+            },
+            backend=backend,
+        )
+        with pytest.raises(DocumentFormatError, match="encrypted"):
+            document.definition()
+
+
+class TestResultBundle:
+    def test_roundtrip(self):
+        values = {"X": "alpha", "Y": "beta & <gamma>", "empty": ""}
+        assert parse_result_bundle(serialize_result_bundle(values)) == values
+
+    def test_deterministic(self):
+        a = serialize_result_bundle({"b": "2", "a": "1"})
+        b = serialize_result_bundle({"a": "1", "b": "2"})
+        assert a == b
+
+    def test_malformed_rejected(self):
+        with pytest.raises(DocumentFormatError):
+            parse_result_bundle(b"<NotAResult/>")

@@ -1,0 +1,141 @@
+"""Dra4wfmsDocument accessors, iteration counting, merge semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.document.document import Dra4wfmsDocument
+from repro.document.sections import KIND_INTERMEDIATE, KIND_STANDARD, KIND_TFC
+from repro.errors import DocumentFormatError, TamperDetected
+from repro.xmlsec.canonical import parse_xml
+
+
+@pytest.fixture()
+def final_doc(fig9a_trace):
+    return fig9a_trace.final_document.clone()
+
+
+class TestAccessors:
+    def test_wrong_root_tag(self):
+        with pytest.raises(DocumentFormatError):
+            Dra4wfmsDocument(parse_xml(b"<NotADoc/>"))
+
+    def test_cers_in_document_order(self, final_doc):
+        cers = final_doc.cers(include_definition=False)
+        assert [c.activity_id for c in cers] == \
+            ["A", "B1", "B2", "C", "D", "A", "B1", "B2", "C", "D"]
+        assert [c.iteration for c in cers] == [0] * 5 + [1] * 5
+
+    def test_cers_with_definition(self, final_doc):
+        cers = final_doc.cers()
+        assert cers[0].kind == "definition"
+        assert len(cers) == 11
+
+    def test_cer_index_and_lookup(self, final_doc):
+        index = final_doc.cer_index()
+        assert ("C", 1, KIND_STANDARD) in index
+        found = final_doc.find_cer("C", 1)
+        assert found is not None and found.participant == \
+            "consolidator@partner.example"
+        assert final_doc.find_cer("C", 7) is None
+
+    def test_execution_count(self, final_doc):
+        assert final_doc.execution_count("A") == 2
+        assert final_doc.execution_count("D") == 2
+        assert final_doc.execution_count("ghost") == 0
+
+    def test_size_matches_serialization(self, final_doc):
+        assert final_doc.size_bytes == len(final_doc.to_bytes())
+
+    def test_clone_is_independent(self, final_doc):
+        clone = final_doc.clone()
+        clone.header.set("ProcessId", "mutated")
+        assert final_doc.process_id != "mutated"
+
+    def test_cascade_signature_prefers_tfc(self, fig9b_run):
+        trace, _ = fig9b_run
+        document = trace.final_document
+        cer = document.cascade_signature_of("A", 0)
+        assert cer is not None and cer.kind == KIND_TFC
+
+    def test_pending_intermediate_empty_when_finalised(self, fig9b_run):
+        trace, _ = fig9b_run
+        assert trace.final_document.pending_intermediate() == []
+
+    def test_intermediate_counts_as_unexecuted(self, fig9b_run):
+        trace, _ = fig9b_run
+        document = trace.final_document
+        # All intermediates have TFC finals, so counts match basic run.
+        assert document.execution_count("A") == 2
+        intermediates = [
+            c for c in document.cers(include_definition=False)
+            if c.kind == KIND_INTERMEDIATE
+        ]
+        assert len(intermediates) == 10
+
+
+class TestAppend:
+    def test_append_id_collision_rejected(self, final_doc):
+        existing = final_doc.cers(include_definition=False)[0]
+        import copy
+
+        duplicate = copy.deepcopy(existing.element)
+        from repro.document.cer import CER
+
+        with pytest.raises(DocumentFormatError, match="already present"):
+            final_doc.append_cer(CER(duplicate))
+
+
+class TestMerge:
+    def test_merge_identical_is_noop(self, final_doc):
+        merged = final_doc.merge(final_doc.clone())
+        assert merged.to_bytes() == final_doc.to_bytes()
+
+    def test_merge_unions_branch_cers(self, world, fig9a, backend):
+        # Execute A then both branches independently, then merge.
+        from repro.core import ActivityExecutionAgent
+        from repro.document import build_initial_document
+        from repro.workloads.figure9 import DESIGNER, PARTICIPANTS
+
+        initial = build_initial_document(fig9a, world.keypair(DESIGNER),
+                                         backend=backend)
+        agent_a = ActivityExecutionAgent(
+            world.keypair(PARTICIPANTS["A"]), world.directory, backend)
+        after_a = agent_a.execute_activity(
+            initial, "A", {"attachment": "doc"}).document
+
+        agent_b1 = ActivityExecutionAgent(
+            world.keypair(PARTICIPANTS["B1"]), world.directory, backend)
+        branch1 = agent_b1.execute_activity(
+            after_a.clone(), "B1", {"review1": "ok"}).document
+        agent_b2 = ActivityExecutionAgent(
+            world.keypair(PARTICIPANTS["B2"]), world.directory, backend)
+        branch2 = agent_b2.execute_activity(
+            after_a.clone(), "B2", {"review2": "fine"}).document
+
+        merged = branch1.merge(branch2)
+        assert merged.execution_count("B1") == 1
+        assert merged.execution_count("B2") == 1
+        # Merge is idempotent and commutative on CER sets.
+        other_way = branch2.merge(branch1)
+        assert {c.cer_id for c in merged.cers()} == \
+            {c.cer_id for c in other_way.cers()}
+
+    def test_merge_different_instances_rejected(self, world, fig9a,
+                                                backend, final_doc):
+        from repro.document import build_initial_document
+        from repro.workloads.figure9 import DESIGNER
+
+        other = build_initial_document(fig9a, world.keypair(DESIGNER),
+                                       backend=backend)
+        with pytest.raises(DocumentFormatError, match="different process"):
+            final_doc.merge(other)
+
+    def test_merge_detects_divergent_cers(self, final_doc):
+        altered = final_doc.clone()
+        cer = altered.cers(include_definition=False)[2]
+        node = cer.element.find(
+            "ExecutionResult/EncryptedData/CipherData/CipherValue")
+        node.text = "QUJD" + (node.text or "")[4:]
+        with pytest.raises(TamperDetected, match="differs"):
+            final_doc.merge(altered)

@@ -1,0 +1,169 @@
+"""Algorithm 1: nonrepudiation scopes and their invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.document.nonrepudiation import (
+    covers_whole_document,
+    frontier_cers,
+    nonrepudiation_scope,
+    nonrepudiation_scope_ids,
+    signature_owner_map,
+    signs_relation,
+)
+from repro.document.sections import KIND_STANDARD, KIND_TFC
+from repro.errors import DocumentFormatError
+
+
+@pytest.fixture()
+def final_doc(fig9a_trace):
+    return fig9a_trace.final_document
+
+
+class TestAlgorithm1:
+    def test_scope_includes_self(self, final_doc):
+        cer = final_doc.find_cer("A", 0)
+        scope = nonrepudiation_scope_ids(final_doc, cer)
+        assert cer.cer_id in scope
+
+    def test_first_activity_scope_is_definition_plus_self(self, final_doc):
+        cer = final_doc.find_cer("A", 0)
+        scope = nonrepudiation_scope_ids(final_doc, cer)
+        assert scope == {"cer-def", cer.cer_id}
+
+    def test_and_join_scope_covers_both_branches(self, final_doc):
+        cer = final_doc.find_cer("C", 0)
+        scope = nonrepudiation_scope_ids(final_doc, cer)
+        assert {"cer-A-0", "cer-B1-0", "cer-B2-0", "cer-C-0",
+                "cer-def"} == scope
+
+    def test_loop_iteration_extends_scope(self, final_doc):
+        first = nonrepudiation_scope_ids(final_doc,
+                                         final_doc.find_cer("D", 0))
+        second = nonrepudiation_scope_ids(final_doc,
+                                          final_doc.find_cer("D", 1))
+        assert first < second
+        assert len(first) == 6 and len(second) == 11
+
+    def test_final_cer_covers_whole_document(self, final_doc):
+        final_cer = final_doc.find_cer("D", 1)
+        assert covers_whole_document(final_doc, final_cer)
+
+    def test_intermediate_cer_does_not_cover_document(self, final_doc):
+        assert not covers_whole_document(final_doc,
+                                         final_doc.find_cer("B1", 0))
+
+    def test_scope_is_monotone_along_execution(self, final_doc):
+        # Each step's scope contains its predecessors' scopes.
+        order = [("A", 0), ("B1", 0), ("C", 0), ("D", 0), ("A", 1),
+                 ("C", 1), ("D", 1)]
+        previous: set[str] = set()
+        for activity_id, iteration in order:
+            cer = final_doc.find_cer(activity_id, iteration)
+            scope = nonrepudiation_scope_ids(final_doc, cer)
+            assert previous <= scope
+            previous = scope
+
+    def test_scope_closure_property(self, final_doc):
+        # Γ is closed under the signs relation: scopes of members are
+        # subsets (Algorithm 1's fixed point).
+        relation = signs_relation(final_doc)
+        by_id = {c.cer_id: c for c in final_doc.cers()}
+        for cer in final_doc.cers():
+            gamma = nonrepudiation_scope_ids(final_doc, cer)
+            for member in gamma:
+                assert relation[member] <= gamma
+                member_scope = nonrepudiation_scope_ids(
+                    final_doc, by_id[member]
+                )
+                assert member_scope <= gamma
+
+    def test_foreign_cer_rejected(self, final_doc, fig9b_run):
+        other_trace, _ = fig9b_run
+        foreign = other_trace.final_document.cers()[1]
+        with pytest.raises(DocumentFormatError):
+            nonrepudiation_scope(final_doc, foreign)
+
+
+class TestAdvancedModelScopes:
+    def test_tfc_cer_covers_intermediate(self, fig9b_run):
+        trace, _ = fig9b_run
+        document = trace.final_document
+        tfc_cer = document.find_cer("A", 0, KIND_TFC)
+        scope = nonrepudiation_scope_ids(document, tfc_cer)
+        assert "cerit-A-0" in scope
+
+    def test_final_tfc_cer_covers_everything(self, fig9b_run):
+        trace, _ = fig9b_run
+        document = trace.final_document
+        final_cer = document.find_cer("D", 1, KIND_TFC)
+        assert covers_whole_document(document, final_cer)
+
+    def test_scope_alternates_participant_and_tfc(self, fig9b_run):
+        trace, tfc = fig9b_run
+        document = trace.final_document
+        cer = document.find_cer("B1", 0, KIND_TFC)
+        scope = nonrepudiation_scope(document, cer)
+        participants = {c.participant for c in scope}
+        assert tfc.identity in participants
+        assert "reviewer1@acme.example" in participants
+
+
+class TestFrontier:
+    def test_final_frontier_is_last_activity(self, final_doc):
+        frontier = frontier_cers(final_doc)
+        assert [(c.activity_id, c.iteration) for c in frontier] == [("D", 1)]
+
+    def test_initial_frontier_is_definition(self, world, fig9a, backend):
+        from repro.document import build_initial_document
+        from repro.workloads.figure9 import DESIGNER
+
+        initial = build_initial_document(fig9a, world.keypair(DESIGNER),
+                                         backend=backend)
+        frontier = frontier_cers(initial)
+        assert [c.cer_id for c in frontier] == ["cer-def"]
+
+    def test_signature_owner_map(self, final_doc):
+        owners = signature_owner_map(final_doc)
+        assert owners["sig-def"].cer_id == "cer-def"
+        assert owners["sig-D-1"].activity_id == "D"
+        assert len(owners) == 11
+
+
+class TestSignsRelation:
+    def test_relation_shape_basic(self, final_doc):
+        relation = signs_relation(final_doc)
+        assert relation["cer-def"] == set()
+        assert relation["cer-A-0"] == {"cer-def"}
+        assert relation["cer-C-0"] == {"cer-B1-0", "cer-B2-0"}
+        assert relation["cer-A-1"] == {"cer-D-0"}
+
+    def test_relation_shape_advanced(self, fig9b_run):
+        trace, _ = fig9b_run
+        relation = signs_relation(trace.final_document)
+        # participant's intermediate signs the predecessor's TFC CER;
+        # the TFC CER signs the intermediate.
+        assert relation["cerit-B1-0"] == {"certfc-A-0"}
+        assert relation["certfc-B1-0"] == {"cerit-B1-0"}
+
+
+class TestAllScopes:
+    def test_matches_per_cer_algorithm(self, final_doc):
+        from repro.document.nonrepudiation import all_scopes
+
+        scopes = all_scopes(final_doc)
+        for cer in final_doc.cers():
+            assert scopes[cer.cer_id] == \
+                nonrepudiation_scope_ids(final_doc, cer)
+
+    def test_matches_on_advanced_document(self, fig9b_run):
+        from repro.document.nonrepudiation import all_scopes
+
+        trace, _ = fig9b_run
+        document = trace.final_document
+        scopes = all_scopes(document)
+        assert len(scopes) == len(document.cers())
+        for cer in document.cers():
+            assert scopes[cer.cer_id] == \
+                nonrepudiation_scope_ids(document, cer)

@@ -1,0 +1,247 @@
+"""Whole-document verification: the tamper matrix.
+
+Every mutation an attacker could apply to a routed/stored DRA4WfMS
+document must be detected by :func:`verify_document`.  Each test takes
+the shared executed trace, clones the final document, applies one
+precise alteration, and asserts rejection.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.crypto.pki import KeyDirectory
+from repro.document.document import Dra4wfmsDocument
+from repro.document.sections import KIND_STANDARD, KIND_TFC
+from repro.document.verify import verify_document
+from repro.errors import (
+    TamperDetected,
+    VerificationError,
+)
+from repro.xmlsec.canonical import parse_xml
+
+
+@pytest.fixture()
+def final_doc(fig9a_trace):
+    return fig9a_trace.final_document.clone()
+
+
+@pytest.fixture()
+def advanced_doc(fig9b_run):
+    trace, _ = fig9b_run
+    return trace.final_document.clone()
+
+
+def assert_rejected(document, directory, backend, match=None):
+    with pytest.raises((TamperDetected, VerificationError), match=match):
+        verify_document(document, directory, backend)
+
+
+class TestHonestDocuments:
+    def test_final_basic_document_verifies(self, final_doc, world, backend):
+        report = verify_document(final_doc, world.directory, backend)
+        assert report.signatures_verified == 11
+        assert report.cers_checked == 11
+        assert report.definition_checked
+        assert report.warnings == []
+
+    def test_final_advanced_document_verifies(self, advanced_doc, world,
+                                              backend, fig9b_run):
+        _, tfc = fig9b_run
+        report = verify_document(
+            advanced_doc, world.directory, backend,
+            tfc_identities={tfc.identity},
+        )
+        assert report.signatures_verified == 21
+        assert report.warnings == []
+
+    def test_initial_document_verifies(self, world, fig9a, backend):
+        from repro.document import build_initial_document
+        from repro.workloads.figure9 import DESIGNER
+
+        initial = build_initial_document(fig9a, world.keypair(DESIGNER),
+                                         backend=backend)
+        report = verify_document(initial, world.directory, backend)
+        assert report.signatures_verified == 1
+
+    def test_verification_survives_reserialization(self, final_doc, world,
+                                                   backend):
+        restored = Dra4wfmsDocument.from_bytes(final_doc.to_bytes())
+        verify_document(restored, world.directory, backend)
+
+
+class TestResultTampering:
+    def test_ciphertext_flip(self, final_doc, world, backend):
+        node = final_doc.root.find(
+            ".//CER/ExecutionResult/EncryptedData/CipherData/CipherValue")
+        node.text = "QUJD" + (node.text or "")[4:]
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_wrapped_key_flip(self, final_doc, world, backend):
+        node = final_doc.root.find(
+            ".//CER/ExecutionResult/EncryptedData/KeyInfo/EncryptedKey/"
+            "CipherValue")
+        node.text = "QUJD" + (node.text or "")[4:]
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_recipient_rename(self, final_doc, world, backend):
+        node = final_doc.root.find(
+            ".//CER/ExecutionResult/EncryptedData/KeyInfo/EncryptedKey")
+        node.set("Recipient", "mallory@evil.example")
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_field_rename(self, final_doc, world, backend):
+        node = final_doc.root.find(".//CER/ExecutionResult/EncryptedData")
+        node.set("Name", "forged_name")
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_whole_result_replacement(self, final_doc, world, backend):
+        cers = final_doc.results_section.findall("CER")
+        result_a = cers[0].find("ExecutionResult")
+        result_b = cers[5].find("ExecutionResult")
+        # Swap contents between iteration 0 and 1 of activity A.
+        a_children = list(result_a)
+        b_children = list(result_b)
+        for child in a_children:
+            result_a.remove(child)
+        for child in b_children:
+            result_b.remove(child)
+            result_a.append(child)
+        for child in a_children:
+            result_b.append(child)
+        assert_rejected(final_doc, world.directory, backend)
+
+
+class TestCerTampering:
+    def test_participant_attribute_rename(self, final_doc, world, backend):
+        cer = final_doc.results_section.find("CER")
+        cer.set("Participant", "approver@megacorp.example")
+        assert_rejected(final_doc, world.directory, backend,
+                        match="does not match")
+
+    def test_keyname_and_participant_rename(self, final_doc, world,
+                                            backend):
+        # Consistently renaming both still fails: RSA key mismatch or
+        # authorization check.
+        cer = final_doc.results_section.find("CER")
+        cer.set("Participant", "approver@megacorp.example")
+        cer.find("Signature/KeyInfo/KeyName").text = \
+            "approver@megacorp.example"
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_cer_deletion_breaks_cascade(self, final_doc, world, backend):
+        # Remove a middle CER: successors reference its signature.
+        cers = final_doc.results_section.findall("CER")
+        victim = cers[3]  # C^0
+        final_doc.results_section.remove(victim)
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_cer_duplication_rejected(self, final_doc, world, backend):
+        cers = final_doc.results_section.findall("CER")
+        final_doc.results_section.append(copy.deepcopy(cers[2]))
+        assert_rejected(final_doc, world.directory, backend,
+                        match="duplicate")
+
+    def test_foreign_cer_injection(self, final_doc, fig9b_run, world,
+                                   backend):
+        # Graft a validly-signed CER from ANOTHER process instance.
+        other, _ = fig9b_run
+        foreign = copy.deepcopy(
+            other.final_document.results_section.find("CER")
+        )
+        final_doc.results_section.append(foreign)
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_iteration_relabel(self, final_doc, world, backend):
+        cer = final_doc.results_section.findall("CER")[0]
+        cer.set("Iteration", "7")
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_timestamp_edit_advanced(self, advanced_doc, world, backend):
+        node = advanced_doc.root.find(".//CER/Timestamp")
+        node.set("Time", "0.0")
+        assert_rejected(advanced_doc, world.directory, backend)
+
+
+class TestSignatureTampering:
+    def test_signature_value_flip(self, final_doc, world, backend):
+        node = final_doc.root.find(".//CER/Signature/SignatureValue")
+        node.text = "AAAA" + (node.text or "")[4:]
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_digest_value_flip(self, final_doc, world, backend):
+        node = final_doc.root.find(
+            ".//CER/Signature/SignedInfo/Reference/DigestValue")
+        node.text = "QUJDREVG"
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_reference_removal(self, final_doc, world, backend):
+        # Dropping the cascade reference from a signature breaks the
+        # RSA signature over SignedInfo.
+        signed_info = final_doc.root.find(".//CER/Signature/SignedInfo")
+        references = signed_info.findall("Reference")
+        signed_info.remove(references[-1])
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_designer_signature_flip(self, final_doc, world, backend):
+        node = final_doc.root.find(
+            "ApplicationDefinition/CER/Signature/SignatureValue")
+        node.text = "AAAA" + (node.text or "")[4:]
+        assert_rejected(final_doc, world.directory, backend,
+                        match="designer")
+
+
+class TestDefinitionTampering:
+    def test_definition_edit(self, final_doc, world, backend):
+        # Change the designated participant of D in the embedded
+        # definition — the designer's signature must break.
+        for node in final_doc.root.iter("Activity"):
+            if node.get("ActivityId") == "D":
+                node.set("Participant", "mallory@evil.example")
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_process_id_edit(self, final_doc, world, backend):
+        # The header is signed: changing the process id (to replay the
+        # document as a new instance) is detected.
+        final_doc.header.set("ProcessId", "forged-instance-id")
+        assert_rejected(final_doc, world.directory, backend)
+
+    def test_policy_edit(self, final_doc, world, backend):
+        policy = final_doc.root.find(".//SecurityPolicy")
+        import xml.etree.ElementTree as ET
+
+        extra = ET.SubElement(policy, "ExtraReaders")
+        ET.SubElement(extra, "Reader").text = "mallory@evil.example"
+        assert_rejected(final_doc, world.directory, backend)
+
+
+class TestTrustFailures:
+    def test_unknown_ca(self, final_doc, backend):
+        empty_directory = KeyDirectory()
+        with pytest.raises(VerificationError, match="cannot resolve"):
+            verify_document(final_doc, empty_directory, backend)
+
+    def test_unexpected_tfc_identity(self, advanced_doc, world, backend):
+        with pytest.raises(VerificationError, match="unexpected"):
+            verify_document(
+                advanced_doc, world.directory, backend,
+                tfc_identities={"other-tfc@cloud.example"},
+            )
+
+    def test_encrypted_definition_warning(self, world, fig9a, backend):
+        from repro.document import build_initial_document
+        from repro.workloads.figure9 import DESIGNER
+
+        document = build_initial_document(
+            fig9a, world.keypair(DESIGNER),
+            encrypt_definition_for={
+                DESIGNER: world.directory.public_key_of(DESIGNER),
+            },
+            backend=backend,
+        )
+        report = verify_document(document, world.directory, backend)
+        assert not report.definition_checked
+        assert any("authorization checks skipped" in w
+                   for w in report.warnings)

@@ -1,0 +1,178 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.participants import World
+
+
+@pytest.fixture(scope="module")
+def demo_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("dra-demo")
+    assert main(["demo", "--out", str(out), "--loops", "0"]) == 0
+    return out
+
+
+class TestDemo:
+    def test_artifacts_written(self, demo_dir):
+        assert (demo_dir / "world.json").exists()
+        assert (demo_dir / "initial_document.xml").exists()
+        assert (demo_dir / "final_document.xml").exists()
+
+    def test_world_roundtrips(self, demo_dir):
+        data = json.loads((demo_dir / "world.json").read_text())
+        world = World.from_dict(data)
+        assert "designer@acme.example" in world.keypairs
+        world.directory.public_key_of("designer@acme.example")
+
+    def test_restored_world_can_enroll_more(self, demo_dir, backend):
+        data = json.loads((demo_dir / "world.json").read_text())
+        world = World.from_dict(data, backend=backend)
+        world.add_participant("newcomer@acme.example")
+        world.directory.public_key_of("newcomer@acme.example")
+
+
+class TestInspect:
+    def test_inspect(self, demo_dir, capsys):
+        assert main(["inspect",
+                     str(demo_dir / "final_document.xml")]) == 0
+        out = capsys.readouterr().out
+        assert "figure-9a" in out
+        assert "cer-D-0" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["inspect", "/nonexistent/doc.xml"]) == 2
+
+
+class TestVerify:
+    def test_valid(self, demo_dir, capsys):
+        code = main(["verify", "--world", str(demo_dir / "world.json"),
+                     str(demo_dir / "final_document.xml")])
+        assert code == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_tampered(self, demo_dir, tmp_path, capsys):
+        data = (demo_dir / "final_document.xml").read_bytes()
+        corrupt = data.replace(b"<CipherValue>", b"<CipherValue>QUJD", 1)
+        bad = tmp_path / "tampered.xml"
+        bad.write_bytes(corrupt)
+        code = main(["verify", "--world", str(demo_dir / "world.json"),
+                     str(bad)])
+        assert code == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestTrailScopeEvidence:
+    def test_trail(self, demo_dir, capsys):
+        assert main(["trail", str(demo_dir / "final_document.xml")]) == 0
+        out = capsys.readouterr().out
+        assert "[execution] activity 'A'" in out
+
+    def test_scope(self, demo_dir, capsys):
+        assert main(["scope", str(demo_dir / "final_document.xml"),
+                     "--activity", "C"]) == 0
+        out = capsys.readouterr().out
+        assert "cer-B1-0" in out and "cer-B2-0" in out
+
+    def test_scope_missing_cer(self, demo_dir, capsys):
+        assert main(["scope", str(demo_dir / "final_document.xml"),
+                     "--activity", "C", "--iteration", "9"]) == 1
+
+    def test_evidence(self, demo_dir, capsys):
+        code = main(["evidence", "--world",
+                     str(demo_dir / "world.json"),
+                     "--activity", "D",
+                     str(demo_dir / "final_document.xml")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BOUND" in out
+        assert "approver@megacorp.example" in out
+
+
+class TestRender:
+    def test_ascii(self, demo_dir, capsys):
+        assert main(["render",
+                     str(demo_dir / "final_document.xml")]) == 0
+        out = capsys.readouterr().out
+        assert "A: submitter@acme.example" in out
+
+    def test_dot(self, demo_dir, capsys):
+        assert main(["render", "--format", "dot",
+                     str(demo_dir / "final_document.xml")]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"A" -> "B1"' in out
+
+
+class TestPublicTrust:
+    def test_trust_file_written(self, demo_dir):
+        data = json.loads((demo_dir / "trust.json").read_text())
+        assert "public_key" in data["authorities"][0]
+        # No private material anywhere in the trust file.
+        assert '"d"' not in (demo_dir / "trust.json").read_text()
+        assert "keypairs" not in data
+
+    def test_auditor_verifies_with_public_trust_only(self, demo_dir,
+                                                     capsys):
+        code = main(["verify", "--world", str(demo_dir / "trust.json"),
+                     str(demo_dir / "final_document.xml")])
+        assert code == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_public_world_cannot_issue(self, demo_dir):
+        from repro.errors import CertificateError
+
+        data = json.loads((demo_dir / "trust.json").read_text())
+        world = World.from_public_dict(data)
+        assert world.keypairs == {}
+        ca = next(iter(world.authorities.values()))
+        assert ca.verification_only
+        with pytest.raises(CertificateError, match="verification-only"):
+            ca.issue("mallory@evil", ca.public_key)
+
+    def test_evidence_with_public_trust(self, demo_dir, capsys):
+        code = main(["evidence", "--world",
+                     str(demo_dir / "trust.json"),
+                     "--activity", "D",
+                     str(demo_dir / "final_document.xml")])
+        assert code == 0
+        assert "BOUND" in capsys.readouterr().out
+
+
+class TestCliErrorPaths:
+    def test_render_encrypted_definition_fails_closed(self, tmp_path,
+                                                      world, fig9a,
+                                                      backend, capsys):
+        from repro.document import build_initial_document
+        from repro.workloads.figure9 import DESIGNER
+
+        document = build_initial_document(
+            fig9a, world.keypair(DESIGNER),
+            encrypt_definition_for={
+                DESIGNER: world.directory.public_key_of(DESIGNER),
+            },
+            backend=backend,
+        )
+        path = tmp_path / "enc.xml"
+        path.write_bytes(document.to_bytes())
+        assert main(["render", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_verify_against_wrong_world(self, demo_dir, tmp_path,
+                                        capsys, backend):
+        import json as _json
+
+        from repro.workloads import build_world
+
+        stranger = build_world(["nobody@elsewhere.example"],
+                               bits=1024, backend=backend)
+        wrong = tmp_path / "wrong-world.json"
+        wrong.write_text(_json.dumps(stranger.to_dict()))
+        code = main(["verify", "--world", str(wrong),
+                     str(demo_dir / "final_document.xml")])
+        assert code == 1
+        assert "INVALID" in capsys.readouterr().out

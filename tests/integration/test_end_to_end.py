@@ -1,0 +1,178 @@
+"""Cross-module integration scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InMemoryRuntime, TfcServer
+from repro.document import (
+    build_initial_document,
+    covers_whole_document,
+    verify_document,
+)
+from repro.errors import PolicyError
+from repro.workloads import (
+    auto_responders,
+    build_world,
+    chain_definition,
+    chinese_wall_definition,
+    chinese_wall_responders,
+    diamond_definition,
+    loop_definition,
+    random_definition,
+)
+from repro.workloads.chinese_wall import DESIGNER as CW_DESIGNER
+from repro.workloads.chinese_wall import PARTICIPANTS as CW_PARTICIPANTS
+from repro.workloads.generator import participant_pool
+
+GENERIC_DESIGNER = "designer@enterprise.example"
+
+
+@pytest.fixture(scope="module")
+def generic_world(backend):
+    return build_world([GENERIC_DESIGNER, *participant_pool(6)],
+                       bits=1024, backend=backend)
+
+
+class TestGeneratedWorkflows:
+    @pytest.mark.parametrize("factory,expected_steps", [
+        (lambda: chain_definition(6), 6),
+        (lambda: diamond_definition(4), 6),
+        (lambda: loop_definition(3), 9),     # 2 extra iterations below
+    ], ids=["chain", "diamond", "loop"])
+    def test_basic_execution(self, generic_world, backend, factory,
+                             expected_steps):
+        definition = factory()
+        initial = build_initial_document(
+            definition, generic_world.keypair(GENERIC_DESIGNER),
+            backend=backend,
+        )
+        runtime = InMemoryRuntime(generic_world.directory,
+                                  generic_world.keypairs, backend=backend)
+        trace = runtime.run(initial, definition,
+                            auto_responders(definition, loop_iterations=2),
+                            mode="basic")
+        assert len(trace.steps) == expected_steps
+        verify_document(trace.final_document, generic_world.directory,
+                        backend)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_workflows(self, generic_world, backend, seed):
+        definition = random_definition(seed, blocks=3)
+        initial = build_initial_document(
+            definition, generic_world.keypair(GENERIC_DESIGNER),
+            backend=backend,
+        )
+        runtime = InMemoryRuntime(generic_world.directory,
+                                  generic_world.keypairs, backend=backend)
+        trace = runtime.run(initial, definition,
+                            auto_responders(definition), mode="basic")
+        verify_document(trace.final_document, generic_world.directory,
+                        backend)
+        final_cer = trace.final_document.cers(
+            include_definition=False)[-1]
+        assert covers_whole_document(trace.final_document, final_cer)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_random_workflows_advanced(self, generic_world, backend, seed):
+        definition = random_definition(seed, blocks=2)
+        if "tfc@cloud.example" not in generic_world.directory:
+            generic_world.add_participant("tfc@cloud.example")
+        initial = build_initial_document(
+            definition, generic_world.keypair(GENERIC_DESIGNER),
+            backend=backend,
+        )
+        tfc = TfcServer(generic_world.keypair("tfc@cloud.example"),
+                        generic_world.directory, backend=backend)
+        runtime = InMemoryRuntime(generic_world.directory,
+                                  generic_world.keypairs, tfc=tfc,
+                                  backend=backend)
+        trace = runtime.run(initial, definition,
+                            auto_responders(definition), mode="advanced")
+        verify_document(trace.final_document, generic_world.directory,
+                        backend, tfc_identities={tfc.identity})
+
+
+class TestChineseWall:
+    @pytest.fixture(scope="class")
+    def cw_world(self, backend):
+        return build_world(
+            [CW_DESIGNER, *CW_PARTICIPANTS.values(), "tfc@cloud.example"],
+            bits=1024, backend=backend,
+        )
+
+    def test_basic_model_refuses(self, cw_world, backend):
+        definition = chinese_wall_definition()
+        initial = build_initial_document(
+            definition, cw_world.keypair(CW_DESIGNER), backend=backend
+        )
+        runtime = InMemoryRuntime(cw_world.directory, cw_world.keypairs,
+                                  backend=backend)
+        with pytest.raises(PolicyError, match="advanced"):
+            runtime.run(initial, definition, chinese_wall_responders(),
+                        mode="basic")
+
+    @pytest.mark.parametrize("target,branch,reader,non_reader", [
+        ("bank-a-engagement", "A4", "john@bank-a.example",
+         "mary@bank-b.example"),
+        ("bank-b-engagement", "A5", "mary@bank-b.example",
+         "john@bank-a.example"),
+    ], ids=["func-true", "func-false"])
+    def test_conditional_routing_and_encryption(self, cw_world, backend,
+                                                target, branch, reader,
+                                                non_reader):
+        definition = chinese_wall_definition()
+        initial = build_initial_document(
+            definition, cw_world.keypair(CW_DESIGNER), backend=backend
+        )
+        tfc = TfcServer(cw_world.keypair("tfc@cloud.example"),
+                        cw_world.directory, backend=backend)
+        runtime = InMemoryRuntime(cw_world.directory, cw_world.keypairs,
+                                  tfc=tfc, backend=backend)
+        trace = runtime.run(initial, definition,
+                            chinese_wall_responders(target),
+                            mode="advanced")
+        executed = [s.activity_id for s in trace.steps]
+        assert branch in executed
+        # Y is encrypted for exactly the branch the guard selected.
+        field = trace.final_document.find_cer("A2", 0, "tfc") \
+            .encrypted_field("Y")
+        assert reader in field.recipients
+        assert non_reader not in field.recipients
+
+    def test_x_concealed_from_tony(self, cw_world, backend):
+        definition = chinese_wall_definition()
+        initial = build_initial_document(
+            definition, cw_world.keypair(CW_DESIGNER), backend=backend
+        )
+        tfc = TfcServer(cw_world.keypair("tfc@cloud.example"),
+                        cw_world.directory, backend=backend)
+        runtime = InMemoryRuntime(cw_world.directory, cw_world.keypairs,
+                                  tfc=tfc, backend=backend)
+        trace = runtime.run(initial, definition,
+                            chinese_wall_responders(), mode="advanced")
+        x_field = trace.final_document.find_cer("A1", 0, "tfc") \
+            .encrypted_field("X")
+        tony = CW_PARTICIPANTS["A2"]
+        assert tony not in x_field.recipients
+        assert CW_PARTICIPANTS["A6"] in x_field.recipients  # Amy
+
+
+class TestCrossEnterprise:
+    def test_participants_span_enterprises(self, world, fig9a_trace):
+        document = fig9a_trace.final_document
+        domains = {
+            cer.participant.split("@")[1]
+            for cer in document.cers(include_definition=False)
+        }
+        assert len(domains) == 3  # acme, partner, megacorp
+
+    def test_offline_third_party_audit(self, world, fig9a_trace, backend):
+        # An auditor with only the PKI directory and the document bytes
+        # can verify everything — no server involved.
+        blob = fig9a_trace.final_document.to_bytes()
+        from repro.document import Dra4wfmsDocument
+
+        document = Dra4wfmsDocument.from_bytes(blob)
+        report = verify_document(document, world.directory, backend)
+        assert report.signatures_verified == 11

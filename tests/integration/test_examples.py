@@ -1,0 +1,35 @@
+"""Every example script must run to completion (examples never rot)."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_all_examples_are_covered():
+    assert set(EXAMPLES) == {
+        "quickstart.py",
+        "purchase_order.py",
+        "chinese_wall.py",
+        "cloud_deployment.py",
+        "attack_demo.py",
+        "dynamic_delegation.py",
+        "insurance_claim.py",
+    }
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples call main() under __main__; run them as scripts.
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates what it did
+    assert "BUG" not in out

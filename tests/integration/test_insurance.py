@@ -1,0 +1,146 @@
+"""The insurance-claim workload: both branches, loop, field policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InMemoryRuntime, TfcServer
+from repro.document import build_initial_document, verify_document
+from repro.workloads import build_world
+from repro.workloads.insurance import (
+    DESIGNER,
+    PARTICIPANTS,
+    insurance_definition,
+    insurance_responders,
+)
+
+TFC = "tfc@cloud.example"
+
+
+@pytest.fixture(scope="module")
+def insurance_world(backend):
+    identities = sorted({DESIGNER, *PARTICIPANTS.values(), TFC})
+    return build_world(identities, bits=1024, backend=backend)
+
+
+@pytest.fixture(scope="module")
+def executed(insurance_world, backend):
+    definition = insurance_definition()
+    initial = build_initial_document(
+        definition, insurance_world.keypair(DESIGNER), backend=backend
+    )
+    runtime = InMemoryRuntime(insurance_world.directory,
+                              insurance_world.keypairs, backend=backend)
+    trace = runtime.run(initial, definition, insurance_responders(),
+                        mode="basic")
+    return definition, trace
+
+
+class TestExecutionPath:
+    @staticmethod
+    def _passes(trace):
+        # Split the step list at the re-filing (FILE iteration 1).
+        activities = [(s.activity_id, s.iteration) for s in trace.steps]
+        refiling = activities.index(("FILE", 1))
+        return ([a for a, _ in activities[:refiling]],
+                [a for a, _ in activities[refiling:]])
+
+    def test_first_pass_takes_full_review(self, executed):
+        _, trace = executed
+        first_pass, _ = self._passes(trace)
+        assert "DISPATCH" in first_pass
+        assert "MEDICAL" in first_pass and "FRAUD" in first_pass
+        assert "FAST" not in first_pass
+
+    def test_refiled_claim_takes_fast_track(self, executed):
+        _, trace = executed
+        _, second_pass = self._passes(trace)
+        assert "FAST" in second_pass
+        assert "DISPATCH" not in second_pass
+
+    def test_ends_with_payment(self, executed):
+        _, trace = executed
+        assert trace.steps[-1].activity_id == "PAY"
+        assert trace.final_document.execution_count("NOTIFY") == 0
+
+    def test_step_count(self, executed):
+        # Pass 1: FILE TRIAGE DISPATCH MEDICAL FRAUD CONSOLIDATE DECIDE
+        # Pass 2: FILE TRIAGE FAST DECIDE PAY
+        _, trace = executed
+        assert len(trace.steps) == 12
+
+    def test_verifies(self, executed, insurance_world, backend):
+        _, trace = executed
+        report = verify_document(trace.final_document,
+                                 insurance_world.directory, backend)
+        assert report.signatures_verified == 13
+
+
+class TestFieldPolicy:
+    def test_bank_account_only_for_payments_desk(self, executed):
+        _, trace = executed
+        field = trace.final_document.find_cer("FILE", 0) \
+            .encrypted_field("bank_account")
+        assert set(field.recipients) == {
+            PARTICIPANTS["PAY"], PARTICIPANTS["FILE"],
+        }
+
+    def test_medical_report_never_reaches_bank(self, executed):
+        _, trace = executed
+        field = trace.final_document.find_cer("MEDICAL", 0) \
+            .encrypted_field("medical_report")
+        assert PARTICIPANTS["PAY"] not in field.recipients
+        assert PARTICIPANTS["CONSOLIDATE"] in field.recipients
+
+    def test_bank_cannot_decrypt_medical_report(self, executed,
+                                                insurance_world, backend):
+        from repro.errors import XmlEncryptionError
+
+        _, trace = executed
+        bank = insurance_world.keypair(PARTICIPANTS["PAY"])
+        field = trace.final_document.find_cer("MEDICAL", 0) \
+            .encrypted_field("medical_report")
+        with pytest.raises(XmlEncryptionError):
+            field.decrypt(bank.identity, bank.private_key, backend)
+
+
+class TestRejectionPath:
+    def test_rejection_routes_to_notify(self, insurance_world, backend):
+        definition = insurance_definition()
+        responders = insurance_responders()
+
+        def reject(context):
+            return {"decision": "rejected"}
+
+        responders["DECIDE"] = reject
+        initial = build_initial_document(
+            definition, insurance_world.keypair(DESIGNER),
+            backend=backend,
+        )
+        runtime = InMemoryRuntime(insurance_world.directory,
+                                  insurance_world.keypairs,
+                                  backend=backend)
+        trace = runtime.run(initial, definition, responders,
+                            mode="basic")
+        assert trace.steps[-1].activity_id == "NOTIFY"
+        assert trace.final_document.execution_count("PAY") == 0
+
+
+class TestAdvancedModel:
+    def test_runs_through_tfc(self, insurance_world, backend):
+        definition = insurance_definition()
+        definition.policy.require_timestamps = True
+        initial = build_initial_document(
+            definition, insurance_world.keypair(DESIGNER),
+            backend=backend,
+        )
+        tfc = TfcServer(insurance_world.keypair(TFC),
+                        insurance_world.directory, backend=backend)
+        runtime = InMemoryRuntime(insurance_world.directory,
+                                  insurance_world.keypairs, tfc=tfc,
+                                  backend=backend)
+        trace = runtime.run(initial, definition, insurance_responders(),
+                            mode="advanced")
+        assert len(tfc.records) == 12
+        verify_document(trace.final_document, insurance_world.directory,
+                        backend, tfc_identities={tfc.identity})

@@ -1,0 +1,118 @@
+"""Hypothesis property tests on whole-document security invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.document import Dra4wfmsDocument, verify_document
+from repro.document.nonrepudiation import (
+    nonrepudiation_scope_ids,
+    signs_relation,
+)
+from repro.errors import ReproError
+
+_slow = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def doc_bytes(fig9a_trace):
+    return fig9a_trace.final_document.to_bytes()
+
+
+class TestTamperProperties:
+    @_slow
+    @given(data=st.data())
+    def test_any_base64_payload_mutation_detected(self, doc_bytes, world,
+                                                  backend, data):
+        """Flipping any digit inside any base64 text node is detected.
+
+        Covers ciphertexts, wrapped keys, digests and signature values
+        uniformly: whatever an attacker flips, verification fails.
+        """
+        document = Dra4wfmsDocument.from_bytes(doc_bytes)
+        nodes = [
+            node for node in document.root.iter()
+            if node.tag in ("CipherValue", "DigestValue", "SignatureValue")
+            and node.text
+        ]
+        node = data.draw(st.sampled_from(nodes))
+        position = data.draw(st.integers(0, max(len(node.text) - 5, 0)))
+        original = node.text
+        replacement = "A" if original[position] != "A" else "B"
+        node.text = (original[:position] + replacement
+                     + original[position + 1:])
+        if node.text == original:  # pragma: no cover - safety
+            return
+        with pytest.raises(ReproError):
+            verify_document(document, world.directory, backend)
+
+    @_slow
+    @given(data=st.data())
+    def test_any_cer_attribute_mutation_detected(self, doc_bytes, world,
+                                                 backend, data):
+        """Editing CER metadata (activity, iteration, participant) fails."""
+        document = Dra4wfmsDocument.from_bytes(doc_bytes)
+        cers = document.results_section.findall("CER")
+        cer = data.draw(st.sampled_from(cers))
+        attribute = data.draw(st.sampled_from(
+            ["Activity", "Iteration", "Participant"]))
+        cer.set(attribute, {"Activity": "Z9", "Iteration": "42",
+                            "Participant": "mallory@evil.example"}[attribute])
+        with pytest.raises(ReproError):
+            verify_document(document, world.directory, backend)
+
+    @_slow
+    @given(data=st.data())
+    def test_removing_any_nonfinal_cer_detected(self, doc_bytes, world,
+                                                backend, data):
+        """Deleting any countersigned CER breaks the cascade."""
+        document = Dra4wfmsDocument.from_bytes(doc_bytes)
+        relation = signs_relation(document)
+        countersigned = set()
+        for signed in relation.values():
+            countersigned |= signed
+        victims = [
+            node for node in document.results_section.findall("CER")
+            if node.get("Id") in countersigned
+        ]
+        victim = data.draw(st.sampled_from(victims))
+        document.results_section.remove(victim)
+        with pytest.raises(ReproError):
+            verify_document(document, world.directory, backend)
+
+
+class TestScopeProperties:
+    def test_scopes_form_a_lattice_under_union(self, fig9a_trace):
+        """Scope of any CER equals {self} ∪ scopes of directly-signed CERs."""
+        document = fig9a_trace.final_document
+        relation = signs_relation(document)
+        by_id = {c.cer_id: c for c in document.cers()}
+        for cer in document.cers():
+            expected = {cer.cer_id}
+            for signed_id in relation[cer.cer_id]:
+                expected |= nonrepudiation_scope_ids(document,
+                                                     by_id[signed_id])
+            assert nonrepudiation_scope_ids(document, cer) == expected
+
+    def test_every_scope_contains_definition_except_definition(
+            self, fig9a_trace):
+        document = fig9a_trace.final_document
+        for cer in document.cers(include_definition=False):
+            assert "cer-def" in nonrepudiation_scope_ids(document, cer)
+
+
+class TestSerializationProperties:
+    @_slow
+    @given(st.integers(0, 9))
+    def test_reserialization_is_identity(self, doc_bytes, _round):
+        document = Dra4wfmsDocument.from_bytes(doc_bytes)
+        assert document.to_bytes() == doc_bytes
+
+    def test_clone_preserves_bytes(self, fig9a_trace):
+        document = fig9a_trace.final_document
+        assert document.clone().to_bytes() == document.to_bytes()

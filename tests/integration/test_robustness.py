@@ -1,0 +1,105 @@
+"""Robustness: hostile inputs must raise ReproError, never crash oddly.
+
+A document pool and portals accept bytes from untrusted parties; every
+parser/verifier entry point must fail *closed* with a library error —
+no unhandled exceptions, no acceptance.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.document import Dra4wfmsDocument, verify_document
+from repro.errors import ReproError
+from repro.model.xpdl import definition_from_xml
+from repro.xmlsec.canonical import parse_xml
+
+_quiet = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestGarbageBytes:
+    @_quiet
+    @given(st.binary(max_size=300))
+    def test_document_parser_fails_closed(self, data):
+        try:
+            Dra4wfmsDocument.from_bytes(data)
+        except ReproError:
+            pass  # the only acceptable failure mode
+
+    @_quiet
+    @given(st.text(max_size=200))
+    def test_xml_parser_fails_closed(self, text):
+        try:
+            parse_xml(text.encode("utf-8", errors="ignore"))
+        except ReproError:
+            pass
+
+
+class TestStructurallyValidGarbage:
+    """Well-formed XML that is not a valid DRA4WfMS artefact."""
+
+    @pytest.mark.parametrize("payload", [
+        b"<DRA4WfMSDocument/>",
+        b"<DRA4WfMSDocument><Header/></DRA4WfMSDocument>",
+        b'<DRA4WfMSDocument><Header Id="hdr" ProcessId="p"/>'
+        b"<ActivityExecutionResults/></DRA4WfMSDocument>",
+        b'<DRA4WfMSDocument><Header Id="hdr" ProcessId="p"/>'
+        b"<ApplicationDefinition><CER/></ApplicationDefinition>"
+        b"</DRA4WfMSDocument>",
+    ])
+    def test_skeleton_fragments_rejected(self, payload, world, backend):
+        with pytest.raises(ReproError):
+            document = Dra4wfmsDocument.from_bytes(payload)
+            verify_document(document, world.directory, backend)
+
+    @pytest.mark.parametrize("payload", [
+        b"<WorkflowDefinition/>",
+        b'<WorkflowDefinition ProcessName="p" Designer="d" '
+        b'StartActivity="A"><Activities>'
+        b'<Activity ActivityId="A" Participant="p" Split="sideways"/>'
+        b"</Activities></WorkflowDefinition>",
+    ])
+    def test_malformed_definitions_rejected(self, payload):
+        with pytest.raises((ReproError, ValueError)):
+            definition_from_xml(parse_xml(payload))
+
+
+class TestMutatedRealDocument:
+    @_quiet
+    @given(data=st.data())
+    def test_random_byte_edits_never_verify(self, fig9a_trace, world,
+                                            backend, data):
+        """Flip a random byte of the serialized document.
+
+        The result must either fail to parse or fail to verify — it can
+        never parse AND verify (unless the flip hit semantically dead
+        bytes, which canonical serialization doesn't have outside text
+        that equals its replacement).
+        """
+        blob = bytearray(fig9a_trace.final_document.to_bytes())
+        position = data.draw(st.integers(0, len(blob) - 1))
+        original = blob[position]
+        replacement = data.draw(st.integers(0, 255))
+        if replacement == original:
+            return
+        blob[position] = replacement
+        try:
+            document = Dra4wfmsDocument.from_bytes(bytes(blob))
+        except ReproError:
+            return  # failed to parse: fine
+        except Exception:
+            return  # undecodable UTF-8 etc. — parse layer, acceptable
+        try:
+            verify_document(document, world.directory, backend)
+        except ReproError:
+            return  # failed to verify: fine
+        # Verified despite the flip?  Only legitimate if the canonical
+        # form is unchanged (e.g. flip inside ignorable content — which
+        # our canonical serialization does not produce).
+        assert document.to_bytes() == \
+            fig9a_trace.final_document.to_bytes()

@@ -1,0 +1,82 @@
+"""Activity and FieldSpec model validation and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DefinitionError
+from repro.model.activity import Activity, FieldSpec
+from repro.model.controlflow import JoinKind, SplitKind, Transition
+
+
+class TestFieldSpec:
+    def test_defaults(self):
+        spec = FieldSpec("amount")
+        assert spec.ftype == "string"
+
+    def test_typed(self):
+        assert FieldSpec("n", "int").ftype == "int"
+
+    @pytest.mark.parametrize("name", ["", "with space", "1leading", "a-b"])
+    def test_invalid_names(self, name):
+        with pytest.raises(DefinitionError):
+            FieldSpec(name)
+
+    def test_invalid_type(self):
+        with pytest.raises(DefinitionError):
+            FieldSpec("x", "decimal")
+
+    def test_roundtrip(self):
+        spec = FieldSpec("x", "float", "a measurement")
+        assert FieldSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestActivity:
+    def test_minimal(self):
+        activity = Activity(activity_id="A1", participant="p@x")
+        assert activity.split is SplitKind.NONE
+        assert activity.join is JoinKind.NONE
+        assert activity.response_names == ()
+
+    def test_requires_id_and_participant(self):
+        with pytest.raises(DefinitionError):
+            Activity(activity_id="", participant="p@x")
+        with pytest.raises(DefinitionError):
+            Activity(activity_id="A1", participant="")
+
+    def test_duplicate_responses_rejected(self):
+        with pytest.raises(DefinitionError):
+            Activity(activity_id="A1", participant="p@x",
+                     responses=(FieldSpec("x"), FieldSpec("x")))
+
+    def test_response_names(self):
+        activity = Activity(activity_id="A1", participant="p@x",
+                            responses=(FieldSpec("a"), FieldSpec("b")))
+        assert activity.response_names == ("a", "b")
+
+    def test_roundtrip(self):
+        activity = Activity(
+            activity_id="A1", participant="p@x", name="Review",
+            description="look at it", requests=("q",),
+            responses=(FieldSpec("a", "int"),),
+            split=SplitKind.XOR, join=JoinKind.AND,
+            metadata={"sla": "24h"},
+        )
+        restored = Activity.from_dict(activity.to_dict())
+        assert restored == activity
+        assert restored.metadata == {"sla": "24h"}
+
+
+class TestTransition:
+    def test_defaults(self):
+        t = Transition("A", "B")
+        assert t.condition is None
+        assert t.priority == 0
+
+    def test_roundtrip(self):
+        t = Transition("A", "B", condition="x > 1", priority=2)
+        assert Transition.from_dict(t.to_dict()) == t
+
+    def test_roundtrip_none_condition(self):
+        t = Transition("A", "B")
+        assert Transition.from_dict(t.to_dict()) == t

@@ -1,0 +1,143 @@
+"""The fluent WorkflowBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DefinitionError
+from repro.model.builder import WorkflowBuilder
+from repro.model.controlflow import END, JoinKind, SplitKind
+
+
+def test_basic_chain():
+    definition = (
+        WorkflowBuilder("p", designer="d@x")
+        .activity("A", "p@x", responses=["v"])
+        .activity("B", "q@x", requests=["v"])
+        .transition("A", "B")
+        .build()
+    )
+    assert definition.start_activity == "A"
+    assert definition.successors("A") == ["B"]
+
+
+def test_transitions_may_precede_activities():
+    definition = (
+        WorkflowBuilder("p", designer="d@x")
+        .transition("A", "B")
+        .activity("A", "p@x")
+        .activity("B", "q@x")
+        .build()
+    )
+    assert definition.successors("A") == ["B"]
+
+
+def test_explicit_start():
+    definition = (
+        WorkflowBuilder("p", designer="d@x")
+        .activity("Z", "p@x")
+        .activity("A", "q@x")
+        .transition("A", "Z")
+        .start("A")
+        .build()
+    )
+    assert definition.start_activity == "A"
+
+
+def test_unknown_start_rejected():
+    builder = WorkflowBuilder("p", designer="d@x").activity("A", "p@x")
+    with pytest.raises(DefinitionError):
+        builder.start("ghost").build()
+
+
+def test_split_join_kinds():
+    definition = (
+        WorkflowBuilder("p", designer="d@x")
+        .activity("A", "p@x", split="and")
+        .activity("B", "q@x")
+        .activity("C", "r@x")
+        .activity("D", "s@x", join="and")
+        .transition("A", "B").transition("A", "C")
+        .transition("B", "D").transition("C", "D")
+        .build()
+    )
+    assert definition.activity("A").split is SplitKind.AND
+    assert definition.activity("D").join is JoinKind.AND
+
+
+def test_readers_accumulate_clauses():
+    definition = (
+        WorkflowBuilder("p", designer="d@x")
+        .activity("A", "p@x", responses=["X", "Y"])
+        .activity("B", "q@x", requests=["Y"])
+        .transition("A", "B")
+        .readers("A", "X", ["john@a"], condition="Y == 'yes'")
+        .readers("A", "X", ["mary@b"])
+        .build()
+    )
+    rule = definition.policy.rule_for("A", "X")
+    assert rule is not None
+    assert len(rule.clauses) == 2
+    assert rule.conditional
+
+
+def test_extra_readers_deduplicated():
+    builder = (
+        WorkflowBuilder("p", designer="d@x")
+        .activity("A", "p@x")
+        .extra_readers("auditor@hq", "auditor@hq")
+        .extra_readers("auditor@hq", "second@hq")
+    )
+    definition = builder.build()
+    assert definition.policy.extra_readers == ("auditor@hq", "second@hq")
+
+
+def test_conceal_flow_marks_tfc_required():
+    definition = (
+        WorkflowBuilder("p", designer="d@x")
+        .activity("A", "p@x")
+        .conceal_flow_from("tony@x")
+        .build()
+    )
+    assert definition.policy.requires_tfc
+
+
+def test_require_timestamps():
+    definition = (
+        WorkflowBuilder("p", designer="d@x")
+        .activity("A", "p@x")
+        .require_timestamps()
+        .build()
+    )
+    assert definition.policy.require_timestamps
+
+
+def test_validation_can_be_skipped():
+    # An AND-split with one edge is invalid, but build(validate=False)
+    # lets tests construct it anyway.
+    builder = (
+        WorkflowBuilder("p", designer="d@x")
+        .activity("A", "p@x", split="and")
+        .activity("B", "q@x")
+        .transition("A", "B")
+    )
+    with pytest.raises(DefinitionError):
+        builder2 = (
+            WorkflowBuilder("p", designer="d@x")
+            .activity("A", "p@x", split="and")
+            .activity("B", "q@x")
+            .transition("A", "B")
+        )
+        builder2.build()
+    definition = builder.build(validate=False)
+    assert "A" in definition.activities
+
+
+def test_end_transition():
+    definition = (
+        WorkflowBuilder("p", designer="d@x")
+        .activity("A", "p@x")
+        .transition("A", END)
+        .build()
+    )
+    assert definition.end_activities() == ["A"]

@@ -1,0 +1,143 @@
+"""WorkflowDefinition topology and routing semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DefinitionError, RoutingError
+from repro.model.activity import Activity, FieldSpec
+from repro.model.builder import WorkflowBuilder
+from repro.model.controlflow import END, JoinKind, SplitKind, Transition
+from repro.model.definition import WorkflowDefinition
+from repro.workloads.figure9 import figure_9a_definition
+
+
+@pytest.fixture()
+def fig9a_def():
+    return figure_9a_definition()
+
+
+class TestConstruction:
+    def test_duplicate_activity_rejected(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x"))
+        with pytest.raises(DefinitionError, match="duplicate"):
+            definition.add_activity(Activity("A", "q@x"))
+
+    def test_first_activity_becomes_start(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x"))
+        assert definition.start_activity == "A"
+
+    def test_transition_endpoints_checked(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x"))
+        with pytest.raises(DefinitionError, match="unknown"):
+            definition.add_transition(Transition("A", "ghost"))
+        with pytest.raises(DefinitionError, match="unknown"):
+            definition.add_transition(Transition("ghost", "A"))
+
+    def test_end_sentinel_allowed_as_target(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x"))
+        definition.add_transition(Transition("A", END))
+        assert definition.end_activities() == ["A"]
+
+    def test_unknown_activity_lookup(self, fig9a_def):
+        with pytest.raises(DefinitionError):
+            fig9a_def.activity("ghost")
+
+
+class TestTopology:
+    def test_fig9a_shape(self, fig9a_def):
+        assert fig9a_def.start_activity == "A"
+        assert set(fig9a_def.predecessors("C")) == {"B1", "B2"}
+        assert fig9a_def.end_activities() == ["D"]
+        assert fig9a_def.and_join_arity("C") == 2
+        assert fig9a_def.and_join_arity("B1") == 1
+
+    def test_outgoing_sorted_by_priority(self, fig9a_def):
+        edges = fig9a_def.outgoing("D")
+        assert edges[0].target == END
+        assert edges[1].target == "A"
+
+    def test_participants(self, fig9a_def):
+        assert len(fig9a_def.participants) == 5
+
+    def test_fields_produced(self, fig9a_def):
+        produced = fig9a_def.fields_produced()
+        assert produced["attachment"] == "A"
+        assert produced["decision"] == "D"
+
+    def test_conflicting_producers_rejected(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x",
+                                         responses=(FieldSpec("v"),)))
+        definition.add_activity(Activity("B", "q@x",
+                                         responses=(FieldSpec("v"),)))
+        with pytest.raises(DefinitionError, match="produced by both"):
+            definition.fields_produced()
+
+    def test_requesting_activities(self, fig9a_def):
+        assert set(fig9a_def.requesting_activities("attachment")) == \
+            {"B1", "B2"}
+
+
+class TestSuccessors:
+    def test_and_split(self, fig9a_def):
+        assert fig9a_def.successors("A") == ["B1", "B2"]
+
+    def test_sequence(self, fig9a_def):
+        assert fig9a_def.successors("B1") == ["C"]
+        assert fig9a_def.successors("C") == ["D"]
+
+    def test_xor_guard_true_terminates(self, fig9a_def):
+        assert fig9a_def.successors("D", {"decision": "accept"}) == []
+
+    def test_xor_default_loops_back(self, fig9a_def):
+        assert fig9a_def.successors("D",
+                                    {"decision": "insufficient"}) == ["A"]
+
+    def test_xor_without_variables(self, fig9a_def):
+        with pytest.raises(RoutingError, match="needs variables"):
+            fig9a_def.successors("D")
+
+    def test_none_split_multiple_edges_rejected(self):
+        definition = WorkflowDefinition("p", "d@x")
+        for aid in ("A", "B", "C"):
+            definition.add_activity(Activity(aid, "p@x"))
+        definition.add_transition(Transition("A", "B"))
+        definition.add_transition(Transition("A", "C"))
+        with pytest.raises(RoutingError, match="split=NONE"):
+            definition.successors("A")
+
+    def test_xor_no_match_no_default(self):
+        definition = (
+            WorkflowBuilder("p", designer="d@x")
+            .activity("A", "p@x", responses=["v"], split="xor")
+            .activity("B", "q@x")
+            .activity("C", "r@x")
+            .transition("A", "B", condition="v == 'b'")
+            .transition("A", "C", condition="v == 'c'")
+            .build(validate=False)
+        )
+        with pytest.raises(RoutingError, match="no guard"):
+            definition.successors("A", {"v": "neither"})
+
+    def test_multiple_defaults_rejected(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x", split=SplitKind.XOR))
+        definition.add_activity(Activity("B", "q@x"))
+        definition.add_activity(Activity("C", "r@x"))
+        definition.add_transition(Transition("A", "B"))
+        definition.add_transition(Transition("A", "C"))
+        with pytest.raises(RoutingError, match="multiple"):
+            definition.successors("A", {})
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self, fig9a_def):
+        restored = WorkflowDefinition.from_dict(fig9a_def.to_dict())
+        assert restored.to_dict() == fig9a_def.to_dict()
+        assert restored.start_activity == fig9a_def.start_activity
+        assert restored.activity("C").join is JoinKind.AND

@@ -1,0 +1,108 @@
+"""Guard expression compilation, evaluation, and sandboxing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExpressionError
+from repro.model.expressions import (
+    evaluate_guard,
+    guard_variables,
+    validate_guard,
+)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("expr,variables,expected", [
+        ("X == 'accept'", {"X": "accept"}, True),
+        ("X == 'accept'", {"X": "reject"}, False),
+        ("X != 'accept'", {"X": "reject"}, True),
+        ("amount > 1000", {"amount": 1500}, True),
+        ("amount > 1000", {"amount": 1000}, False),
+        ("amount >= 1000", {"amount": 1000}, True),
+        ("amount < limit", {"amount": 5, "limit": 10}, True),
+        ("a <= b <= c", {"a": 1, "b": 2, "c": 3}, True),
+        ("a <= b <= c", {"a": 1, "b": 5, "c": 3}, False),
+        ("approved and amount > 0", {"approved": True, "amount": 1}, True),
+        ("approved and amount > 0", {"approved": False, "amount": 1}, False),
+        ("a or b", {"a": False, "b": True}, True),
+        ("not rejected", {"rejected": False}, True),
+        ("status in ('open', 'review')", {"status": "review"}, True),
+        ("status not in ('open',)", {"status": "closed"}, True),
+        ("x + y == 10", {"x": 4, "y": 6}, True),
+        ("x * 2 > y - 1", {"x": 3, "y": 8}, False),
+        ("x % 2 == 0", {"x": 4}, True),
+        ("-x < 0", {"x": 5}, True),
+        ("True", {}, True),
+        ("x / 2 == 2.5", {"x": 5}, True),
+    ])
+    def test_cases(self, expr, variables, expected):
+        assert evaluate_guard(expr, variables) is expected
+
+    def test_undefined_variable(self):
+        with pytest.raises(ExpressionError, match="undefined variable"):
+            evaluate_guard("missing == 1", {"present": 1})
+
+    def test_type_error_surfaced(self):
+        with pytest.raises(ExpressionError):
+            evaluate_guard("x < y", {"x": "text", "y": 3})
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExpressionError):
+            evaluate_guard("x / 0 > 1", {"x": 4})
+
+    def test_short_circuit_and(self):
+        # The right operand would fail; `and` must not evaluate it.
+        assert evaluate_guard("present and missing", {"present": False,
+                                                      "missing": True}) \
+            is False
+
+
+class TestSandbox:
+    @pytest.mark.parametrize("expr", [
+        "__import__('os').system('true')",
+        "open('/etc/passwd')",
+        "x.__class__",
+        "[i for i in range(3)]",
+        "lambda: 1",
+        "x[0]",
+        "f'{x}'",
+        "x := 3",
+        "x ** 99",
+        "{1: 2}",
+        "b'bytes' == b'bytes'",
+    ])
+    def test_disallowed_constructs(self, expr):
+        with pytest.raises(ExpressionError):
+            validate_guard(expr)
+
+    @pytest.mark.parametrize("expr", ["", "   ", "==", "x ==", "1 +"])
+    def test_malformed(self, expr):
+        with pytest.raises(ExpressionError):
+            validate_guard(expr)
+
+    def test_non_string(self):
+        with pytest.raises(ExpressionError):
+            validate_guard(None)  # type: ignore[arg-type]
+
+
+class TestGuardVariables:
+    def test_collects_names(self):
+        assert guard_variables("x > 0 and status == 'ok' or y in (1, 2)") \
+            == {"x", "status", "y"}
+
+    def test_no_names(self):
+        assert guard_variables("1 < 2") == set()
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_property_comparison_agrees_with_python(x, y):
+    assert evaluate_guard("x < y", {"x": x, "y": y}) == (x < y)
+    assert evaluate_guard("x == y", {"x": x, "y": y}) == (x == y)
+
+
+@given(st.booleans(), st.booleans())
+def test_property_boolean_ops(a, b):
+    assert evaluate_guard("a and b", {"a": a, "b": b}) == (a and b)
+    assert evaluate_guard("a or not b", {"a": a, "b": b}) == (a or not b)

@@ -1,0 +1,96 @@
+"""Synthetic workload generators: structural guarantees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.controlflow import JoinKind, SplitKind
+from repro.model.validate import validate_definition
+from repro.workloads.generator import (
+    chain_definition,
+    diamond_definition,
+    loop_definition,
+    participant_pool,
+    random_definition,
+)
+
+
+class TestParticipantPool:
+    def test_deterministic(self):
+        assert participant_pool(3) == participant_pool(3)
+
+    def test_domain(self):
+        pool = participant_pool(2, domain="acme.example")
+        assert pool == ["p0@acme.example", "p1@acme.example"]
+
+
+class TestChain:
+    @pytest.mark.parametrize("length", [1, 2, 10])
+    def test_shape(self, length):
+        definition = chain_definition(length)
+        assert len(definition.activities) == length
+        validate_definition(definition)
+        # Strict linear order.
+        for i in range(length - 1):
+            assert definition.successors(f"A{i}") == [f"A{i + 1}"]
+        assert definition.end_activities() == [f"A{length - 1}"]
+
+    def test_dataflow_links_neighbours(self):
+        definition = chain_definition(4)
+        assert definition.activity("A2").requests == ("v1",)
+        assert definition.activity("A2").response_names == ("v2",)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            chain_definition(0)
+
+
+class TestDiamond:
+    @pytest.mark.parametrize("width", [2, 3, 6])
+    def test_shape(self, width):
+        definition = diamond_definition(width)
+        validate_definition(definition)
+        assert definition.activity("S").split is SplitKind.AND
+        assert definition.activity("J").join is JoinKind.AND
+        assert len(definition.successors("S")) == width
+        assert definition.and_join_arity("J") == width
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            diamond_definition(1)
+
+
+class TestLoop:
+    @pytest.mark.parametrize("body", [1, 2, 4])
+    def test_shape(self, body):
+        definition = loop_definition(body)
+        validate_definition(definition)
+        first, last = "L0", f"L{body - 1}"
+        assert definition.activity(first).join is JoinKind.XOR
+        assert definition.activity(last).split is SplitKind.XOR
+        assert definition.successors(last, {"verdict": "again"}) == [first]
+        assert definition.successors(last, {"verdict": "done"}) == []
+
+    def test_invalid_body(self):
+        with pytest.raises(ValueError):
+            loop_definition(0)
+
+
+class TestRandom:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_always_valid(self, seed):
+        validate_definition(random_definition(seed, blocks=4))
+
+    def test_deterministic_per_seed(self):
+        a = random_definition(5, blocks=3)
+        b = random_definition(5, blocks=3)
+        assert a.to_dict() == b.to_dict()
+
+    def test_seeds_differ(self):
+        assert random_definition(1, blocks=3).to_dict() != \
+            random_definition(2, blocks=3).to_dict()
+
+    def test_size_scales_with_blocks(self):
+        small = random_definition(3, blocks=1)
+        large = random_definition(3, blocks=6)
+        assert len(large.activities) > len(small.activities)

@@ -1,0 +1,156 @@
+"""Security policy: reader clauses, conditional resolution, TFC demand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.model.builder import WorkflowBuilder
+from repro.model.controlflow import END
+from repro.model.policy import FieldRule, ReaderClause, SecurityPolicy
+
+
+def make_rule(*clauses: ReaderClause) -> FieldRule:
+    return FieldRule(activity_id="A1", fieldname="X", clauses=clauses)
+
+
+class TestReaderClause:
+    def test_requires_readers(self):
+        with pytest.raises(PolicyError):
+            ReaderClause(readers=())
+
+    def test_condition_validated(self):
+        with pytest.raises(Exception):
+            ReaderClause(readers=("a@x",), condition="import os")
+
+    def test_roundtrip(self):
+        clause = ReaderClause(readers=("a@x", "b@y"), condition="v == 1")
+        assert ReaderClause.from_dict(clause.to_dict()) == clause
+
+
+class TestFieldRule:
+    def test_requires_clauses(self):
+        with pytest.raises(PolicyError):
+            make_rule()
+
+    def test_single_default_clause(self):
+        rule = make_rule(ReaderClause(readers=("a@x",)))
+        assert not rule.conditional
+        assert rule.resolve(None) == ("a@x",)
+
+    def test_multiple_defaults_rejected(self):
+        with pytest.raises(PolicyError, match="multiple"):
+            make_rule(ReaderClause(readers=("a@x",)),
+                      ReaderClause(readers=("b@y",)))
+
+    def test_conditional_resolution(self):
+        rule = make_rule(
+            ReaderClause(readers=("john@a",), condition="v == 'yes'"),
+            ReaderClause(readers=("mary@b",)),
+        )
+        assert rule.conditional
+        assert rule.resolve({"v": "yes"}) == ("john@a",)
+        assert rule.resolve({"v": "no"}) == ("mary@b",)
+
+    def test_clause_order_matters(self):
+        rule = make_rule(
+            ReaderClause(readers=("first@x",), condition="v > 0"),
+            ReaderClause(readers=("second@x",), condition="v > 1"),
+            ReaderClause(readers=("fallback@x",)),
+        )
+        assert rule.resolve({"v": 5}) == ("first@x",)
+
+    def test_conditional_without_variables_is_the_fig4_problem(self):
+        rule = make_rule(
+            ReaderClause(readers=("john@a",), condition="v == 'yes'"),
+            ReaderClause(readers=("mary@b",)),
+        )
+        with pytest.raises(PolicyError, match="advanced model"):
+            rule.resolve(None)
+
+    def test_no_match_no_default(self):
+        rule = make_rule(ReaderClause(readers=("a@x",), condition="v == 1"))
+        with pytest.raises(PolicyError, match="no clause"):
+            rule.resolve({"v": 2})
+
+    def test_guard_variables(self):
+        rule = make_rule(
+            ReaderClause(readers=("a@x",), condition="v == 1 and w > 2"),
+            ReaderClause(readers=("b@x",)),
+        )
+        assert rule.guard_variables() == {"v", "w"}
+
+    def test_roundtrip(self):
+        rule = make_rule(
+            ReaderClause(readers=("a@x",), condition="v == 1"),
+            ReaderClause(readers=("b@x",)),
+        )
+        assert FieldRule.from_dict(rule.to_dict()) == rule
+
+
+class TestSecurityPolicy:
+    def test_duplicate_rule_rejected(self):
+        policy = SecurityPolicy()
+        policy.add_rule(make_rule(ReaderClause(readers=("a@x",))))
+        with pytest.raises(PolicyError, match="duplicate"):
+            policy.add_rule(make_rule(ReaderClause(readers=("b@x",))))
+
+    def test_requires_tfc(self):
+        assert not SecurityPolicy().requires_tfc
+        assert SecurityPolicy(conceal_flow_from=("tony@x",)).requires_tfc
+        assert SecurityPolicy(require_timestamps=True).requires_tfc
+        conditional = SecurityPolicy()
+        conditional.add_rule(make_rule(
+            ReaderClause(readers=("a@x",), condition="v == 1"),
+            ReaderClause(readers=("b@x",)),
+        ))
+        assert conditional.requires_tfc
+
+    def test_roundtrip(self):
+        policy = SecurityPolicy(
+            extra_readers=("auditor@hq",),
+            conceal_flow_from=("tony@x",),
+            require_timestamps=True,
+        )
+        policy.add_rule(make_rule(ReaderClause(readers=("a@x",))))
+        restored = SecurityPolicy.from_dict(policy.to_dict())
+        assert restored.extra_readers == ("auditor@hq",)
+        assert restored.conceal_flow_from == ("tony@x",)
+        assert restored.require_timestamps
+        assert restored.rule_for("A1", "X") is not None
+
+
+class TestReadersFor:
+    @pytest.fixture()
+    def definition(self):
+        return (
+            WorkflowBuilder("p", designer="d@x")
+            .activity("A1", "peter@x", responses=["X"])
+            .activity("A2", "tony@x", requests=["X"], responses=["Y"])
+            .activity("A3", "amy@x", requests=["X", "Y"])
+            .transition("A1", "A2").transition("A2", "A3")
+            .transition("A3", END)
+            .build()
+        )
+
+    def test_default_readers_are_requesters(self, definition):
+        readers = definition.policy.readers_for(definition, "A1", "X")
+        # Requesters (tony, amy) plus the producer (peter).
+        assert set(readers) == {"peter@x", "tony@x", "amy@x"}
+
+    def test_explicit_rule_overrides(self, definition):
+        definition.policy.add_rule(FieldRule(
+            "A1", "X", (ReaderClause(readers=("amy@x",)),)
+        ))
+        readers = definition.policy.readers_for(definition, "A1", "X")
+        # Rule readers plus the producer — but NOT tony.
+        assert set(readers) == {"amy@x", "peter@x"}
+
+    def test_extra_readers_always_included(self, definition):
+        definition.policy.extra_readers = ("auditor@hq",)
+        readers = definition.policy.readers_for(definition, "A2", "Y")
+        assert "auditor@hq" in readers
+
+    def test_producer_always_reads_own_field(self, definition):
+        readers = definition.policy.readers_for(definition, "A2", "Y")
+        assert "tony@x" in readers

@@ -1,0 +1,82 @@
+"""DOT and ASCII rendering of workflow definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.render import to_ascii, to_dot
+from repro.workloads.chinese_wall import chinese_wall_definition
+from repro.workloads.figure9 import figure_9a_definition
+from repro.workloads.generator import chain_definition
+
+
+@pytest.fixture()
+def fig9a_def():
+    return figure_9a_definition()
+
+
+class TestDot:
+    def test_contains_all_activities_and_edges(self, fig9a_def):
+        dot = to_dot(fig9a_def)
+        for activity_id in fig9a_def.activities:
+            assert f'"{activity_id}"' in dot
+        assert '"A" -> "B1"' in dot
+        assert '"D" -> __end__' in dot
+        assert '"D" -> "A"' in dot
+
+    def test_guards_label_edges(self, fig9a_def):
+        dot = to_dot(fig9a_def)
+        assert "decision == 'accept'" in dot
+
+    def test_split_join_shapes(self, fig9a_def):
+        dot = to_dot(fig9a_def)
+        # A is AND-split → doubled box; D is XOR-split → diamond.
+        assert "peripheries=2" in dot
+        assert "diamond" in dot
+
+    def test_participants_toggle(self, fig9a_def):
+        with_people = to_dot(fig9a_def, include_participants=True)
+        without = to_dot(fig9a_def, include_participants=False)
+        assert "submitter@acme.example" in with_people
+        assert "submitter@acme.example" not in without
+
+    def test_start_marker(self, fig9a_def):
+        assert '__start__ -> "A"' in to_dot(fig9a_def)
+
+    def test_implicit_end(self):
+        # A chain without explicit END edges still gets an end marker.
+        definition = chain_definition(2)
+        dot = to_dot(definition)
+        assert "__end__" in dot
+
+    def test_quoting(self):
+        from repro.model.builder import WorkflowBuilder
+
+        definition = (
+            WorkflowBuilder('with "quotes"', designer="d@x")
+            .activity("A", "p@x", name='say "hi"')
+            .build()
+        )
+        dot = to_dot(definition)
+        assert '\\"hi\\"' in dot
+
+    def test_output_is_dot_shaped(self, fig9a_def):
+        dot = to_dot(fig9a_def)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+
+class TestAscii:
+    def test_summary(self, fig9a_def):
+        text = to_ascii(fig9a_def)
+        assert "figure-9a" in text
+        assert "A: submitter@acme.example [start, split=and, join=xor]" \
+            in text
+        assert "-> (end)" in text
+        assert "when decision == 'accept'" in text
+
+    def test_chinese_wall(self):
+        text = to_ascii(chinese_wall_definition())
+        assert "split=xor" in text
+        assert "tony@consultalot.example" in text

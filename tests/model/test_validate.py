@@ -1,0 +1,207 @@
+"""Structural validation: every ill-formed workflow is rejected."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DefinitionError, PolicyError
+from repro.model.activity import Activity, FieldSpec
+from repro.model.builder import WorkflowBuilder
+from repro.model.controlflow import END, JoinKind, SplitKind, Transition
+from repro.model.definition import WorkflowDefinition
+from repro.model.policy import FieldRule, ReaderClause
+from repro.model.validate import definition_graph, validate_definition
+from repro.workloads.figure9 import figure_9a_definition
+from repro.workloads.chinese_wall import chinese_wall_definition
+from repro.workloads.generator import (
+    chain_definition,
+    diamond_definition,
+    loop_definition,
+    random_definition,
+)
+
+
+def minimal() -> WorkflowDefinition:
+    definition = WorkflowDefinition("p", "d@x")
+    definition.add_activity(Activity("A", "p@x"))
+    return definition
+
+
+class TestValidWorkflows:
+    @pytest.mark.parametrize("factory", [
+        figure_9a_definition,
+        chinese_wall_definition,
+        lambda: chain_definition(4),
+        lambda: diamond_definition(3),
+        lambda: loop_definition(2),
+        lambda: random_definition(11, blocks=4),
+    ])
+    def test_accepted(self, factory):
+        validate_definition(factory())
+
+    def test_single_activity(self):
+        validate_definition(minimal())
+
+
+class TestInvalidStructure:
+    def test_empty(self):
+        with pytest.raises(DefinitionError, match="no activities"):
+            validate_definition(WorkflowDefinition("p", "d@x"))
+
+    def test_missing_start(self):
+        definition = minimal()
+        definition.start_activity = "ghost"
+        with pytest.raises(DefinitionError, match="start"):
+            validate_definition(definition)
+
+    def test_unreachable_activity(self):
+        definition = minimal()
+        definition.add_activity(Activity("island", "q@x"))
+        with pytest.raises(DefinitionError, match="unreachable"):
+            validate_definition(definition)
+
+    def test_no_end(self):
+        definition = minimal()
+        definition.add_activity(Activity("B", "q@x",
+                                         join=JoinKind.XOR))
+        definition.add_transition(Transition("A", "B"))
+        definition.add_transition(Transition("B", "B"))
+        with pytest.raises(DefinitionError):
+            validate_definition(definition)
+
+    def test_none_split_fanout(self):
+        definition = minimal()
+        definition.add_activity(Activity("B", "q@x"))
+        definition.add_activity(Activity("C", "r@x"))
+        definition.add_transition(Transition("A", "B"))
+        definition.add_transition(Transition("A", "C"))
+        with pytest.raises(DefinitionError, match="split=NONE"):
+            validate_definition(definition)
+
+    def test_and_split_single_edge(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x", split=SplitKind.AND))
+        definition.add_activity(Activity("B", "q@x"))
+        definition.add_transition(Transition("A", "B"))
+        with pytest.raises(DefinitionError, match="AND-split"):
+            validate_definition(definition)
+
+    def test_and_split_to_end_rejected(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x", split=SplitKind.AND))
+        definition.add_activity(Activity("B", "q@x"))
+        definition.add_transition(Transition("A", "B"))
+        definition.add_transition(Transition("A", END))
+        with pytest.raises(DefinitionError, match="cannot.*target END"):
+            validate_definition(definition)
+
+    def test_xor_split_single_edge(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x", split=SplitKind.XOR))
+        definition.add_activity(Activity("B", "q@x"))
+        definition.add_transition(Transition("A", "B"))
+        with pytest.raises(DefinitionError, match="XOR-split"):
+            validate_definition(definition)
+
+    def test_xor_multiple_defaults(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x", split=SplitKind.XOR))
+        definition.add_activity(Activity("B", "q@x"))
+        definition.add_activity(Activity("C", "r@x"))
+        definition.add_transition(Transition("A", "B"))
+        definition.add_transition(Transition("A", "C"))
+        with pytest.raises(DefinitionError, match="default"):
+            validate_definition(definition)
+
+    def test_none_join_fanin(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x", split=SplitKind.AND))
+        definition.add_activity(Activity("B", "q@x"))
+        definition.add_activity(Activity("C", "r@x"))
+        definition.add_activity(Activity("D", "s@x"))  # join=NONE
+        definition.add_transition(Transition("A", "B"))
+        definition.add_transition(Transition("A", "C"))
+        definition.add_transition(Transition("B", "D"))
+        definition.add_transition(Transition("C", "D"))
+        with pytest.raises(DefinitionError, match="join=NONE"):
+            validate_definition(definition)
+
+    def test_and_join_single_edge(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x"))
+        definition.add_activity(Activity("B", "q@x", join=JoinKind.AND))
+        definition.add_transition(Transition("A", "B"))
+        with pytest.raises(DefinitionError, match="AND-join"):
+            validate_definition(definition)
+
+    def test_guard_reads_unproduced_variable(self):
+        builder = (
+            WorkflowBuilder("p", designer="d@x")
+            .activity("A", "p@x", responses=["v"], split="xor")
+            .activity("B", "q@x")
+            .transition("A", "B", condition="ghost == 1")
+            .transition("A", END, priority=1)
+        )
+        with pytest.raises(DefinitionError, match="ghost"):
+            builder.build()
+
+    def test_request_of_unproduced_variable(self):
+        builder = (
+            WorkflowBuilder("p", designer="d@x")
+            .activity("A", "p@x", requests=["never_made"])
+        )
+        with pytest.raises(DefinitionError, match="never_made"):
+            builder.build()
+
+    def test_loop_without_xor_join(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x", split=SplitKind.XOR,
+                                         responses=(FieldSpec("v"),)))
+        definition.add_activity(Activity("B", "q@x"))
+        definition.add_transition(Transition("A", "B", condition="v == 'x'"))
+        definition.add_transition(Transition("A", "A", priority=1))
+        with pytest.raises(DefinitionError, match="XOR-join"):
+            validate_definition(definition)
+
+
+class TestInvalidPolicy:
+    def test_rule_for_unknown_activity(self):
+        definition = minimal()
+        definition.policy.add_rule(FieldRule(
+            "ghost", "X", (ReaderClause(readers=("a@x",)),)
+        ))
+        with pytest.raises(PolicyError, match="unknown activity"):
+            validate_definition(definition)
+
+    def test_rule_for_unproduced_field(self):
+        definition = minimal()
+        definition.policy.add_rule(FieldRule(
+            "A", "nothere", (ReaderClause(readers=("a@x",)),)
+        ))
+        with pytest.raises(PolicyError, match="does not produce"):
+            validate_definition(definition)
+
+    def test_policy_guard_reads_unproduced_variable(self):
+        definition = WorkflowDefinition("p", "d@x")
+        definition.add_activity(Activity("A", "p@x",
+                                         responses=(FieldSpec("X"),)))
+        definition.policy.add_rule(FieldRule(
+            "A", "X",
+            (ReaderClause(readers=("a@x",), condition="ghost == 1"),
+             ReaderClause(readers=("b@x",))),
+        ))
+        with pytest.raises(PolicyError, match="ghost"):
+            validate_definition(definition)
+
+
+class TestGraph:
+    def test_definition_graph(self):
+        definition = figure_9a_definition()
+        graph = definition_graph(definition)
+        assert set(graph.nodes) == set(definition.activities)
+        assert graph.has_edge("A", "B1")
+        assert not graph.has_node(END)
+
+    def test_definition_graph_with_end(self):
+        graph = definition_graph(figure_9a_definition(), include_end=True)
+        assert graph.has_edge("D", END)

@@ -1,0 +1,89 @@
+"""XPDL-like XML serialization of definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DefinitionError
+from repro.model.xpdl import definition_from_xml, definition_to_xml
+from repro.workloads.chinese_wall import chinese_wall_definition
+from repro.workloads.figure9 import figure_9a_definition, figure_9b_definition
+from repro.workloads.generator import (
+    chain_definition,
+    diamond_definition,
+    loop_definition,
+    random_definition,
+)
+from repro.xmlsec.canonical import canonicalize, parse_xml
+
+
+@pytest.mark.parametrize("factory", [
+    figure_9a_definition,
+    figure_9b_definition,
+    chinese_wall_definition,
+    lambda: chain_definition(3),
+    lambda: diamond_definition(2),
+    lambda: loop_definition(2),
+    lambda: random_definition(3, blocks=3),
+], ids=["fig9a", "fig9b", "chinese-wall", "chain", "diamond", "loop",
+        "random"])
+def test_roundtrip_semantics(factory):
+    original = factory()
+    restored = definition_from_xml(definition_to_xml(original))
+    assert restored.to_dict() == original.to_dict()
+
+
+def test_roundtrip_is_canonically_stable():
+    # designer signature stability depends on this
+    definition = figure_9a_definition()
+    once = canonicalize(definition_to_xml(definition))
+    twice = canonicalize(definition_to_xml(
+        definition_from_xml(parse_xml(once))
+    ))
+    assert once == twice
+
+
+def test_policy_survives():
+    definition = chinese_wall_definition()
+    restored = definition_from_xml(definition_to_xml(definition))
+    assert restored.policy.requires_tfc
+    assert restored.policy.conceal_flow_from == \
+        definition.policy.conceal_flow_from
+    rule = restored.policy.rule_for("A2", "Y")
+    assert rule is not None and rule.conditional
+
+
+def test_end_transition_survives():
+    definition = figure_9a_definition()
+    restored = definition_from_xml(definition_to_xml(definition))
+    assert restored.end_activities() == ["D"]
+
+
+def test_wrong_root_tag_rejected():
+    with pytest.raises(DefinitionError):
+        definition_from_xml(parse_xml(b"<NotADefinition/>"))
+
+
+def test_missing_activities_section_rejected():
+    with pytest.raises(DefinitionError):
+        definition_from_xml(parse_xml(
+            b'<WorkflowDefinition ProcessName="p" Designer="d" '
+            b'StartActivity="A"></WorkflowDefinition>'
+        ))
+
+
+def test_field_types_survive():
+    from repro.model.activity import FieldSpec
+    from repro.model.builder import WorkflowBuilder
+    from repro.model.controlflow import END
+
+    definition = (
+        WorkflowBuilder("typed", designer="d@x")
+        .activity("A", "p@x", responses=[FieldSpec("count", "int"),
+                                         FieldSpec("ratio", "float")])
+        .transition("A", END)
+        .build()
+    )
+    restored = definition_from_xml(definition_to_xml(definition))
+    specs = {s.name: s.ftype for s in restored.activity("A").responses}
+    assert specs == {"count": "int", "ratio": "float"}

@@ -1,0 +1,166 @@
+"""The executable attack matrix: DRA4WfMS resists, baselines fall."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CentralizedWfms, DistributedWfms
+from repro.cloud.hbase import SimHBase
+from repro.cloud.pool import DocumentPool
+from repro.security import (
+    AttackSuite,
+    eavesdrop_distributed,
+    eavesdrop_dra_field,
+    mitm_distributed,
+    repudiate_centralized,
+    repudiate_dra_execution,
+    rollback_dra_document,
+    superuser_tamper_centralized,
+    swap_dra_ciphertexts,
+    tamper_dra_field,
+)
+from repro.security.threat import (
+    MALICIOUS_ADMIN,
+    NETWORK_ATTACKER,
+    Capability,
+)
+from repro.workloads.figure9 import figure9_responders, figure_9a_definition
+
+
+@pytest.fixture()
+def final_doc(fig9a_trace):
+    return fig9a_trace.final_document
+
+
+@pytest.fixture()
+def pool_with_doc(final_doc):
+    pool = DocumentPool(SimHBase(region_servers=1))
+    pool.register_process(final_doc.process_id)
+    pool.store(final_doc)
+    return pool
+
+
+class TestDraAttacks:
+    def test_tamper_detected(self, final_doc, world, backend):
+        outcome = tamper_dra_field(final_doc, world.directory, backend)
+        assert outcome.detected and outcome.secure
+
+    def test_splice_detected(self, final_doc, world, backend):
+        outcome = swap_dra_ciphertexts(final_doc, world.directory, backend)
+        assert outcome.detected and outcome.secure
+
+    def test_rollback_caught_by_pool(self, final_doc, world, backend,
+                                     pool_with_doc):
+        outcome = rollback_dra_document(final_doc, world.directory,
+                                        pool_with_doc, backend)
+        assert outcome.detected and outcome.secure
+        assert "monotonicity" in outcome.detail
+
+    def test_rollback_without_pool_is_the_known_gap(self, final_doc,
+                                                    world, backend):
+        # A truncated document is a validly-signed prefix: document-
+        # level verification alone cannot catch it.  Honest negative
+        # result, documented in EXPERIMENTS.md.
+        outcome = rollback_dra_document(final_doc, world.directory,
+                                        None, backend)
+        assert not outcome.detected
+
+    def test_eavesdrop_blocked(self, final_doc, world, backend,
+                               outsider_keypair):
+        outcome = eavesdrop_dra_field(
+            final_doc, outsider_keypair.identity,
+            outsider_keypair.private_key, backend,
+        )
+        assert outcome.secure
+
+    def test_repudiation_rebutted(self, final_doc, world, backend):
+        outcome = repudiate_dra_execution(final_doc, world.directory, "D",
+                                          iteration=1, backend=backend)
+        assert outcome.secure
+        assert "rebutted" in outcome.detail
+
+    def test_attacks_do_not_mutate_original(self, final_doc, world,
+                                            backend):
+        before = final_doc.to_bytes()
+        tamper_dra_field(final_doc, world.directory, backend)
+        swap_dra_ciphertexts(final_doc, world.directory, backend)
+        assert final_doc.to_bytes() == before
+
+
+class TestBaselineAttacks:
+    def test_centralized_superuser_wins(self):
+        engine = CentralizedWfms(figure_9a_definition())
+        process_id, _ = engine.run(figure9_responders(0))
+        outcome = superuser_tamper_centralized(engine, process_id, "D")
+        assert outcome.succeeded and not outcome.detected
+
+    def test_centralized_repudiation_wins(self):
+        engine = CentralizedWfms(figure_9a_definition())
+        process_id, _ = engine.run(figure9_responders(0))
+        outcome = repudiate_centralized(engine, process_id, "D")
+        assert outcome.succeeded
+
+    def test_mitm_wins_without_ssl(self):
+        system = DistributedWfms(figure_9a_definition(), engines=3,
+                                 use_ssl=False)
+        outcome = mitm_distributed(system, figure9_responders(0))
+        assert outcome.succeeded and not outcome.detected
+
+    def test_mitm_blocked_by_ssl(self):
+        system = DistributedWfms(figure_9a_definition(), engines=3,
+                                 use_ssl=True)
+        outcome = mitm_distributed(system, figure9_responders(0))
+        assert not outcome.succeeded
+
+    def test_eavesdrop_wins_without_ssl(self):
+        system = DistributedWfms(figure_9a_definition(), engines=3,
+                                 use_ssl=False)
+        outcome = eavesdrop_distributed(system, figure9_responders(0))
+        assert outcome.succeeded
+
+
+class TestFullSuite:
+    def test_matrix(self, final_doc, world, backend, outsider_keypair,
+                    pool_with_doc):
+        definition = figure_9a_definition()
+        centralized = CentralizedWfms(definition)
+        process_id, _ = centralized.run(figure9_responders(0))
+        suite = AttackSuite.run(
+            dra_document=final_doc,
+            directory=world.directory,
+            outsider_identity=outsider_keypair.identity,
+            outsider_private_key=outsider_keypair.private_key,
+            centralized=centralized,
+            centralized_process=process_id,
+            repudiated_activity="D",
+            distributed_plain=DistributedWfms(definition, engines=3,
+                                              use_ssl=False),
+            distributed_ssl=DistributedWfms(definition, engines=3,
+                                            use_ssl=True),
+            responders=figure9_responders(0),
+            pool=pool_with_doc,
+            backend=backend,
+        )
+        # The paper's core claim, as an assertion:
+        assert suite.dra_all_secure()
+        assert suite.baselines_all_vulnerable()
+        by_system = suite.by_system()
+        assert len(by_system["dra4wfms"]) == 5
+        # SSL helps with transit but not with storage/repudiation.
+        ssl_outcomes = by_system["distributed-engine(ssl)"]
+        assert all(o.secure for o in ssl_outcomes)
+
+
+class TestThreatModel:
+    def test_capabilities(self):
+        assert NETWORK_ATTACKER.can(Capability.ALTER_NETWORK)
+        assert not NETWORK_ATTACKER.can(Capability.SUPERUSER_STORAGE)
+        assert MALICIOUS_ADMIN.can(Capability.SUPERUSER_STORAGE)
+
+    def test_outcome_secure_property(self):
+        from repro.security.threat import AttackOutcome
+
+        assert AttackOutcome("a", "s", succeeded=False, detected=True,
+                             detail="").secure
+        assert not AttackOutcome("a", "s", succeeded=True, detected=False,
+                                 detail="").secure

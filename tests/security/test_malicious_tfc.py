@@ -1,0 +1,144 @@
+"""Byzantine TFC analysis — the advanced model's trust boundary.
+
+The paper models the TFC as "analogous to a notary public" and trusts
+it.  What if the notary cheats?  A malicious TFC can substitute the
+participant's result while re-encrypting (it holds the plaintext!), and
+**online verification cannot catch that** — the substituted result is
+validly signed by the TFC.  This is an inherent consequence of the
+Fig. 4 requirement (the TFC must see and re-encrypt plaintext), not an
+implementation bug.
+
+What the cascade *does* guarantee is after-the-fact accountability: the
+participant's intermediate CER — countersigned by the TFC itself! —
+still carries the original result sealed to the TFC's key.  In a
+dispute, producing the TFC's decryption shows the mismatch, and the
+TFC's own signature over the intermediate CER makes the substitution
+undeniable.  Both halves are asserted here and recorded as the honest
+trust-model statement in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ActivityExecutionAgent
+from repro.core.tfc import TfcServer
+from repro.document import (
+    INTERMEDIATE_BUNDLE_FIELD,
+    build_initial_document,
+    parse_result_bundle,
+    verify_document,
+)
+from repro.document.sections import KIND_INTERMEDIATE, KIND_TFC
+from repro.workloads.figure9 import DESIGNER, PARTICIPANTS
+
+EVIL_TFC = "tfc-mallory@cloud.example"
+
+
+class MaliciousTfc(TfcServer):
+    """A notary that rewrites every result it re-encrypts."""
+
+    def process(self, data):
+        # Intercept by wrapping the bundle parser for this call only:
+        # decrypt → substitute → continue as normal.
+        original_parse = parse_result_bundle
+
+        def forge(payload: bytes) -> dict[str, str]:
+            values = original_parse(payload)
+            return {name: "FORGED BY TFC" for name in values}
+
+        import repro.core.tfc as tfc_module
+
+        tfc_module.parse_result_bundle = forge
+        try:
+            return super().process(data)
+        finally:
+            tfc_module.parse_result_bundle = original_parse
+
+
+@pytest.fixture(scope="module", autouse=True)
+def enroll(world):
+    if EVIL_TFC not in world.directory:
+        world.add_participant(EVIL_TFC)
+
+
+@pytest.fixture()
+def forged_run(world, fig9b, backend):
+    tfc = MaliciousTfc(world.keypair(EVIL_TFC), world.directory,
+                       backend=backend)
+    initial = build_initial_document(fig9b, world.keypair(DESIGNER),
+                                     backend=backend)
+    agent = ActivityExecutionAgent(world.keypair(PARTICIPANTS["A"]),
+                                   world.directory, backend)
+    pending = agent.execute_activity(
+        initial, "A", {"attachment": "the genuine application"},
+        mode="advanced", tfc_identity=tfc.identity,
+        tfc_public_key=tfc.public_key,
+    ).document
+    return tfc, tfc.process(pending).document
+
+
+class TestOnlineLimitation:
+    def test_substitution_passes_verification(self, forged_run, world,
+                                              backend):
+        # Honest negative result: the document verifies — the TFC is
+        # inside the trust boundary for plaintext handling.
+        tfc, document = forged_run
+        report = verify_document(document, world.directory, backend,
+                                 tfc_identities={tfc.identity})
+        assert report.signatures_verified == 3
+
+    def test_readers_receive_the_forgery(self, forged_run, world,
+                                         backend):
+        tfc, document = forged_run
+        reviewer = world.keypair(PARTICIPANTS["B1"])
+        field = document.find_cer("A", 0, KIND_TFC) \
+            .encrypted_field("attachment")
+        plaintext = field.decrypt(reviewer.identity,
+                                  reviewer.private_key, backend)
+        assert plaintext == b"FORGED BY TFC"
+
+
+class TestOfflineAccountability:
+    def test_intermediate_cer_pins_the_original(self, forged_run, world,
+                                                backend):
+        # Dispute resolution: the TFC's key (disclosed to the
+        # arbitrator) decrypts the participant-signed intermediate
+        # bundle — the original survives, signed by the participant AND
+        # countersigned by the TFC.
+        tfc, document = forged_run
+        intermediate = document.find_cer("A", 0, KIND_INTERMEDIATE)
+        bundle = intermediate.encrypted_field(INTERMEDIATE_BUNDLE_FIELD)
+        original = parse_result_bundle(bundle.decrypt(
+            tfc.identity, tfc.keypair.private_key, backend
+        ))
+        assert original == {"attachment": "the genuine application"}
+
+    def test_tfc_cannot_deny_the_substitution(self, forged_run, world,
+                                              backend):
+        from repro.document.nonrepudiation import nonrepudiation_scope_ids
+
+        tfc, document = forged_run
+        tfc_cer = document.find_cer("A", 0, KIND_TFC)
+        # The TFC signed the final (forged) CER *and* its scope covers
+        # the intermediate CER with the original: both statements carry
+        # its signature, so the mismatch is attributable to it alone.
+        assert tfc_cer.participant == tfc.identity
+        scope = nonrepudiation_scope_ids(document, tfc_cer)
+        assert "cerit-A-0" in scope
+
+    def test_tfc_cannot_tamper_with_the_intermediate(self, forged_run,
+                                                     world, backend):
+        # Covering its tracks by altering the intermediate bundle would
+        # break the participant's signature — detected by anyone.
+        from repro.errors import ReproError
+
+        tfc, document = forged_run
+        altered = document.clone()
+        node = altered.root.find(
+            ".//CER[@Id='cerit-A-0']/ExecutionResult/EncryptedData/"
+            "CipherData/CipherValue")
+        node.text = "QUJD" + (node.text or "")[4:]
+        with pytest.raises(ReproError):
+            verify_document(altered, world.directory, backend,
+                            tfc_identities={tfc.identity})

@@ -1,0 +1,13 @@
+"""The package docstring's quick-tour example must actually run."""
+
+from __future__ import annotations
+
+import doctest
+
+import repro
+
+
+def test_package_docstring_example():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted >= 5
+    assert results.failed == 0

@@ -1,0 +1,53 @@
+"""Error hierarchy: one catchable base, sensible subtyping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    value for value in vars(errors).values()
+    if isinstance(value, type) and issubclass(value, Exception)
+]
+
+
+def test_everything_derives_from_repro_error():
+    for cls in ALL_ERRORS:
+        assert issubclass(cls, errors.ReproError), cls
+
+
+@pytest.mark.parametrize("child,parent", [
+    (errors.SignatureError, errors.CryptoError),
+    (errors.DecryptionError, errors.CryptoError),
+    (errors.CertificateError, errors.CryptoError),
+    (errors.XmlSignatureError, errors.XmlSecError),
+    (errors.XmlSignatureError, errors.SignatureError),
+    (errors.XmlEncryptionError, errors.XmlSecError),
+    (errors.CanonicalizationError, errors.XmlSecError),
+    (errors.DefinitionError, errors.ModelError),
+    (errors.ExpressionError, errors.ModelError),
+    (errors.PolicyError, errors.ModelError),
+    (errors.TamperDetected, errors.VerificationError),
+    (errors.ReplayDetected, errors.VerificationError),
+    (errors.VerificationError, errors.DocumentError),
+    (errors.AuthorizationError, errors.RuntimeFault),
+    (errors.JoinNotReady, errors.RoutingError),
+    (errors.RegionError, errors.StorageError),
+    (errors.StorageError, errors.CloudError),
+    (errors.PortalError, errors.CloudError),
+])
+def test_hierarchy(child, parent):
+    assert issubclass(child, parent)
+
+
+def test_catching_the_base_catches_a_deep_leaf():
+    with pytest.raises(errors.ReproError):
+        raise errors.JoinNotReady("nested four levels down")
+
+
+def test_xml_signature_error_catchable_as_crypto_error():
+    # Cross-cutting: an XML signature failure IS a signature failure.
+    with pytest.raises(errors.CryptoError):
+        raise errors.XmlSignatureError("bad cascade")

@@ -1,0 +1,157 @@
+"""XML signatures: multi-reference signing, verification, tampering."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.errors import XmlSignatureError
+from repro.xmlsec.canonical import canonicalize, parse_xml
+from repro.xmlsec.xmldsig import (
+    XmlSignature,
+    find_by_id,
+    index_by_id,
+    sign_references,
+)
+
+
+@pytest.fixture(scope="module")
+def signer(backend):
+    return KeyPair.generate("signer@acme.example", bits=1024,
+                            backend=backend)
+
+
+@pytest.fixture(scope="module")
+def impostor(backend):
+    return KeyPair.generate("impostor@evil.example", bits=1024,
+                            backend=backend)
+
+
+@pytest.fixture()
+def document(signer, backend):
+    root = ET.Element("Doc")
+    first = ET.SubElement(root, "Data", {"Id": "d1"})
+    first.text = "payload one"
+    second = ET.SubElement(root, "Data", {"Id": "d2"})
+    second.text = "payload two"
+    signature = sign_references("sig1", signer.identity, signer.private_key,
+                                [first, second], backend=backend)
+    root.append(signature.element)
+    return root
+
+
+class TestSigning:
+    def test_structure(self, document, signer):
+        signature = XmlSignature(find_by_id(document, "sig1"))
+        assert signature.signature_id == "sig1"
+        assert signature.signer == signer.identity
+        assert signature.referenced_ids == ["d1", "d2"]
+        assert len(signature.signature_value) == 128  # RSA-1024
+
+    def test_verify(self, document, signer, backend):
+        signature = XmlSignature(find_by_id(document, "sig1"))
+        signature.verify(signer.public_key, document, backend)
+
+    def test_survives_serialization(self, document, signer, backend):
+        reparsed = parse_xml(canonicalize(document))
+        signature = XmlSignature(find_by_id(reparsed, "sig1"))
+        signature.verify(signer.public_key, reparsed, backend)
+
+    def test_cannot_sign_element_without_id(self, signer, backend):
+        anonymous = ET.Element("NoId")
+        with pytest.raises(XmlSignatureError):
+            sign_references("s", signer.identity, signer.private_key,
+                            [anonymous], backend=backend)
+
+    def test_wrong_tag_rejected(self):
+        with pytest.raises(XmlSignatureError):
+            XmlSignature(ET.Element("NotASignature"))
+
+
+class TestTamperDetection:
+    def test_altered_text(self, document, signer, backend):
+        find_by_id(document, "d1").text = "altered"
+        signature = XmlSignature(find_by_id(document, "sig1"))
+        with pytest.raises(XmlSignatureError, match="digest mismatch"):
+            signature.verify(signer.public_key, document, backend)
+
+    def test_altered_attribute(self, document, signer, backend):
+        find_by_id(document, "d2").set("extra", "attr")
+        signature = XmlSignature(find_by_id(document, "sig1"))
+        with pytest.raises(XmlSignatureError, match="digest mismatch"):
+            signature.verify(signer.public_key, document, backend)
+
+    def test_removed_target(self, document, signer, backend):
+        document.remove(find_by_id(document, "d1"))
+        signature = XmlSignature(find_by_id(document, "sig1"))
+        with pytest.raises(XmlSignatureError, match="not found"):
+            signature.verify(signer.public_key, document, backend)
+
+    def test_altered_digest_value(self, document, signer, backend):
+        node = document.find("Signature/SignedInfo/Reference/DigestValue")
+        node.text = "QUJDREVGRw=="
+        signature = XmlSignature(find_by_id(document, "sig1"))
+        with pytest.raises(XmlSignatureError):
+            signature.verify(signer.public_key, document, backend)
+
+    def test_altered_signature_value(self, document, signer, backend):
+        node = document.find("Signature/SignatureValue")
+        node.text = "AAAA" + (node.text or "")[4:]
+        signature = XmlSignature(find_by_id(document, "sig1"))
+        with pytest.raises(XmlSignatureError):
+            signature.verify(signer.public_key, document, backend)
+
+    def test_wrong_public_key(self, document, impostor, backend):
+        signature = XmlSignature(find_by_id(document, "sig1"))
+        with pytest.raises(XmlSignatureError):
+            signature.verify(impostor.public_key, document, backend)
+
+    def test_reference_retargeting(self, document, signer, backend):
+        # Point the reference at a different element with forged id.
+        find_by_id(document, "d1").set("Id", "d1-moved")
+        decoy = ET.SubElement(document, "Data", {"Id": "d1"})
+        decoy.text = "forged payload"
+        signature = XmlSignature(find_by_id(document, "sig1"))
+        with pytest.raises(XmlSignatureError):
+            signature.verify(signer.public_key, document, backend)
+
+
+class TestCascade:
+    def test_signature_over_signature(self, document, signer, impostor,
+                                      backend):
+        inner = XmlSignature(find_by_id(document, "sig1"))
+        outer = sign_references("sig2", impostor.identity,
+                                impostor.private_key,
+                                [inner.element], backend=backend)
+        document.append(outer.element)
+        outer.verify(impostor.public_key, document, backend)
+
+        # Tampering with the inner signature breaks the outer one.
+        value = document.find("Signature/SignatureValue")
+        value.text = "AAAA" + (value.text or "")[4:]
+        with pytest.raises(XmlSignatureError):
+            XmlSignature(find_by_id(document, "sig2")).verify(
+                impostor.public_key, document, backend
+            )
+
+
+class TestIdIndex:
+    def test_index(self, document):
+        index = index_by_id(document)
+        assert set(index) == {"d1", "d2", "sig1"}
+
+    def test_duplicate_ids_rejected(self, document):
+        ET.SubElement(document, "Data", {"Id": "d1"})
+        with pytest.raises(XmlSignatureError, match="duplicate"):
+            index_by_id(document)
+
+    def test_find_by_id_missing(self, document):
+        with pytest.raises(XmlSignatureError, match="no element"):
+            find_by_id(document, "ghost")
+
+    def test_find_by_id_duplicate(self, document):
+        ET.SubElement(document, "Data", {"Id": "d2"})
+        with pytest.raises(XmlSignatureError, match="duplicate"):
+            find_by_id(document, "d2")

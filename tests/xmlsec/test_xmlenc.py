@@ -1,0 +1,165 @@
+"""Element-wise encryption: recipients, AAD binding, tampering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keys import KeyPair
+from repro.errors import XmlEncryptionError
+from repro.xmlsec.canonical import canonicalize, parse_xml
+from repro.xmlsec.xmlenc import (
+    EncryptedValue,
+    decrypt_value,
+    encrypt_value,
+    is_encrypted_data,
+    recipients_of,
+)
+
+
+@pytest.fixture(scope="module")
+def amy(backend):
+    return KeyPair.generate("amy@audit.example", bits=1024, backend=backend)
+
+
+@pytest.fixture(scope="module")
+def john(backend):
+    return KeyPair.generate("john@bank-a.example", bits=1024,
+                            backend=backend)
+
+
+@pytest.fixture(scope="module")
+def eve(backend):
+    return KeyPair.generate("eve@evil.example", bits=1024, backend=backend)
+
+
+def test_roundtrip_single_recipient(amy, backend):
+    element = encrypt_value("e1", "X", b"secret value",
+                            {amy.identity: amy.public_key}, backend)
+    assert is_encrypted_data(element)
+    assert decrypt_value(element, amy.identity, amy.private_key,
+                         backend) == b"secret value"
+
+
+def test_roundtrip_after_serialization(amy, backend):
+    element = encrypt_value("e1", "X", b"payload",
+                            {amy.identity: amy.public_key}, backend)
+    reparsed = parse_xml(canonicalize(element))
+    assert decrypt_value(reparsed, amy.identity, amy.private_key,
+                         backend) == b"payload"
+
+
+def test_multiple_recipients(amy, john, backend):
+    element = encrypt_value(
+        "e1", "Y", b"for both",
+        {amy.identity: amy.public_key, john.identity: john.public_key},
+        backend,
+    )
+    assert recipients_of(element) == sorted([amy.identity, john.identity])
+    assert decrypt_value(element, amy.identity, amy.private_key,
+                         backend) == b"for both"
+    assert decrypt_value(element, john.identity, john.private_key,
+                         backend) == b"for both"
+
+
+def test_unauthorised_reader_rejected(amy, eve, backend):
+    element = encrypt_value("e1", "X", b"secret",
+                            {amy.identity: amy.public_key}, backend)
+    with pytest.raises(XmlEncryptionError, match="not an authorised reader"):
+        decrypt_value(element, eve.identity, eve.private_key, backend)
+
+
+def test_wrong_private_key_rejected(amy, eve, backend):
+    # Eve claims to be Amy but holds her own key.
+    element = encrypt_value("e1", "X", b"secret",
+                            {amy.identity: amy.public_key}, backend)
+    with pytest.raises(XmlEncryptionError):
+        decrypt_value(element, amy.identity, eve.private_key, backend)
+
+
+def test_empty_recipient_set_rejected(backend):
+    with pytest.raises(XmlEncryptionError, match="empty recipient"):
+        encrypt_value("e1", "X", b"data", {}, backend)
+
+
+def test_tampered_ciphertext_rejected(amy, backend):
+    element = encrypt_value("e1", "X", b"secret",
+                            {amy.identity: amy.public_key}, backend)
+    node = element.find("CipherData/CipherValue")
+    node.text = "QUJD" + (node.text or "")[4:]
+    with pytest.raises(XmlEncryptionError):
+        decrypt_value(element, amy.identity, amy.private_key, backend)
+
+
+def test_moved_element_rejected(amy, backend):
+    # The element id is bound as AAD: renaming the target breaks it.
+    element = encrypt_value("e1", "X", b"secret",
+                            {amy.identity: amy.public_key}, backend)
+    element.set("Id", "e2")
+    with pytest.raises(XmlEncryptionError):
+        decrypt_value(element, amy.identity, amy.private_key, backend)
+
+
+def test_renamed_field_rejected(amy, backend):
+    element = encrypt_value("e1", "X", b"secret",
+                            {amy.identity: amy.public_key}, backend)
+    element.set("Name", "Y")
+    with pytest.raises(XmlEncryptionError):
+        decrypt_value(element, amy.identity, amy.private_key, backend)
+
+
+def test_recipient_list_edit_rejected(amy, john, eve, backend):
+    # Adding an EncryptedKey for Eve changes the AAD → legit readers fail
+    # closed rather than silently coexisting with a forged grant.
+    element = encrypt_value("e1", "X", b"secret",
+                            {amy.identity: amy.public_key}, backend)
+    import xml.etree.ElementTree as ET
+
+    key_info = element.find("KeyInfo")
+    forged = ET.SubElement(key_info, "EncryptedKey",
+                           {"Recipient": eve.identity})
+    ET.SubElement(forged, "CipherValue").text = "QUJD"
+    with pytest.raises(XmlEncryptionError):
+        decrypt_value(element, amy.identity, amy.private_key, backend)
+
+
+def test_accessors(amy, backend):
+    element = encrypt_value("e9", "FieldName", b"v",
+                            {amy.identity: amy.public_key}, backend)
+    value = EncryptedValue(element)
+    assert value.element_id == "e9"
+    assert value.name == "FieldName"
+    assert value.recipients == [amy.identity]
+    assert len(value.wrapped_key_for(amy.identity)) == 128  # RSA-1024
+
+
+def test_wrapped_key_for_unknown(amy, backend):
+    element = encrypt_value("e1", "X", b"v",
+                            {amy.identity: amy.public_key}, backend)
+    with pytest.raises(XmlEncryptionError):
+        EncryptedValue(element).wrapped_key_for("ghost@nowhere")
+
+
+def test_wrong_tag_rejected():
+    import xml.etree.ElementTree as ET
+
+    with pytest.raises(XmlEncryptionError):
+        EncryptedValue(ET.Element("NotEncrypted"))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(max_size=400))
+def test_property_roundtrip(amy, backend, payload):
+    element = encrypt_value("e1", "X", payload,
+                            {amy.identity: amy.public_key}, backend)
+    assert decrypt_value(element, amy.identity, amy.private_key,
+                         backend) == payload
+
+
+def test_fresh_data_keys_per_element(amy, backend):
+    a = encrypt_value("e1", "X", b"same", {amy.identity: amy.public_key},
+                      backend)
+    b = encrypt_value("e2", "X", b"same", {amy.identity: amy.public_key},
+                      backend)
+    assert (a.find("CipherData/CipherValue").text
+            != b.find("CipherData/CipherValue").text)
