@@ -111,7 +111,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     document = _load_document(args.document)
     world = _load_world(args.world)
     try:
-        report = verify_document(document, world.directory)
+        report = verify_document(document, world.directory,
+                                 workers=args.workers)
     except ReproError as exc:
         print(f"INVALID: {type(exc).__name__}: {exc}")
         return 1
@@ -148,7 +149,8 @@ def cmd_evidence(args: argparse.Namespace) -> int:
     document = _load_document(args.document)
     world = _load_world(args.world)
     bundle = extract_evidence(document, world.directory,
-                              args.activity, args.iteration)
+                              args.activity, args.iteration,
+                              workers=args.workers)
     print(bundle.render_report())
     return 0 if bundle.document_valid else 1
 
@@ -189,6 +191,9 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("document")
     verify.add_argument("--world", required=True,
                         help="world.json with the PKI")
+    verify.add_argument("--workers", type=int, default=None,
+                        help="fan independent signature checks across "
+                             "N threads (long cascades)")
     verify.set_defaults(func=cmd_verify)
 
     trail = sub.add_parser("trail", help="chronological audit trail")
@@ -214,6 +219,9 @@ def build_parser() -> argparse.ArgumentParser:
     evidence.add_argument("--world", required=True)
     evidence.add_argument("--activity", required=True)
     evidence.add_argument("--iteration", type=int, default=0)
+    evidence.add_argument("--workers", type=int, default=None,
+                          help="thread-pool size for the cold audit "
+                               "verification")
     evidence.set_defaults(func=cmd_evidence)
 
     return parser

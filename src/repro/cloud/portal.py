@@ -27,6 +27,7 @@ from ..core.tfc import TfcServer
 from ..crypto.backend import CryptoBackend, default_backend
 from ..crypto.pki import KeyDirectory
 from ..document.document import Dra4wfmsDocument
+from ..document.vcache import VerificationCache
 from ..document.verify import verify_document
 from ..errors import PortalError, RuntimeFault
 from ..model.controlflow import JoinKind
@@ -58,7 +59,8 @@ class PortalServer:
                  notifier: NotificationService,
                  clock: SimClock,
                  network: NetworkModel = WAN,
-                 backend: CryptoBackend | None = None) -> None:
+                 backend: CryptoBackend | None = None,
+                 verify_cache: VerificationCache | None = None) -> None:
         self.portal_id = portal_id
         self.pool = pool
         self.directory = directory
@@ -67,6 +69,10 @@ class PortalServer:
         self.clock = clock
         self.network = network
         self.backend = backend or default_backend()
+        #: Opt-in shared signature cache: portals of one cloud may share
+        #: it (and the TFC's) so a document verified at any front door
+        #: costs only its new CERs at the next.  ``None`` → cold.
+        self.verify_cache = verify_cache
         self._challenges: dict[str, bytes] = {}
         self._sessions: dict[str, Session] = {}
         self.stats = {"logins": 0, "searches": 0, "retrievals": 0,
@@ -140,6 +146,7 @@ class PortalServer:
                 document, self.directory, self.backend,
                 definition_reader=(self.tfc.identity,
                                    self.tfc.keypair.private_key),
+                cache=self.verify_cache,
             )
         except Exception as exc:
             self.stats["rejected"] += 1

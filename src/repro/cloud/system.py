@@ -18,6 +18,7 @@ from ..crypto.backend import CryptoBackend, default_backend
 from ..crypto.keys import KeyPair
 from ..crypto.pki import KeyDirectory
 from ..document.document import Dra4wfmsDocument
+from ..document.vcache import VerificationCache
 from ..errors import CloudError, JoinNotReady
 from ..model.definition import WorkflowDefinition
 from .hbase import SimHBase
@@ -43,11 +44,17 @@ class CloudSystem:
                  datanodes: int = 3,
                  replication: int = 3,
                  split_threshold_rows: int = 256,
-                 backend: CryptoBackend | None = None) -> None:
+                 backend: CryptoBackend | None = None,
+                 verify_cache: VerificationCache | None = None) -> None:
         if portals < 1:
             raise CloudError("need at least one portal server")
         self.backend = backend or default_backend()
         self.directory = directory
+        #: When supplied, all portals and the TFC share this signature
+        #: cache: a document verified at any front door costs only its
+        #: newly appended CERs anywhere else in the cloud.  ``None``
+        #: (default) keeps every verification cold.
+        self.verify_cache = verify_cache
         self.clock = SimClock()
         self.hdfs = SimHdfs(
             datanodes=datanodes, replication=replication,
@@ -63,6 +70,7 @@ class CloudSystem:
         self.tfc = TfcServer(
             tfc_keypair, directory, backend=self.backend,
             clock=self.clock.now,
+            verify_cache=verify_cache,
         )
         self.portals = [
             PortalServer(
@@ -74,6 +82,7 @@ class CloudSystem:
                 clock=self.clock,
                 network=WAN,
                 backend=self.backend,
+                verify_cache=verify_cache,
             )
             for i in range(portals)
         ]

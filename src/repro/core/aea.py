@@ -43,6 +43,7 @@ from ..document.amendments import (
 from ..document.builder import make_intermediate_cer, make_standard_cer
 from ..document.document import Dra4wfmsDocument
 from ..document.nonrepudiation import frontier_cers
+from ..document.vcache import VerificationCache
 from ..document.verify import VerificationReport, verify_document
 from ..errors import AuthorizationError, PolicyError, RoutingError, RuntimeFault
 from ..model.definition import WorkflowDefinition
@@ -105,10 +106,16 @@ class ActivityExecutionAgent:
     """The engine-less execution agent of one participant."""
 
     def __init__(self, keypair: KeyPair, directory: KeyDirectory,
-                 backend: CryptoBackend | None = None) -> None:
+                 backend: CryptoBackend | None = None,
+                 verify_cache: VerificationCache | None = None) -> None:
         self.keypair = keypair
         self.directory = directory
         self.backend = backend or default_backend()
+        #: Opt-in incremental verification: remember the signatures this
+        #: agent already checked so the unchanged cascade prefix of the
+        #: next routed copy costs hashing, not RSA.  ``None`` (default)
+        #: keeps every receive a cold, trust-nothing verification.
+        self.verify_cache = verify_cache
 
     @property
     def identity(self) -> str:
@@ -132,6 +139,7 @@ class ActivityExecutionAgent:
         report = verify_document(
             document, self.directory, self.backend,
             definition_reader=(self.identity, self.keypair.private_key),
+            cache=self.verify_cache,
         )
         return document, report, time.perf_counter() - start
 
@@ -179,6 +187,7 @@ class ActivityExecutionAgent:
         report = verify_document(
             document, self.directory, self.backend,
             definition_reader=(self.identity, self.keypair.private_key),
+            cache=self.verify_cache,
         )
         definition = effective_definition(
             document, self.identity, self.keypair.private_key, self.backend
@@ -303,6 +312,7 @@ class ActivityExecutionAgent:
         verify_document(
             document, self.directory, self.backend,
             definition_reader=(self.identity, self.keypair.private_key),
+            cache=self.verify_cache,
         )
         current = effective_definition(
             document,

@@ -93,8 +93,16 @@ def extract_evidence(
     activity_id: str,
     iteration: int = 0,
     backend: CryptoBackend | None = None,
+    workers: int | None = None,
 ) -> EvidenceBundle:
-    """Build the evidence bundle for one contested activity execution."""
+    """Build the evidence bundle for one contested activity execution.
+
+    The verification here is always **cold** — an arbitrator must not
+    rely on anyone's cached trust — but *workers* may fan the
+    independent RSA checks of a long cascade across a thread pool,
+    since a dispute audit is exactly the offline, whole-history verify
+    the pool was built for.
+    """
     backend = backend or default_backend()
     cer = (document.find_cer(activity_id, iteration, KIND_STANDARD)
            or document.find_cer(activity_id, iteration, KIND_TFC))
@@ -105,7 +113,7 @@ def extract_evidence(
 
     valid, detail = True, "all signatures verified"
     try:
-        verify_document(document, directory, backend)
+        verify_document(document, directory, backend, workers=workers)
     except ReproError as exc:
         valid, detail = False, f"{type(exc).__name__}: {exc}"
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from statistics import fmean
 
 from ..document.document import Dra4wfmsDocument
+from ..document.vcache import VerificationCache
 from ..model.definition import WorkflowDefinition
 from .state import ExecutionStatus, execution_status
 from .tfc import TfcRecord, TfcServer
@@ -35,11 +36,16 @@ class WorkflowMonitor:
     """Query progress and statistics from TFC records and documents."""
 
     def __init__(self, tfc: TfcServer | None = None,
-                 records: list[TfcRecord] | None = None) -> None:
+                 records: list[TfcRecord] | None = None,
+                 verify_cache: VerificationCache | None = None) -> None:
         if tfc is None and records is None:
             raise ValueError("pass a TFC server or a record list")
         self._tfc = tfc
         self._records = records
+        #: The shared signature cache whose counters this monitor
+        #: surfaces; falls back to the TFC's cache when not given.
+        self._verify_cache = (verify_cache if verify_cache is not None
+                              else getattr(tfc, "verify_cache", None))
 
     @property
     def records(self) -> list[TfcRecord]:
@@ -102,6 +108,20 @@ class WorkflowMonitor:
             return None
         key = max(gaps, key=gaps.get)  # type: ignore[arg-type]
         return key, gaps[key]
+
+    # -- incremental-verification health ------------------------------------
+
+    def verification_cache_stats(self) -> dict[str, int | float] | None:
+        """Hit/miss/store/invalidation counters of the signature cache.
+
+        ``None`` when no cache is attached (all verifies are cold).  A
+        healthy steady-state hit rate approaches ``(n-1)/n`` for
+        *n*-CER documents: only the newly appended CER needs RSA work
+        per hop.
+        """
+        if self._verify_cache is None:
+            return None
+        return self._verify_cache.stats.snapshot()
 
     # -- fleet statistics ------------------------------------------------------
 

@@ -56,6 +56,9 @@ class StepTrace:
     #: Advanced mode only: size of the intermediate document the AEA
     #: handed to the TFC (the paper's ``X_Ai`` rows in Table 2).
     intermediate_size_bytes: int | None = None
+    #: The document as produced at this step (the per-hop snapshot an
+    #: incremental verifier sees; excluded from repr — it is large).
+    document: Dra4wfmsDocument | None = field(default=None, repr=False)
 
 
 @dataclass
@@ -217,6 +220,7 @@ class InMemoryRuntime:
                 mode=mode,
                 intermediate_size_bytes=(
                     intermediate_size if mode == "advanced" else None),
+                document=document,
             ))
             trace.final_document = document
 

@@ -36,6 +36,7 @@ from ..document.builder import (
     parse_result_bundle,
 )
 from ..document.document import Dra4wfmsDocument
+from ..document.vcache import VerificationCache
 from ..document.verify import VerificationReport, verify_document
 from ..errors import RuntimeFault
 from ..model.definition import WorkflowDefinition
@@ -78,12 +79,26 @@ class TfcServer:
                  backend: CryptoBackend | None = None,
                  clock: Callable[[], float] | None = None,
                  keep_copies: bool = True,
-                 trusted_tfcs: set[str] | None = None) -> None:
+                 trusted_tfcs: set[str] | None = None,
+                 verify_cache: VerificationCache | None = None) -> None:
         self.keypair = keypair
         self.directory = directory
         self.backend = backend or default_backend()
-        self.clock = clock or time.time
+        if clock is None:
+            # Deterministic by default: timestamps come from a private
+            # simulated clock ticking one second per witnessed event,
+            # not the host wall clock, so timestamp-monotonicity is
+            # exact and test runs are reproducible.  Deployments pass
+            # their own clock (e.g. ``SimClock.now`` or ``time.time``).
+            from ..cloud.simclock import SimClock
+
+            own_clock = SimClock()
+            clock = lambda: own_clock.advance(1.0)  # noqa: E731
+        self.clock = clock
         self.keep_copies = keep_copies
+        #: Opt-in shared signature cache for incremental verification
+        #: (``None`` keeps every ``process()`` a cold verify).
+        self.verify_cache = verify_cache
         #: TFC identities whose CERs this server accepts in incoming
         #: documents.  Cross-enterprise deployments run one TFC per
         #: enterprise (Fig. 6 shows a TFC per hop); list the federation
@@ -118,6 +133,7 @@ class TfcServer:
             document, self.directory, self.backend,
             definition_reader=(self.identity, self.keypair.private_key),
             tfc_identities=self.trusted_tfcs,
+            cache=self.verify_cache,
         )
         from ..document.amendments import effective_definition
 

@@ -44,6 +44,7 @@ from .sections import (
     KIND_STANDARD,
     KIND_TFC,
 )
+from .vcache import CacheStats, VerificationCache
 from .verify import VerificationReport, verify_document
 
 __all__ = [
@@ -64,6 +65,8 @@ __all__ = [
     "KIND_INTERMEDIATE",
     "KIND_STANDARD",
     "KIND_TFC",
+    "CacheStats",
+    "VerificationCache",
     "VerificationReport",
     "build_initial_document",
     "covers_whole_document",

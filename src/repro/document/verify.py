@@ -26,22 +26,26 @@ cryptographic mismatches) or :class:`~repro.errors.VerificationError`
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import suppress
 from dataclasses import dataclass, field
 
 from ..crypto.backend import CryptoBackend, default_backend
 from ..crypto.pki import KeyDirectory
-from ..crypto.pure.rsa import RsaPrivateKey
+from ..crypto.pure.rsa import RsaPrivateKey, RsaPublicKey
 from ..errors import (
     CertificateError,
+    ReproError,
     TamperDetected,
     VerificationError,
     XmlSignatureError,
 )
 from ..model.definition import WorkflowDefinition
-from ..xmlsec.xmldsig import index_by_id
+from ..xmlsec.xmldsig import ID_ATTR, XmlSignature, index_by_id
 from .cer import CER, KIND_AMENDMENT
 from .document import Dra4wfmsDocument
 from .nonrepudiation import all_scopes, signature_owner_map
+from .vcache import VerificationCache
 from .sections import (
     DESIGNER_ACTIVITY,
     HEADER_ID,
@@ -59,13 +63,23 @@ __all__ = ["VerificationReport", "verify_document"]
 
 @dataclass
 class VerificationReport:
-    """Outcome of a successful verification."""
+    """Outcome of a successful verification.
+
+    The cache counters carry ``compare=False`` deliberately: a warm
+    (incremental) verification must produce a report *equal* to the
+    cold one — same signatures checked, same CERs, same warnings — and
+    only the accounting of how the signatures were checked may differ.
+    """
 
     process_id: str
     signatures_verified: int
     cers_checked: int
     definition_checked: bool
     warnings: list[str] = field(default_factory=list)
+    #: Signature checks answered by the shared cache (0 on cold verifies).
+    cache_hits: int = field(default=0, compare=False)
+    #: Signature checks that needed fresh RSA work despite a cache.
+    cache_misses: int = field(default=0, compare=False)
 
     def __bool__(self) -> bool:
         return True
@@ -80,6 +94,109 @@ def _resolve_key(directory: KeyDirectory, identity: str):
         ) from exc
 
 
+class _SignatureChecker:
+    """Runs the cryptographic signature checks for one verification.
+
+    Wraps the three execution strategies behind one ``verify`` call:
+    plain sequential checking, cache-backed incremental checking (skip
+    the RSA work for byte-identical, previously verified signatures),
+    and a thread-pool pre-pass that fans independent checks across
+    workers for cold verifies.  Structural checks are untouched — only
+    the expensive cryptographic step is cached or parallelised.
+    """
+
+    def __init__(self, root, backend: CryptoBackend,
+                 id_index, cache: VerificationCache | None,
+                 report: VerificationReport) -> None:
+        self.root = root
+        self.backend = backend
+        self.id_index = id_index
+        self.cache = cache
+        self.report = report
+        #: signature id → ("hit" | "fresh", exception or None)
+        self._memo: dict[str, tuple[str, XmlSignatureError | None]] = {}
+        #: element identity → canonical digest, scoped to this pass
+        #: (predecessor signatures are referenced by every successor).
+        self._digests: dict[int, bytes] = {}
+
+    def prefetch(self, pairs: list[tuple[XmlSignature, RsaPublicKey]],
+                 workers: int) -> None:
+        """Verify *pairs* concurrently, memoising per-signature outcomes.
+
+        Failures are *not* raised here: the sequential pass re-raises
+        them at the same point in document order a serial verification
+        would, so error reporting is identical with and without the
+        thread pool.
+        """
+        jobs: list[tuple[str, XmlSignature, RsaPublicKey, bytes | None]] = []
+        for signature, public_key in pairs:
+            sid = signature.element.get(ID_ATTR)
+            if sid is None or sid in self._memo:
+                continue
+            key = None
+            if self.cache is not None:
+                key = self.cache.key_for(signature, public_key,
+                                         self.id_index, self._digests)
+                if key is not None and self.cache.seen(key):
+                    self._memo[sid] = ("hit", None)
+                    continue
+            jobs.append((sid, signature, public_key, key))
+        if not jobs:
+            return
+
+        def check(job):
+            sid, signature, public_key, key = job
+            try:
+                signature.verify(public_key, self.root, self.backend,
+                                 self.id_index)
+            except XmlSignatureError as exc:
+                return sid, ("fresh", exc), None
+            return sid, ("fresh", None), key
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for sid, outcome, key in pool.map(check, jobs):
+                self._memo[sid] = outcome
+                if key is not None and outcome[1] is None:
+                    self.cache.record(key)
+
+    def verify(self, signature: XmlSignature,
+               public_key: RsaPublicKey) -> None:
+        """Check one signature, consulting the memo and cache first.
+
+        Raises :class:`~repro.errors.XmlSignatureError` exactly as
+        :meth:`XmlSignature.verify` would.
+        """
+        sid = signature.element.get(ID_ATTR)
+        outcome = self._memo.pop(sid, None) if sid is not None else None
+        if outcome is None:
+            outcome = self._check(signature, public_key)
+        kind, error = outcome
+        if self.cache is not None:
+            if kind == "hit":
+                self.report.cache_hits += 1
+            else:
+                self.report.cache_misses += 1
+        if error is not None:
+            raise error
+
+    def _check(self, signature: XmlSignature, public_key: RsaPublicKey,
+               ) -> tuple[str, XmlSignatureError | None]:
+        key = None
+        if self.cache is not None:
+            key = self.cache.key_for(signature, public_key,
+                                     self.id_index, self._digests)
+            if key is not None and self.cache.seen(key):
+                return ("hit", None)
+        try:
+            signature.verify(public_key, self.root, self.backend,
+                             self.id_index)
+        except XmlSignatureError as exc:
+            return ("fresh", exc)
+        if key is not None:
+            self.cache.record(key)
+        return ("fresh", None)
+
+
 def verify_document(
     document: Dra4wfmsDocument,
     directory: KeyDirectory,
@@ -87,6 +204,8 @@ def verify_document(
     definition: WorkflowDefinition | None = None,
     definition_reader: tuple[str, RsaPrivateKey] | None = None,
     tfc_identities: set[str] | None = None,
+    cache: VerificationCache | None = None,
+    workers: int | None = None,
 ) -> VerificationReport:
     """Verify *document* end to end.
 
@@ -104,6 +223,18 @@ def verify_document(
         ``(identity, private_key)`` of an authorised definition reader.
     tfc_identities:
         Identities accepted as TFC servers for TFC CERs.
+    cache:
+        Opt-in :class:`~repro.document.vcache.VerificationCache`: skip
+        the RSA check for signatures whose exact bytes (and the exact
+        bytes of everything they reference) verified before.  Every
+        structural check still runs; any byte-level change misses the
+        cache and takes the full cryptographic path.  Omit for a cold
+        (trust-nothing) verification — the default.
+    workers:
+        When > 1, fan the independent RSA signature checks across a
+        thread pool of this size (useful for cold auditor/offline
+        verifies of long cascades).  Error behaviour is unchanged: the
+        first failure in document order is raised.
     """
     backend = backend or default_backend()
     report = VerificationReport(
@@ -116,6 +247,21 @@ def verify_document(
         id_index = index_by_id(document.root)
     except XmlSignatureError as exc:
         raise TamperDetected(str(exc)) from exc
+    checker = _SignatureChecker(document.root, backend, id_index, cache,
+                                report)
+    if workers is not None and workers > 1:
+        # Pre-verify every resolvable signature concurrently; outcomes
+        # surface below at the same point serial verification would
+        # reach them.  Unresolvable signers/signatures are left for the
+        # sequential pass so their errors keep their document position.
+        pairs: list[tuple[XmlSignature, RsaPublicKey]] = []
+        with suppress(ReproError):
+            for cer in document.cers():
+                with suppress(ReproError):
+                    signature = cer.signature
+                    pairs.append((signature,
+                                  directory.public_key_of(signature.signer)))
+        checker.prefetch(pairs, workers)
     report.process_id = document.process_id
     if HEADER_ID not in id_index or WFDEF_ID not in id_index:
         raise VerificationError("header or definition section missing")
@@ -139,10 +285,8 @@ def verify_document(
             "header (process id binding)"
         )
     try:
-        designer_sig.verify(
-            _resolve_key(directory, designer_sig.signer),
-            document.root, backend, id_index,
-        )
+        checker.verify(designer_sig,
+                       _resolve_key(directory, designer_sig.signer))
     except XmlSignatureError as exc:
         raise TamperDetected(f"designer signature invalid: {exc}") from exc
     report.signatures_verified += 1
@@ -286,10 +430,8 @@ def verify_document(
                 )
 
         try:
-            signature.verify(
-                _resolve_key(directory, signature.signer),
-                document.root, backend, id_index,
-            )
+            checker.verify(signature,
+                           _resolve_key(directory, signature.signer))
         except XmlSignatureError as exc:
             raise TamperDetected(
                 f"signature of CER {cer.cer_id!r} invalid: {exc}"

@@ -61,6 +61,45 @@ class TestMonitor:
         assert status.finished
 
 
+class TestVerificationCacheStats:
+    def test_no_cache_attached(self, monitor):
+        assert monitor.verification_cache_stats() is None
+
+    def test_stats_from_incremental_tfc(self, world, fig9b, backend):
+        from repro.core import InMemoryRuntime, TfcServer
+        from repro.document import build_initial_document
+        from repro.document.vcache import VerificationCache
+        from repro.workloads.figure9 import DESIGNER, figure9_responders
+
+        cache = VerificationCache()
+        tfc = TfcServer(world.keypair("tfc@cloud.example"), world.directory,
+                        backend=backend, verify_cache=cache)
+        initial = build_initial_document(fig9b, world.keypair(DESIGNER),
+                                         backend=backend)
+        runtime = InMemoryRuntime(world.directory, world.keypairs, tfc=tfc,
+                                  backend=backend)
+        runtime.run(initial, fig9b, figure9_responders(1), mode="advanced")
+
+        # The monitor picks the cache up from the TFC automatically.
+        monitor = WorkflowMonitor(tfc=tfc)
+        stats = monitor.verification_cache_stats()
+        assert stats is not None
+        # From the second hop on, the TFC answered the unchanged
+        # cascade prefix from its cache.
+        assert stats["hits"] > 0
+        assert stats["stores"] > 0
+        assert stats["invalidations"] == 0
+        assert 0.0 < stats["hit_rate"] <= 1.0
+
+    def test_explicit_cache_wins(self, fig9b_run):
+        from repro.document.vcache import VerificationCache
+
+        _, tfc = fig9b_run
+        cache = VerificationCache()
+        monitor = WorkflowMonitor(tfc=tfc, verify_cache=cache)
+        assert monitor.verification_cache_stats() == cache.stats.snapshot()
+
+
 class TestRecordListMonitor:
     def test_from_raw_records(self):
         records = [
