@@ -1,0 +1,68 @@
+"""Fleet fabric throughput — scaling the in-flight instance count.
+
+§3's multi-tenancy claim, measured through the discrete-event fabric:
+one shared cloud, fleets of 1/10/100/1000 concurrent instances, open
+loop at a fixed arrival rate.  Reports simulated throughput, latency
+percentiles, the bottleneck station, and the host cost of driving the
+simulation itself (real crypto runs at every hop).
+
+Fleets of 1–100 run the paper's Figure-9B workflow; the 1000-instance
+point uses the 3-activity chain so the bench stays inside a sensible
+wall-clock budget (the CI smoke and the acceptance run exercise fig9
+at scale).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit_table
+from repro.fleet import FleetConfig, OpenLoop, build_fleet, workload_from_spec
+
+#: (fleet size, workload spec, arrival rate / sim-second)
+POINTS = [
+    (1, "fig9", 2.0),
+    (10, "fig9", 4.0),
+    (100, "fig9", 6.0),
+    (1000, "chain:3", 12.0),
+]
+
+
+def test_fleet_size_sweep(benchmark, backend):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for instances, spec, rate in POINTS:
+            config = FleetConfig(
+                arrivals=OpenLoop(instances=instances,
+                                  rate_per_second=rate),
+                seed=7, audit_every=0,
+            )
+            fleet = build_fleet(workload_from_spec(spec), config,
+                                backend=backend)
+            start = time.perf_counter()
+            report = fleet.run()
+            wall = time.perf_counter() - start
+            assert report.instances_completed == instances
+            util = report.utilization()
+            bottleneck = max(util, key=util.get)
+            rows.append([
+                instances, spec,
+                f"{report.throughput_per_second:.2f}",
+                f"{report.latency_p50:.3f}",
+                f"{report.latency_p99:.3f}",
+                f"{bottleneck} ({util[bottleneck]:.0%})",
+                f"{wall:.1f}",
+            ])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, warmup_rounds=0)
+
+    emit_table(
+        "fleet_throughput",
+        "Fleet fabric: open-loop scaling over one shared cloud",
+        ["instances", "workload", "inst/sim-s", "p50 (sim-s)",
+         "p99 (sim-s)", "bottleneck", "host wall (s)"],
+        rows,
+    )

@@ -155,6 +155,43 @@ def cmd_evidence(args: argparse.Namespace) -> int:
     return 0 if bundle.document_valid else 1
 
 
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Run a multi-instance fleet load test and print the report."""
+    from .fleet import (
+        ClosedLoop,
+        FleetConfig,
+        OpenLoop,
+        build_fleet,
+        workload_from_spec,
+    )
+
+    try:
+        workload = workload_from_spec(args.workflow, loops=args.loops)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.mode == "open":
+        arrivals = OpenLoop(instances=args.instances,
+                            rate_per_second=args.rate)
+    else:
+        arrivals = ClosedLoop(instances=args.instances,
+                              concurrency=args.concurrency)
+    config = FleetConfig(
+        arrivals=arrivals,
+        seed=args.seed,
+        think_seconds=args.think,
+        tfc_workers=args.tfc_workers,
+        audit_every=args.audit_every,
+    )
+    fleet = build_fleet(workload, config, portals=args.portals)
+    report = fleet.run()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.audit_failures == 0 else 1
+
+
 def cmd_render(args: argparse.Namespace) -> int:
     """Render the (effective) workflow definition of a document."""
     from .document.amendments import effective_definition
@@ -212,6 +249,38 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--format", choices=("dot", "ascii"),
                         default="ascii")
     render.set_defaults(func=cmd_render)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="run a concurrent multi-instance fleet load test")
+    loadtest.add_argument("--instances", type=int, default=100,
+                          help="process instances to run")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="PRNG seed (same seed → same report)")
+    loadtest.add_argument("--mode", choices=("open", "closed"),
+                          default="open",
+                          help="open = Poisson arrivals, closed = fixed "
+                               "concurrency with re-submission")
+    loadtest.add_argument("--rate", type=float, default=5.0,
+                          help="open loop: mean arrivals per sim-second")
+    loadtest.add_argument("--concurrency", type=int, default=10,
+                          help="closed loop: instances in flight")
+    loadtest.add_argument("--workflow", default="fig9",
+                          help="fig9, chain:N or diamond:N")
+    loadtest.add_argument("--loops", type=int, default=0,
+                          help="extra loop iterations (fig9 only)")
+    loadtest.add_argument("--think", type=float, default=0.0,
+                          help="mean participant think time, sim-seconds")
+    loadtest.add_argument("--portals", type=int, default=2,
+                          help="portal servers")
+    loadtest.add_argument("--tfc-workers", type=int, default=1,
+                          help="parallel TFC verify/sign workers")
+    loadtest.add_argument("--audit-every", type=int, default=25,
+                          help="cold-verify every Nth completion "
+                               "(0 disables)")
+    loadtest.add_argument("--json", action="store_true",
+                          help="emit the full report as JSON")
+    loadtest.set_defaults(func=cmd_loadtest)
 
     evidence = sub.add_parser("evidence",
                               help="dispute evidence for one execution")

@@ -260,7 +260,8 @@ class SimHBase:
         region.wal.append(("put", row_key, family, qualifier, value,
                            timestamp))
         self.hdfs.write(region.wal_path(), region.encode_wal())
-        self.clock.advance(self.network.transfer_seconds(len(value)))
+        self.clock.advance(self.network.transfer_seconds(len(value)),
+                           component="pool")
         row = region.rows.setdefault(row_key, {})
         row[(family, qualifier)] = Cell(value=value, timestamp=timestamp)
         region.memstore_bytes += len(value)
@@ -278,7 +279,8 @@ class SimHBase:
         self.stats["gets"] += 1
         row = region.rows.get(row_key, {})
         size = sum(len(cell.value) for cell in row.values())
-        self.clock.advance(self.network.rpc_seconds(len(row_key), size))
+        self.clock.advance(self.network.rpc_seconds(len(row_key), size),
+                           component="pool")
         return {cq: cell.value for cq, cell in row.items()}
 
     def delete_row(self, table: str, row_key: str) -> None:
@@ -309,9 +311,11 @@ class SimHBase:
                     (key, {cq: cell.value for cq, cell in row.items()})
                 )
                 if limit is not None and len(out) >= limit:
-                    self.clock.advance(self.network.latency_seconds)
+                    self.clock.advance(self.network.latency_seconds,
+                                       component="pool")
                     return out
-            self.clock.advance(self.network.latency_seconds)
+            self.clock.advance(self.network.latency_seconds,
+                               component="pool")
         return out
 
     # -- maintenance --------------------------------------------------------------------

@@ -110,7 +110,8 @@ class SimHdfs:
             targets = self._pick_targets(self.replication)
             for node in targets:
                 node.blocks[block_id] = chunk
-                self.clock.advance(self.network.transfer_seconds(len(chunk)))
+                self.clock.advance(self.network.transfer_seconds(len(chunk)),
+                                   component="pool")
             blocks.append(BlockInfo(
                 block_id=block_id, size=len(chunk),
                 replicas=[n.node_id for n in targets],
@@ -131,7 +132,8 @@ class SimHdfs:
         for info in blocks:
             chunk = self._read_block(info)
             out += chunk
-            self.clock.advance(self.network.transfer_seconds(len(chunk)))
+            self.clock.advance(self.network.transfer_seconds(len(chunk)),
+                               component="pool")
         self.stats["reads"] += 1
         self.stats["bytes_read"] += len(out)
         return bytes(out)
@@ -199,7 +201,8 @@ class SimHdfs:
                         info.replicas.append(target.node_id)
                         self.stats["rereplications"] += 1
                         self.clock.advance(
-                            self.network.transfer_seconds(len(data))
+                            self.network.transfer_seconds(len(data)),
+                            component="pool",
                         )
 
     def under_replicated_blocks(self) -> int:

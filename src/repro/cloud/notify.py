@@ -34,10 +34,24 @@ class NotificationService:
     _inboxes: dict[str, list[Notification]] = field(default_factory=dict)
     sent: int = 0
 
+    @staticmethod
+    def payload_bytes(recipient: str, process_id: str,
+                      activity_id: str) -> int:
+        """Wire size of one notification message."""
+        return len(f"{recipient}\x00{process_id}\x00{activity_id}"
+                   .encode("utf-8"))
+
     def notify(self, recipient: str, process_id: str,
                activity_id: str) -> Notification:
-        """Queue a notification for *recipient*."""
-        self.clock.advance(self.network.latency_seconds)
+        """Queue a notification for *recipient*.
+
+        Charges the full transfer cost of the message (latency + size
+        over bandwidth), consistent with how portals account document
+        transfers — not just the bare link latency.
+        """
+        payload = self.payload_bytes(recipient, process_id, activity_id)
+        self.clock.advance(self.network.transfer_seconds(payload),
+                           component="notify")
         note = Notification(
             recipient=recipient,
             process_id=process_id,

@@ -106,7 +106,8 @@ class PortalServer:
                           portal_id=self.portal_id)
         self._sessions[token] = session
         self.stats["logins"] += 1
-        self.clock.advance(self.network.rpc_seconds(64, 64))
+        self.clock.advance(self.network.rpc_seconds(64, 64),
+                           component="portal")
         return session
 
     def _require(self, session: Session) -> Session:
@@ -121,7 +122,8 @@ class PortalServer:
         """TO-DO list of the logged-in participant."""
         self._require(session)
         self.stats["searches"] += 1
-        self.clock.advance(self.network.rpc_seconds(64, 512))
+        self.clock.advance(self.network.rpc_seconds(64, 512),
+                           component="portal")
         return self.pool.todo_for(session.identity)
 
     def retrieve(self, session: Session, process_id: str) -> bytes:
@@ -130,7 +132,8 @@ class PortalServer:
         document = self.pool.latest(process_id)
         data = document.to_bytes()
         self.stats["retrievals"] += 1
-        self.clock.advance(self.network.rpc_seconds(64, len(data)))
+        self.clock.advance(self.network.rpc_seconds(64, len(data)),
+                           component="portal")
         return data
 
     def upload_initial(self, session: Session, data: bytes) -> str:
@@ -140,7 +143,8 @@ class PortalServer:
         """
         self._require(session)
         document = Dra4wfmsDocument.from_bytes(data)
-        self.clock.advance(self.network.transfer_seconds(len(data)))
+        self.clock.advance(self.network.transfer_seconds(len(data)),
+                           component="portal")
         try:
             verify_document(
                 document, self.directory, self.backend,
@@ -174,7 +178,8 @@ class PortalServer:
         (empty when the process terminated).
         """
         self._require(session)
-        self.clock.advance(self.network.transfer_seconds(len(data)))
+        self.clock.advance(self.network.transfer_seconds(len(data)),
+                           component="portal")
         document = Dra4wfmsDocument.from_bytes(data)
         if not self.pool.is_registered(document.process_id):
             self.stats["rejected"] += 1
@@ -232,7 +237,8 @@ class PortalServer:
         """
         self._require(session)
         self.stats["searches"] += 1
-        self.clock.advance(self.network.rpc_seconds(128, 1024))
+        self.clock.advance(self.network.rpc_seconds(128, 1024),
+                           component="portal")
         return self.pool.search(
             process_name=process_name,
             participant=session.identity,

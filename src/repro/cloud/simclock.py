@@ -5,14 +5,53 @@ operation costs to a shared :class:`SimClock`, so experiments measure a
 deterministic *simulated* latency budget independent of the host's real
 performance — except for the crypto work, which is always measured in
 real time because that is what the paper's tables report.
+
+Two fleet-oriented extensions let a discrete-event scheduler reuse the
+same component code without rewriting it:
+
+* every charge may carry a **component tag** (``advance(s,
+  component="portal")``), so a listener can attribute cost to the
+  service station that incurred it;
+* :meth:`capture` temporarily redirects charges into a
+  :class:`CostCapture` bucket instead of moving global time — the
+  scheduler runs a portal/pool operation, reads the per-component
+  costs it *would* have charged, and replays them through queued
+  service stations at the right simulated moments.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
-__all__ = ["SimClock"]
+__all__ = ["SimClock", "CostCapture"]
+
+
+@dataclass
+class CostCapture:
+    """Charges recorded during a :meth:`SimClock.capture` block."""
+
+    #: ``(component, seconds)`` in charge order.  Untagged charges are
+    #: recorded under ``"misc"``.
+    charges: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        """Sum of all captured charges."""
+        return sum(seconds for _, seconds in self.charges)
+
+    def by_component(self) -> dict[str, float]:
+        """Captured seconds aggregated per component tag."""
+        out: dict[str, float] = {}
+        for component, seconds in self.charges:
+            out[component] = out.get(component, 0.0) + seconds
+        return out
+
+    def component(self, name: str) -> float:
+        """Captured seconds of one component (0.0 when absent)."""
+        return self.by_component().get(name, 0.0)
 
 
 class SimClock:
@@ -27,15 +66,25 @@ class SimClock:
         self._now = float(start)
         self._events: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
+        self._capture: CostCapture | None = None
 
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
 
-    def advance(self, seconds: float) -> float:
-        """Move time forward, firing any due callbacks in order."""
+    def advance(self, seconds: float, component: str | None = None) -> float:
+        """Move time forward, firing any due callbacks in order.
+
+        *component* names the service that incurred the cost (portal,
+        pool, notify, …).  It has no effect on normal advancing, but
+        inside a :meth:`capture` block the charge is recorded under
+        that tag instead of moving time.
+        """
         if seconds < 0:
             raise ValueError("cannot advance the clock backwards")
+        if self._capture is not None:
+            self._capture.charges.append((component or "misc", seconds))
+            return self._now
         target = self._now + seconds
         while self._events and self._events[0][0] <= target:
             when, _, callback = heapq.heappop(self._events)
@@ -43,6 +92,29 @@ class SimClock:
             callback()
         self._now = target
         return self._now
+
+    def advance_to(self, target: float) -> float:
+        """Advance to an absolute simulated time (≥ now)."""
+        return self.advance(target - self._now)
+
+    @contextmanager
+    def capture(self) -> Iterator[CostCapture]:
+        """Record charges instead of advancing time.
+
+        Used by the fleet scheduler: component code still calls
+        ``clock.advance(cost, component=...)``, but while the block is
+        active the clock stands still and every charge lands in the
+        returned :class:`CostCapture`.  Callbacks scheduled during the
+        block stay scheduled relative to the frozen ``now``.  Nested
+        captures each see only their own charges.
+        """
+        previous = self._capture
+        bucket = CostCapture()
+        self._capture = bucket
+        try:
+            yield bucket
+        finally:
+            self._capture = previous
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run *callback* once the clock advances past ``now + delay``."""

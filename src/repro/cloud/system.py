@@ -45,7 +45,8 @@ class CloudSystem:
                  replication: int = 3,
                  split_threshold_rows: int = 256,
                  backend: CryptoBackend | None = None,
-                 verify_cache: VerificationCache | None = None) -> None:
+                 verify_cache: VerificationCache | None = None,
+                 clock: SimClock | None = None) -> None:
         if portals < 1:
             raise CloudError("need at least one portal server")
         self.backend = backend or default_backend()
@@ -55,7 +56,10 @@ class CloudSystem:
         #: newly appended CERs anywhere else in the cloud.  ``None``
         #: (default) keeps every verification cold.
         self.verify_cache = verify_cache
-        self.clock = SimClock()
+        #: All components charge simulated costs here; the fleet
+        #: scheduler passes its own clock so it can capture per-
+        #: component service times (see :mod:`repro.fleet`).
+        self.clock = clock or SimClock()
         self.hdfs = SimHdfs(
             datanodes=datanodes, replication=replication,
             clock=self.clock, network=LAN,

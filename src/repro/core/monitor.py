@@ -12,12 +12,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from statistics import fmean
+from typing import TYPE_CHECKING
 
 from ..document.document import Dra4wfmsDocument
 from ..document.vcache import VerificationCache
 from ..model.definition import WorkflowDefinition
 from .state import ExecutionStatus, execution_status
 from .tfc import TfcRecord, TfcServer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..fleet.fleet import Fleet
 
 __all__ = ["ActivityStats", "WorkflowMonitor"]
 
@@ -37,7 +41,8 @@ class WorkflowMonitor:
 
     def __init__(self, tfc: TfcServer | None = None,
                  records: list[TfcRecord] | None = None,
-                 verify_cache: VerificationCache | None = None) -> None:
+                 verify_cache: VerificationCache | None = None,
+                 fleet: "Fleet | None" = None) -> None:
         if tfc is None and records is None:
             raise ValueError("pass a TFC server or a record list")
         self._tfc = tfc
@@ -46,6 +51,11 @@ class WorkflowMonitor:
         #: surfaces; falls back to the TFC's cache when not given.
         self._verify_cache = (verify_cache if verify_cache is not None
                               else getattr(tfc, "verify_cache", None))
+        self._fleet = fleet
+
+    def attach_fleet(self, fleet: "Fleet") -> None:
+        """Connect a fleet so its load metrics become queryable here."""
+        self._fleet = fleet
 
     @property
     def records(self) -> list[TfcRecord]:
@@ -122,6 +132,28 @@ class WorkflowMonitor:
         if self._verify_cache is None:
             return None
         return self._verify_cache.stats.snapshot()
+
+    # -- fleet load metrics --------------------------------------------------
+
+    def queue_depths(self) -> dict[str, list[tuple[float, int]]] | None:
+        """Per-component queue-depth time series from an attached fleet.
+
+        Each series is ``[(sim_time, depth), ...]`` step points.
+        ``None`` when no fleet is attached (single-instance operation).
+        """
+        if self._fleet is None:
+            return None
+        return self._fleet.queue_depths()
+
+    def utilization(self) -> dict[str, float] | None:
+        """Per-component utilization from an attached fleet.
+
+        Fraction of total worker capacity spent busy over the run
+        horizon.  ``None`` when no fleet is attached.
+        """
+        if self._fleet is None:
+            return None
+        return self._fleet.utilization()
 
     # -- fleet statistics ------------------------------------------------------
 

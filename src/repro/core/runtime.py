@@ -28,7 +28,8 @@ from ..model.definition import WorkflowDefinition
 from .aea import ActivityExecutionAgent, Responder
 from .tfc import TfcServer
 
-__all__ = ["StepTrace", "ExecutionTrace", "InMemoryRuntime"]
+__all__ = ["StepTrace", "ExecutionTrace", "ProcessExecution",
+           "InMemoryRuntime"]
 
 
 @dataclass
@@ -93,6 +94,156 @@ class _Delivery:
     document: Dra4wfmsDocument
 
 
+class ProcessExecution:
+    """One in-flight process instance, advanced a hop at a time.
+
+    Created by :meth:`InMemoryRuntime.start`.  Each :meth:`step` call
+    executes at most one activity (delivering buffered AND-join branch
+    documents along the way) and returns its :class:`StepTrace`, or
+    ``None`` once the instance has run to completion.  Schedulers such
+    as the fleet fabric interleave many executions by round-robining
+    :meth:`step` across them; :meth:`InMemoryRuntime.run` is just
+    "step until done" on a single instance.
+    """
+
+    def __init__(self,
+                 runtime: "InMemoryRuntime",
+                 initial_document: Dra4wfmsDocument,
+                 definition: WorkflowDefinition,
+                 responders: Mapping[str, Responder | Mapping[str, str]],
+                 mode: str = "basic",
+                 max_steps: int = 10_000) -> None:
+        if mode == "advanced" and runtime.tfc is None:
+            raise RuntimeFault("advanced mode requires a TFC server")
+        self.runtime = runtime
+        self.definition = definition
+        self.responders = responders
+        self.mode = mode
+        self.max_steps = max_steps
+        self.trace = ExecutionTrace(
+            process_id=initial_document.process_id,
+            mode=mode,
+            initial_size=initial_document.size_bytes,
+        )
+        self._queue: deque[_Delivery] = deque(
+            [_Delivery(definition.start_activity, initial_document.clone())]
+        )
+        # AND-join branch buffers: activity id → received branch docs.
+        self._join_buffers: dict[str, list[Dra4wfmsDocument]] = {}
+        self._step = 0
+
+    @property
+    def done(self) -> bool:
+        """True once no deliveries remain (the process has finished)."""
+        return not self._queue
+
+    def pending(self) -> list[str]:
+        """Activity ids queued for delivery, in delivery order."""
+        return [delivery.activity_id for delivery in self._queue]
+
+    def step(self) -> StepTrace | None:
+        """Execute the next activity; ``None`` when the process is done.
+
+        Deliveries that merely buffer a branch document at an AND-join
+        are consumed silently — the call keeps going until an activity
+        actually executes or the queue drains.
+        """
+        while self._queue:
+            if self._step >= self.max_steps:
+                raise RuntimeFault(
+                    f"process exceeded {self.max_steps} steps "
+                    f"(runaway loop?)"
+                )
+            delivery = self._queue.popleft()
+            activity = self.definition.activity(delivery.activity_id)
+
+            merge_with: list[Dra4wfmsDocument] = []
+            if activity.join is JoinKind.AND:
+                arity = len(self.definition.incoming(activity.activity_id))
+                buffer = self._join_buffers.setdefault(
+                    activity.activity_id, [])
+                buffer.append(delivery.document)
+                if len(buffer) < arity:
+                    continue
+                self._join_buffers[activity.activity_id] = []
+                delivery = _Delivery(activity.activity_id, buffer[0])
+                merge_with = buffer[1:]
+
+            responder = self.responders.get(delivery.activity_id)
+            if responder is None:
+                raise RuntimeFault(
+                    f"no responder registered for activity "
+                    f"{delivery.activity_id!r}"
+                )
+
+            agent = self.runtime.agent_for(activity.participant)
+            tfc = self.runtime.tfc
+            if self.mode == "basic":
+                result = agent.execute_activity(
+                    delivery.document, delivery.activity_id, responder,
+                    mode="basic", merge_with=merge_with,
+                )
+                routing = result.routing
+                document = result.document
+                gamma = None
+                alpha = result.timings.verify_seconds
+            else:
+                result = agent.execute_activity(
+                    delivery.document, delivery.activity_id, responder,
+                    mode="advanced",
+                    tfc_identity=tfc.identity,
+                    tfc_public_key=tfc.public_key,
+                    merge_with=merge_with,
+                )
+                intermediate_size = result.document.size_bytes
+                tfc_result = tfc.process(result.document)
+                routing = tfc_result.routing
+                document = tfc_result.document
+                gamma = tfc_result.sign_seconds
+                alpha = (result.timings.verify_seconds
+                         + tfc_result.verify_seconds)
+
+            self._step += 1
+            step_trace = StepTrace(
+                step=self._step,
+                label=f"X''_{result.activity_id}^{result.iteration}",
+                activity_id=result.activity_id,
+                iteration=result.iteration,
+                participant=activity.participant,
+                alpha=alpha,
+                beta=result.timings.sign_seconds,
+                gamma=gamma,
+                size_bytes=document.size_bytes,
+                signatures_verified=result.timings.signatures_verified,
+                num_cers=len(document.cers(include_definition=False)),
+                mode=self.mode,
+                intermediate_size_bytes=(
+                    intermediate_size if self.mode == "advanced" else None),
+                document=document,
+            )
+            self.trace.steps.append(step_trace)
+            self.trace.final_document = document
+
+            assert routing is not None
+            for next_activity in routing.next_activities:
+                self._queue.append(
+                    _Delivery(next_activity, document.clone()))
+            return step_trace
+
+        self._check_joins_drained()
+        return None
+
+    def _check_joins_drained(self) -> None:
+        leftover = {
+            aid: len(docs)
+            for aid, docs in self._join_buffers.items() if docs
+        }
+        if leftover:
+            raise RuntimeFault(
+                f"process ended with unsatisfied AND-joins: {leftover}"
+            )
+
+
 class InMemoryRuntime:
     """Drives a workflow process to completion among simulated parties."""
 
@@ -118,6 +269,22 @@ class InMemoryRuntime:
                 f"no key pair registered for participant {identity!r}"
             ) from None
 
+    def start(self,
+              initial_document: Dra4wfmsDocument,
+              definition: WorkflowDefinition,
+              responders: Mapping[str, Responder | Mapping[str, str]],
+              mode: str = "basic",
+              max_steps: int = 10_000) -> ProcessExecution:
+        """Begin a resumable execution (see :class:`ProcessExecution`).
+
+        Multiple executions can share one runtime and be stepped in any
+        interleaving — all per-instance state lives on the execution.
+        """
+        return ProcessExecution(
+            self, initial_document, definition, responders,
+            mode=mode, max_steps=max_steps,
+        )
+
     def run(self,
             initial_document: Dra4wfmsDocument,
             definition: WorkflowDefinition,
@@ -137,102 +304,8 @@ class InMemoryRuntime:
             ``"basic"`` or ``"advanced"`` — selects the operational
             model for *every* step.
         """
-        if mode == "advanced" and self.tfc is None:
-            raise RuntimeFault("advanced mode requires a TFC server")
-
-        trace = ExecutionTrace(
-            process_id=initial_document.process_id,
-            mode=mode,
-            initial_size=initial_document.size_bytes,
-        )
-        queue: deque[_Delivery] = deque(
-            [_Delivery(definition.start_activity, initial_document.clone())]
-        )
-        # AND-join branch buffers: activity id → received branch docs.
-        join_buffers: dict[str, list[Dra4wfmsDocument]] = {}
-        step = 0
-
-        while queue:
-            if step >= max_steps:
-                raise RuntimeFault(
-                    f"process exceeded {max_steps} steps (runaway loop?)"
-                )
-            delivery = queue.popleft()
-            activity = definition.activity(delivery.activity_id)
-
-            merge_with: list[Dra4wfmsDocument] = []
-            if activity.join is JoinKind.AND:
-                arity = len(definition.incoming(activity.activity_id))
-                buffer = join_buffers.setdefault(activity.activity_id, [])
-                buffer.append(delivery.document)
-                if len(buffer) < arity:
-                    continue
-                join_buffers[activity.activity_id] = []
-                delivery = _Delivery(activity.activity_id, buffer[0])
-                merge_with = buffer[1:]
-
-            responder = responders.get(delivery.activity_id)
-            if responder is None:
-                raise RuntimeFault(
-                    f"no responder registered for activity "
-                    f"{delivery.activity_id!r}"
-                )
-
-            agent = self.agent_for(activity.participant)
-            if mode == "basic":
-                result = agent.execute_activity(
-                    delivery.document, delivery.activity_id, responder,
-                    mode="basic", merge_with=merge_with,
-                )
-                routing = result.routing
-                document = result.document
-                gamma = None
-                alpha = result.timings.verify_seconds
-            else:
-                result = agent.execute_activity(
-                    delivery.document, delivery.activity_id, responder,
-                    mode="advanced",
-                    tfc_identity=self.tfc.identity,
-                    tfc_public_key=self.tfc.public_key,
-                    merge_with=merge_with,
-                )
-                intermediate_size = result.document.size_bytes
-                tfc_result = self.tfc.process(result.document)
-                routing = tfc_result.routing
-                document = tfc_result.document
-                gamma = tfc_result.sign_seconds
-                alpha = (result.timings.verify_seconds
-                         + tfc_result.verify_seconds)
-
-            step += 1
-            trace.steps.append(StepTrace(
-                step=step,
-                label=f"X''_{result.activity_id}^{result.iteration}",
-                activity_id=result.activity_id,
-                iteration=result.iteration,
-                participant=activity.participant,
-                alpha=alpha,
-                beta=result.timings.sign_seconds,
-                gamma=gamma,
-                size_bytes=document.size_bytes,
-                signatures_verified=result.timings.signatures_verified,
-                num_cers=len(document.cers(include_definition=False)),
-                mode=mode,
-                intermediate_size_bytes=(
-                    intermediate_size if mode == "advanced" else None),
-                document=document,
-            ))
-            trace.final_document = document
-
-            assert routing is not None
-            for next_activity in routing.next_activities:
-                queue.append(_Delivery(next_activity, document.clone()))
-
-        leftover = {
-            aid: len(docs) for aid, docs in join_buffers.items() if docs
-        }
-        if leftover:
-            raise RuntimeFault(
-                f"process ended with unsatisfied AND-joins: {leftover}"
-            )
-        return trace
+        execution = self.start(initial_document, definition, responders,
+                               mode=mode, max_steps=max_steps)
+        while execution.step() is not None:
+            pass
+        return execution.trace

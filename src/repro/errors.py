@@ -145,3 +145,7 @@ class RegionError(StorageError):
 
 class PortalError(CloudError):
     """A portal server rejected the request (auth, missing doc, ...)."""
+
+
+class FleetError(CloudError):
+    """The fleet execution fabric hit an unrecoverable condition."""

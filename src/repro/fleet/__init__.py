@@ -1,0 +1,35 @@
+"""Fleet: a concurrent multi-instance execution fabric for the cloud.
+
+Runs thousands of in-flight process instances over one shared
+:class:`~repro.cloud.system.CloudSystem` as a deterministic
+discrete-event simulation, with open-loop (Poisson) and closed-loop
+(fixed concurrency) load generation, FIFO service stations for every
+shared component, and a :class:`FleetReport` carrying throughput,
+latency percentiles, utilization and queue-depth series.
+
+See ``docs/FLEET.md`` for the event model and how to read a report.
+"""
+
+from .arrivals import ClosedLoop, OpenLoop, think_time
+from .costs import CryptoCostModel
+from .fleet import TFC_IDENTITY, Fleet, FleetConfig, build_fleet
+from .report import FleetReport, percentile
+from .stations import Station, StationMetrics
+from .workload import FleetWorkload, workload_from_spec
+
+__all__ = [
+    "ClosedLoop",
+    "CryptoCostModel",
+    "Fleet",
+    "FleetConfig",
+    "FleetReport",
+    "FleetWorkload",
+    "OpenLoop",
+    "Station",
+    "StationMetrics",
+    "TFC_IDENTITY",
+    "build_fleet",
+    "percentile",
+    "think_time",
+    "workload_from_spec",
+]

@@ -1,0 +1,86 @@
+"""Arrival processes for the fleet: open loop and closed loop.
+
+Open loop (``OpenLoop``) injects instances by a Poisson process with
+rate λ: interarrival gaps are drawn ``Exp(λ)`` from the fleet's seeded
+PRNG, independent of system state — the regime where queues actually
+build up and tail latency is meaningful.
+
+Closed loop (``ClosedLoop``) keeps a fixed number of instances in
+flight: each completion immediately submits a replacement (classic
+think-time/closed-system load generation), until the configured total
+has been launched.  Throughput under closed loop measures the system's
+sustainable rate at a given concurrency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["OpenLoop", "ClosedLoop", "think_time"]
+
+
+@dataclass(frozen=True)
+class OpenLoop:
+    """Poisson arrivals: *instances* total at rate λ per second."""
+
+    instances: int
+    rate_per_second: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.instances < 1:
+            raise ValueError("need at least one instance")
+        if self.rate_per_second <= 0:
+            raise ValueError("arrival rate must be positive")
+
+    @property
+    def mode(self) -> str:
+        """Workload-generation regime name."""
+        return "open"
+
+    def arrival_times(self, rng: random.Random,
+                      start: float = 0.0) -> list[float]:
+        """All injection times, drawn once up front (deterministic)."""
+        times: list[float] = []
+        t = start
+        for _ in range(self.instances):
+            t += rng.expovariate(self.rate_per_second)
+            times.append(t)
+        return times
+
+
+@dataclass(frozen=True)
+class ClosedLoop:
+    """Fixed-concurrency fleet: re-submit on completion."""
+
+    instances: int
+    concurrency: int = 8
+
+    def __post_init__(self) -> None:
+        if self.instances < 1:
+            raise ValueError("need at least one instance")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+
+    @property
+    def mode(self) -> str:
+        """Workload-generation regime name."""
+        return "closed"
+
+    def initial_batch(self) -> int:
+        """Instances launched together at the start of the run."""
+        return min(self.concurrency, self.instances)
+
+
+def think_time(rng: random.Random, mean_seconds: float) -> float:
+    """One participant think-time sample (exponential, mean as given).
+
+    The gap between "your turn" notification and the participant's AEA
+    actually picking the work up; 0 when the fleet models fully
+    automated participants (``mean_seconds == 0``).
+    """
+    if mean_seconds < 0:
+        raise ValueError("think time must be non-negative")
+    if mean_seconds == 0:
+        return 0.0
+    return rng.expovariate(1.0 / mean_seconds)

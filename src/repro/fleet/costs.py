@@ -1,0 +1,59 @@
+"""Deterministic service-time model for cryptographic work.
+
+Network and storage costs are captured straight from the simulated
+components (they are pure functions of byte counts), but crypto work is
+normally measured in *host* time — which varies run to run and would
+break the fleet's byte-identical determinism guarantee.  The fleet
+therefore charges crypto through this model instead: simulated seconds
+as a function of the deterministic *counts* (signatures verified,
+signatures produced, bytes hashed), with coefficients calibrated to the
+repository's RSA-1024 measurements (EXPERIMENTS.md, Table 1: α grows
+linearly in the number of signatures, β is constant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CryptoCostModel"]
+
+
+@dataclass(frozen=True)
+class CryptoCostModel:
+    """Simulated crypto costs (seconds), linear in operation counts."""
+
+    #: One RSA signature verification (cascade check).
+    verify_per_signature: float = 0.0004
+    #: One RSA signature creation (CER embed).
+    sign_seconds: float = 0.004
+    #: Symmetric work (hash/encrypt) per document byte.
+    hash_per_byte: float = 2e-9
+
+    def __post_init__(self) -> None:
+        if (self.verify_per_signature < 0 or self.sign_seconds < 0
+                or self.hash_per_byte < 0):
+            raise ValueError("cost coefficients must be non-negative")
+
+    def aea_execute(self, signatures_verified: int,
+                    document_bytes: int) -> float:
+        """AEA hop: verify the cascade, execute, encrypt + sign (α+β)."""
+        if signatures_verified < 0 or document_bytes < 0:
+            raise ValueError("counts must be non-negative")
+        return (self.verify_per_signature * signatures_verified
+                + self.sign_seconds
+                + self.hash_per_byte * document_bytes)
+
+    def tfc_process(self, signatures_verified: int,
+                    document_bytes: int) -> float:
+        """TFC finalisation: verify, decrypt bundle, re-encrypt, sign (γ)."""
+        if signatures_verified < 0 or document_bytes < 0:
+            raise ValueError("counts must be non-negative")
+        return (self.verify_per_signature * signatures_verified
+                + self.sign_seconds
+                + self.hash_per_byte * document_bytes)
+
+    def initial_sign(self, document_bytes: int) -> float:
+        """Designer signing the initial document."""
+        if document_bytes < 0:
+            raise ValueError("counts must be non-negative")
+        return self.sign_seconds + self.hash_per_byte * document_bytes

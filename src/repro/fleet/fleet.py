@@ -1,0 +1,458 @@
+"""The fleet: thousands of in-flight instances over one shared cloud.
+
+``run_process_in_cloud`` drives a single instance start to finish; the
+:class:`Fleet` instead runs a *population* of instances as a
+deterministic discrete-event simulation over one :class:`CloudSystem`.
+Every document still does the real cryptographic work (real CERs, real
+cascade signatures — the auditor hook re-verifies finished instances
+cold), but *when* things happen is governed by an event heap on the
+shared :class:`SimClock` and by FIFO service stations modelling the
+shared components:
+
+========  =====================================================
+station   models
+========  =====================================================
+portal    the portal tier (workers = number of portal servers)
+tfc       TFC verify/timestamp/re-encrypt/sign
+pool      HBase/HDFS document reads and writes
+notify    "your turn" notification fan-out
+aea:<p>   participant *p*'s own execution agent (their desk)
+========  =====================================================
+
+Execution model — *eager execution, lazy completion*: when a hop event
+fires, the real portal/AEA/TFC work runs immediately (so documents,
+TO-DO lists and caches evolve in event order), the per-component costs
+are captured from the tagged :class:`SimClock` charges plus the
+deterministic :class:`CryptoCostModel`, and the hop is then threaded
+through the station queues; only when its last station visit finishes
+do successor hops get scheduled.  AND-joins additionally gate on the
+*simulated* completion of every incoming branch, so a join never starts
+before its inputs have finished in simulated time.
+
+Determinism: same seed ⇒ identical event order ⇒ byte-identical
+:class:`FleetReport`.  Process ids are derived from the seed and the
+instance index (host uuids would make HBase region splits — and hence
+captured costs — vary between runs).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..cloud.simclock import CostCapture
+from ..cloud.system import CloudClient, CloudSystem
+from ..crypto.keys import KeyPair
+from ..document.builder import build_initial_document
+from ..document.vcache import VerificationCache
+from ..document.verify import verify_document
+from ..errors import FleetError, JoinNotReady
+from ..model.controlflow import JoinKind
+from .arrivals import ClosedLoop, OpenLoop, think_time
+from .costs import CryptoCostModel
+from .report import FleetReport
+from .stations import Station
+from .workload import FleetWorkload
+
+__all__ = ["FleetConfig", "Fleet", "build_fleet", "TFC_IDENTITY"]
+
+#: Identity the convenience builder enrolls for the cloud's notary.
+TFC_IDENTITY = "tfc@cloud.example"
+
+#: Visit order of captured components within one operation.
+_STAGE_ORDER = ("portal", "pool", "notify")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tunable knobs of one fleet run."""
+
+    arrivals: OpenLoop | ClosedLoop
+    seed: int = 0
+    #: Mean participant think time (exponential; 0 = automated).
+    think_seconds: float = 0.0
+    #: Parallel TFC verify/sign workers.
+    tfc_workers: int = 1
+    #: Parallel notification delivery workers.
+    notify_workers: int = 4
+    #: Workers per participant AEA desk.
+    aea_workers: int = 1
+    #: Cold-re-verify every Nth completed instance (0 disables).
+    audit_every: int = 25
+    costs: CryptoCostModel = field(default_factory=CryptoCostModel)
+    #: Hard stop against runaway event loops.
+    max_events: int = 5_000_000
+
+
+@dataclass
+class _Instance:
+    """In-flight bookkeeping of one process instance."""
+
+    index: int
+    process_id: str
+    arrival: float
+    #: Unresolved hops + station chains; 0 ⇒ the instance is done.
+    inflight: int = 0
+    #: ``(activity_id, iteration)`` hops completed in *simulated* time.
+    done_hops: set[tuple[str, int]] = field(default_factory=set)
+
+
+class Fleet:
+    """A concurrent multi-instance execution fabric over one cloud."""
+
+    def __init__(self, system: CloudSystem, workload: FleetWorkload,
+                 keypairs: Mapping[str, KeyPair],
+                 config: FleetConfig) -> None:
+        self.system = system
+        self.workload = workload
+        self.keypairs = keypairs
+        self.config = config
+        self.clock = system.clock
+        self.rng = random.Random(config.seed)
+        self.definition = workload.definition
+        self.stations: dict[str, Station] = {
+            "portal": Station("portal", len(system.portals)),
+            "tfc": Station("tfc", config.tfc_workers),
+            "pool": Station("pool", len(system.hbase.servers)),
+            "notify": Station("notify", config.notify_workers),
+        }
+        for identity in workload.identities:
+            self.stations[f"aea:{identity}"] = Station(
+                f"aea:{identity}", config.aea_workers
+            )
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._instances: dict[str, _Instance] = {}
+        self._started = 0
+        self._completed = 0
+        self._hops = 0
+        self._join_retries = 0
+        self._audited = 0
+        self._audit_failures = 0
+        self._latencies: list[float] = []
+        self._first_arrival: float | None = None
+        self._last_completion = 0.0
+        self._clients: dict[str, CloudClient] = {}
+
+    # -- event heap ----------------------------------------------------------
+
+    def _push(self, when: float, fn: Callable[[], None]) -> None:
+        self._sequence += 1
+        heapq.heappush(self._events, (when, self._sequence, fn))
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now()
+
+    # -- setup ---------------------------------------------------------------
+
+    def _client(self, identity: str) -> CloudClient:
+        """Logged-in portal client of one identity (session reused)."""
+        client = self._clients.get(identity)
+        if client is None:
+            # Login cost is setup, not steady-state load: capture and
+            # discard so the run starts at a clean clock.
+            with self.clock.capture():
+                client = self.system.client(self.keypairs[identity])
+            self._clients[identity] = client
+        return client
+
+    # -- station plumbing ----------------------------------------------------
+
+    def _captured_visits(self, capture: CostCapture,
+                         ) -> list[tuple[Station, float]]:
+        """Turn tagged charges into an ordered station-visit list."""
+        by = capture.by_component()
+        # Anything untagged was charged by a component without a
+        # station of its own; bill it to the front door.
+        extra = by.pop("misc", 0.0)
+        if extra:
+            by["portal"] = by.get("portal", 0.0) + extra
+        return [(self.stations[name], by[name])
+                for name in _STAGE_ORDER if by.get(name, 0.0) > 0.0]
+
+    def _chain(self, visits: list[tuple[Station, float]],
+               on_done: Callable[[], None]) -> None:
+        """Thread a job through *visits*, then fire *on_done*.
+
+        Must be called while processing an event (the first visit
+        arrives "now"); every subsequent visit is its own event so
+        station arrivals stay in nondecreasing time order.
+        """
+        if not visits:
+            on_done()
+            return
+        (station, cost), rest = visits[0], visits[1:]
+        end = station.submit(self.now, cost)
+        self._push(end, lambda: self._chain(rest, on_done))
+
+    # -- instance lifecycle ---------------------------------------------------
+
+    def _process_id(self, index: int) -> str:
+        return f"fleet{self.config.seed}-{index:06d}"
+
+    def _launch(self) -> None:
+        """Inject one new instance (event handler, runs at arrival)."""
+        index = self._started
+        self._started += 1
+        arrival = self.now
+        if self._first_arrival is None:
+            self._first_arrival = arrival
+        designer = self.workload.designer
+        initial = build_initial_document(
+            self.definition,
+            self.keypairs[designer],
+            process_id=self._process_id(index),
+            backend=self.system.backend,
+            # Simulated creation time: the host wall clock's varying
+            # float width would leak into document sizes and break
+            # byte-identical reports.
+            created_at=arrival,
+        )
+        instance = _Instance(index=index, process_id=initial.process_id,
+                             arrival=arrival, inflight=1)
+        self._instances[initial.process_id] = instance
+
+        client = self._client(designer)
+        with self.clock.capture() as captured:
+            client.upload_initial(initial)
+        sign_cost = self.config.costs.initial_sign(initial.size_bytes)
+        visits = [(self.stations[f"aea:{designer}"], sign_cost)]
+        visits += self._captured_visits(captured)
+        start_activity = self.definition.start_activity
+        self._chain(visits,
+                    lambda: self._resolve(instance, [start_activity]))
+
+    def _schedule_hop(self, instance: _Instance, activity_id: str) -> None:
+        instance.inflight += 1
+        delay = think_time(self.rng, self.config.think_seconds)
+        self._push(self.now + delay,
+                   lambda: self._hop(instance, activity_id))
+
+    def _join_ready(self, instance: _Instance, activity_id: str) -> bool:
+        """AND-join gate against *simulated* branch completion."""
+        activity = self.definition.activity(activity_id)
+        if activity.join is not JoinKind.AND:
+            return True
+        iteration = sum(1 for (done_id, _) in instance.done_hops
+                        if done_id == activity_id)
+        return all(
+            (predecessor, iteration) in instance.done_hops
+            for predecessor in self.definition.predecessors(activity_id)
+        )
+
+    def _hop(self, instance: _Instance, activity_id: str) -> None:
+        """One activity execution attempt (event handler)."""
+        participant = self.definition.activity(activity_id).participant
+        pending = {
+            (entry.process_id, entry.activity_id)
+            for entry in self.system.pool.todo_for(participant)
+        }
+        if (instance.process_id, activity_id) not in pending:
+            # A sibling attempt already executed this hop.
+            self._join_retries += 1
+            self._resolve(instance, [])
+            return
+        if not self._join_ready(instance, activity_id):
+            # Some incoming branch has not *finished* in simulated
+            # time; its completion will schedule a fresh attempt.
+            self._join_retries += 1
+            self._resolve(instance, [])
+            return
+
+        client = self._client(participant)
+        with self.clock.capture() as retrieve_cost:
+            data = client.portal.retrieve(client.session,
+                                          instance.process_id)
+        responder = self.workload.responders.get(activity_id)
+        if responder is None:
+            raise FleetError(
+                f"workload {self.workload.name!r} has no responder for "
+                f"activity {activity_id!r}"
+            )
+        try:
+            result = client.agent.execute_activity(
+                data, activity_id, responder,
+                mode="advanced",
+                tfc_identity=self.system.tfc.identity,
+                tfc_public_key=self.system.tfc.public_key,
+            )
+        except JoinNotReady:
+            # Defensive: the simulated gate should have caught this.
+            self._join_retries += 1
+            self._chain(self._captured_visits(retrieve_cost),
+                        lambda: self._resolve(instance, []))
+            return
+
+        submitted = result.document.to_bytes()
+        with self.clock.capture() as submit_cost:
+            entries = client.portal.submit(client.session, submitted)
+        self._hops += 1
+
+        costs = self.config.costs
+        aea_cost = costs.aea_execute(result.timings.signatures_verified,
+                                     len(data))
+        tfc_cost = costs.tfc_process(
+            result.timings.signatures_verified + 1, len(submitted)
+        )
+        submit_by = submit_cost.by_component()
+        visits: list[tuple[Station, float]] = []
+        visits += self._captured_visits(retrieve_cost)
+        visits.append((self.stations[f"aea:{participant}"], aea_cost))
+        if submit_by.get("portal") or submit_by.get("misc"):
+            visits.append((
+                self.stations["portal"],
+                submit_by.get("portal", 0.0) + submit_by.get("misc", 0.0),
+            ))
+        visits.append((self.stations["tfc"], tfc_cost))
+        if submit_by.get("pool"):
+            visits.append((self.stations["pool"], submit_by["pool"]))
+        if submit_by.get("notify"):
+            visits.append((self.stations["notify"], submit_by["notify"]))
+
+        next_activities = [entry.activity_id for entry in entries]
+        done = (activity_id, result.iteration)
+        self._chain(
+            visits,
+            lambda: self._resolve(instance, next_activities, done),
+        )
+
+    def _resolve(self, instance: _Instance,
+                 next_activities: list[str],
+                 done_hop: tuple[str, int] | None = None) -> None:
+        """Retire one in-flight hop; fan out successors or finish."""
+        if done_hop is not None:
+            instance.done_hops.add(done_hop)
+        instance.inflight -= 1
+        for activity_id in next_activities:
+            self._schedule_hop(instance, activity_id)
+        if instance.inflight == 0:
+            self._complete(instance)
+
+    def _complete(self, instance: _Instance) -> None:
+        self._completed += 1
+        self._last_completion = self.now
+        self._latencies.append(round(self.now - instance.arrival, 9))
+        every = self.config.audit_every
+        if every and (self._completed - 1) % every == 0:
+            self._audit(instance)
+        arrivals = self.config.arrivals
+        if (isinstance(arrivals, ClosedLoop)
+                and self._started < arrivals.instances):
+            self._launch()
+
+    def _audit(self, instance: _Instance) -> None:
+        """Cold full-cascade re-verification of a finished instance."""
+        self._audited += 1
+        document = self.system.pool.latest(instance.process_id)
+        try:
+            verify_document(
+                document, self.system.directory, self.system.backend,
+                definition_reader=(self.system.tfc.identity,
+                                   self.system.tfc.keypair.private_key),
+            )
+        except Exception:
+            self._audit_failures += 1
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> FleetReport:
+        """Execute the configured arrival process; return the report."""
+        arrivals = self.config.arrivals
+        if isinstance(arrivals, OpenLoop):
+            for when in arrivals.arrival_times(self.rng, start=self.now):
+                self._push(when, self._launch)
+        else:
+            for _ in range(arrivals.initial_batch()):
+                self._push(self.now, self._launch)
+
+        processed = 0
+        while self._events:
+            processed += 1
+            if processed > self.config.max_events:
+                raise FleetError(
+                    f"fleet exceeded {self.config.max_events} events "
+                    f"(runaway loop?)"
+                )
+            when, _, fn = heapq.heappop(self._events)
+            if when > self.clock.now():
+                self.clock.advance_to(when)
+            fn()
+
+        return self._report(processed)
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def instances(self) -> dict[str, _Instance]:
+        """Per-process bookkeeping of every launched instance (read-only)."""
+        return dict(self._instances)
+
+    def queue_depths(self) -> dict[str, list[tuple[float, int]]]:
+        """Per-station queue-depth time series (merged steps)."""
+        return {name: station.queue_depth_series()
+                for name, station in sorted(self.stations.items())}
+
+    def utilization(self) -> dict[str, float]:
+        """Per-station utilization over the run horizon so far."""
+        horizon = self._last_completion if self._completed else self.now
+        return {name: station.metrics(horizon).utilization
+                for name, station in sorted(self.stations.items())}
+
+    def _report(self, events_processed: int) -> FleetReport:
+        first = self._first_arrival or 0.0
+        makespan = (round(self._last_completion - first, 9)
+                    if self._completed else 0.0)
+        throughput = (round(self._completed / makespan, 9)
+                      if makespan > 0 else 0.0)
+        horizon = self._last_completion if self._completed else self.now
+        return FleetReport(
+            workload=self.workload.name,
+            mode=self.config.arrivals.mode,
+            seed=self.config.seed,
+            instances_started=self._started,
+            instances_completed=self._completed,
+            hops_executed=self._hops,
+            events_processed=events_processed,
+            makespan_seconds=makespan,
+            throughput_per_second=throughput,
+            latencies=list(self._latencies),
+            stations={name: station.metrics(horizon)
+                      for name, station in self.stations.items()},
+            instances_audited=self._audited,
+            audit_failures=self._audit_failures,
+            join_retries=self._join_retries,
+        )
+
+
+def build_fleet(workload: FleetWorkload,
+                config: FleetConfig,
+                portals: int = 2,
+                region_servers: int = 2,
+                datanodes: int = 3,
+                bits: int = 1024,
+                backend=None,
+                shared_cache: bool = True) -> Fleet:
+    """Stand up a world + cloud + fleet for *workload* in one call.
+
+    Enrolls the workload's identities plus the cloud's TFC, wires an
+    (optionally) shared :class:`VerificationCache` through portals and
+    TFC, and returns a ready-to-``run()`` :class:`Fleet`.
+    """
+    from ..workloads.participants import build_world
+
+    world = build_world([*workload.identities, TFC_IDENTITY],
+                        bits=bits, backend=backend)
+    system = CloudSystem(
+        world.directory,
+        world.keypair(TFC_IDENTITY),
+        portals=portals,
+        region_servers=region_servers,
+        datanodes=datanodes,
+        backend=world.backend,
+        verify_cache=VerificationCache() if shared_cache else None,
+    )
+    return Fleet(system, workload, world.keypairs, config)

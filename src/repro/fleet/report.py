@@ -1,0 +1,163 @@
+"""Aggregated results of one fleet run.
+
+A :class:`FleetReport` is a plain, JSON-serialisable value object: the
+determinism acceptance test serialises two same-seed runs and compares
+the bytes, so everything in here must derive from simulated quantities
+only (never host time).  Simulated seconds are rounded to nanoseconds
+before aggregation to keep float noise out of the serialised form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .stations import StationMetrics
+
+__all__ = ["FleetReport", "percentile"]
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic; 0.0 for no samples)."""
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError("fraction must be within [0, 1]")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class FleetReport:
+    """Throughput, latency, and per-component load of one fleet run."""
+
+    workload: str
+    mode: str
+    seed: int
+    instances_started: int
+    instances_completed: int
+    hops_executed: int
+    events_processed: int
+    #: Simulated seconds from first arrival to last completion.
+    makespan_seconds: float
+    #: Completed instances per simulated second.
+    throughput_per_second: float
+    #: Completion latencies (arrival → final store), simulated seconds.
+    latencies: list[float] = field(default_factory=list, repr=False)
+    stations: dict[str, StationMetrics] = field(default_factory=dict)
+    #: Completed instances whose final document was re-verified cold.
+    instances_audited: int = 0
+    audit_failures: int = 0
+    join_retries: int = 0
+
+    # -- latency aggregates ------------------------------------------------
+
+    @property
+    def latency_mean(self) -> float:
+        """Mean completion latency (0.0 when nothing completed)."""
+        if not self.latencies:
+            return 0.0
+        return round(sum(self.latencies) / len(self.latencies), 9)
+
+    @property
+    def latency_p50(self) -> float:
+        """Median completion latency."""
+        return percentile(self.latencies, 0.50)
+
+    @property
+    def latency_p95(self) -> float:
+        """95th-percentile completion latency."""
+        return percentile(self.latencies, 0.95)
+
+    @property
+    def latency_p99(self) -> float:
+        """99th-percentile completion latency."""
+        return percentile(self.latencies, 0.99)
+
+    @property
+    def latency_max(self) -> float:
+        """Worst completion latency."""
+        return max(self.latencies, default=0.0)
+
+    # -- component views ---------------------------------------------------
+
+    def utilization(self) -> dict[str, float]:
+        """Per-station utilization, AEA desks rolled up under ``aea``."""
+        out: dict[str, float] = {}
+        aea_busy = aea_capacity = 0.0
+        for name, metrics in sorted(self.stations.items()):
+            if name.startswith("aea:"):
+                aea_busy += metrics.busy_seconds
+                aea_capacity += metrics.workers * self.makespan_seconds
+            else:
+                out[name] = metrics.utilization
+        if aea_capacity > 0:
+            out["aea"] = round(aea_busy / aea_capacity, 9)
+        return out
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe snapshot (full latency list included)."""
+        return {
+            "workload": self.workload,
+            "mode": self.mode,
+            "seed": self.seed,
+            "instances_started": self.instances_started,
+            "instances_completed": self.instances_completed,
+            "hops_executed": self.hops_executed,
+            "events_processed": self.events_processed,
+            "makespan_seconds": self.makespan_seconds,
+            "throughput_per_second": self.throughput_per_second,
+            "latency": {
+                "mean": self.latency_mean,
+                "p50": self.latency_p50,
+                "p95": self.latency_p95,
+                "p99": self.latency_p99,
+                "max": self.latency_max,
+                "samples": self.latencies,
+            },
+            "stations": {
+                name: metrics.to_dict()
+                for name, metrics in sorted(self.stations.items())
+            },
+            "utilization": self.utilization(),
+            "instances_audited": self.instances_audited,
+            "audit_failures": self.audit_failures,
+            "join_retries": self.join_retries,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialisation (the determinism-test currency)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            f"fleet run: {self.workload} [{self.mode} loop, "
+            f"seed {self.seed}]",
+            f"  instances : {self.instances_completed}/"
+            f"{self.instances_started} completed, "
+            f"{self.hops_executed} hops, "
+            f"{self.events_processed} events",
+            f"  makespan  : {self.makespan_seconds:.3f} sim-s   "
+            f"throughput: {self.throughput_per_second:.3f} inst/sim-s",
+            f"  latency   : mean {self.latency_mean:.3f}  "
+            f"p50 {self.latency_p50:.3f}  p95 {self.latency_p95:.3f}  "
+            f"p99 {self.latency_p99:.3f}  max {self.latency_max:.3f}",
+            f"  audit     : {self.instances_audited} instances "
+            f"re-verified cold, {self.audit_failures} failures; "
+            f"{self.join_retries} join retries",
+            "  station        util   busy-s     jobs  maxQ  meanQ  "
+            "wait-s",
+        ]
+        for name, m in sorted(self.stations.items()):
+            lines.append(
+                f"  {name:<14s} {m.utilization:>5.1%} "
+                f"{m.busy_seconds:>8.3f} {m.jobs:>8d} {m.max_queue_depth:>5d} "
+                f"{m.mean_queue_depth:>6.2f} {m.wait_seconds:>7.3f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""FIFO multi-server service stations for the fleet scheduler.
+
+Each shared cloud component (portal tier, TFC notary, document pool,
+notification fan-out, every participant's AEA desk) is modelled as a
+:class:`Station`: *k* identical servers fed by one FIFO queue.  The
+fleet scheduler submits jobs in nondecreasing arrival order (it is a
+discrete-event simulation), so a plain earliest-free-server assignment
+is exactly FIFO and deterministic.
+
+Stations accumulate the three observables the paper's scalability
+argument (§3) is about: busy time (→ utilization), waiting time
+(→ backpressure), and a queue-depth time series.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+__all__ = ["Station", "StationMetrics"]
+
+
+@dataclass(frozen=True)
+class StationMetrics:
+    """Aggregated load figures of one station over a fleet run."""
+
+    name: str
+    workers: int
+    jobs: int
+    busy_seconds: float
+    wait_seconds: float
+    #: busy / (workers × horizon); 0.0 for an idle station.
+    utilization: float
+    max_queue_depth: int
+    #: Time-weighted mean number of waiting jobs over the horizon.
+    mean_queue_depth: float
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe representation (stable key order)."""
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "jobs": self.jobs,
+            "busy_seconds": self.busy_seconds,
+            "wait_seconds": self.wait_seconds,
+            "utilization": self.utilization,
+            "max_queue_depth": self.max_queue_depth,
+            "mean_queue_depth": self.mean_queue_depth,
+        }
+
+
+@dataclass
+class Station:
+    """One FIFO service queue with *workers* identical servers."""
+
+    name: str
+    workers: int = 1
+    jobs: int = 0
+    busy_seconds: float = 0.0
+    wait_seconds: float = 0.0
+    #: ``(time, delta)`` queue-depth transitions: +1 when a job has to
+    #: wait, −1 when its service starts.
+    _depth_deltas: list[tuple[float, int]] = field(default_factory=list)
+    _free_at: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("a station needs at least one worker")
+        self._free_at = [0.0] * self.workers
+
+    def submit(self, arrival: float, service_seconds: float) -> float:
+        """Enqueue a job arriving at *arrival*; return its finish time.
+
+        Jobs must be submitted in nondecreasing arrival order (the
+        scheduler guarantees this); service then starts on the earliest
+        free server, which under that ordering is FIFO.
+        """
+        if service_seconds < 0:
+            raise ValueError("service time must be non-negative")
+        free = heapq.heappop(self._free_at)
+        start = max(free, arrival)
+        end = start + service_seconds
+        heapq.heappush(self._free_at, end)
+        self.jobs += 1
+        self.busy_seconds += service_seconds
+        if start > arrival:
+            self.wait_seconds += start - arrival
+            self._depth_deltas.append((arrival, +1))
+            self._depth_deltas.append((start, -1))
+        return end
+
+    # -- observability -------------------------------------------------------
+
+    def queue_depth_series(self) -> list[tuple[float, int]]:
+        """``(time, depth)`` steps of the waiting-job count, merged."""
+        deltas = sorted(self._depth_deltas)
+        series: list[tuple[float, int]] = []
+        depth = 0
+        for time, delta in deltas:
+            depth += delta
+            if series and series[-1][0] == time:
+                series[-1] = (time, depth)
+            else:
+                series.append((time, depth))
+        return series
+
+    def metrics(self, horizon: float) -> StationMetrics:
+        """Snapshot of the station's load over ``[0, horizon]``."""
+        series = self.queue_depth_series()
+        max_depth = max((d for _, d in series), default=0)
+        area = 0.0
+        for (t0, depth), (t1, _) in zip(series, series[1:]):
+            area += depth * (t1 - t0)
+        if series and horizon > series[-1][0]:
+            area += series[-1][1] * (horizon - series[-1][0])
+        return StationMetrics(
+            name=self.name,
+            workers=self.workers,
+            jobs=self.jobs,
+            busy_seconds=round(self.busy_seconds, 9),
+            wait_seconds=round(self.wait_seconds, 9),
+            utilization=(round(self.busy_seconds
+                               / (self.workers * horizon), 9)
+                         if horizon > 0 else 0.0),
+            max_queue_depth=max_depth,
+            mean_queue_depth=(round(area / horizon, 9)
+                              if horizon > 0 else 0.0),
+        )

@@ -1,0 +1,81 @@
+"""Named workloads the fleet can run, layered on the generators.
+
+A :class:`FleetWorkload` bundles everything one instance needs: the
+definition, the responders that drive it to completion, and the
+identities to enroll.  Specs are compact strings usable from the CLI::
+
+    fig9         the paper's Figure-9 workflow (advanced model)
+    chain:N      N sequential activities (workloads.generator)
+    diamond:N    AND-split into N parallel branches, then a join
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.aea import Responder
+from ..model.definition import WorkflowDefinition
+from ..workloads.figure9 import (
+    DESIGNER,
+    figure9_responders,
+    figure_9b_definition,
+)
+from ..workloads.generator import (
+    auto_responders,
+    chain_definition,
+    diamond_definition,
+)
+
+__all__ = ["FleetWorkload", "workload_from_spec"]
+
+
+@dataclass(frozen=True)
+class FleetWorkload:
+    """One runnable workload: definition + responders + identities."""
+
+    name: str
+    definition: WorkflowDefinition
+    responders: Mapping[str, Responder] = field(repr=False)
+    designer: str = DESIGNER
+
+    @property
+    def identities(self) -> list[str]:
+        """Everyone needing a key pair: designer + all participants."""
+        participants = {
+            activity.participant
+            for activity in self.definition.activities.values()
+        }
+        return [self.designer, *sorted(participants - {self.designer})]
+
+
+def workload_from_spec(spec: str, loops: int = 0) -> FleetWorkload:
+    """Resolve a workload spec string (see module docstring).
+
+    *loops* applies to workloads with a loop guard: how many extra
+    trips around the loop before acceptance (``fig9``'s "attachment is
+    insufficient" decision).
+    """
+    if spec == "fig9":
+        definition = figure_9b_definition()
+        return FleetWorkload(name="fig9", definition=definition,
+                             responders=figure9_responders(loops))
+    kind, _, arg = spec.partition(":")
+    if kind == "chain" and arg.isdigit():
+        definition = chain_definition(int(arg))
+        return FleetWorkload(
+            name=spec, definition=definition,
+            responders=auto_responders(definition),
+            designer="designer@enterprise.example",
+        )
+    if kind == "diamond" and arg.isdigit():
+        definition = diamond_definition(int(arg))
+        return FleetWorkload(
+            name=spec, definition=definition,
+            responders=auto_responders(definition),
+            designer="designer@enterprise.example",
+        )
+    raise ValueError(
+        f"unknown workload spec {spec!r} (expected fig9, chain:N or "
+        f"diamond:N)"
+    )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.cloud.network import LAN, WAN, NetworkModel
 
@@ -35,3 +36,38 @@ def test_cost_monotone_in_size():
     sizes = [0, 100, 10_000, 1_000_000]
     costs = [WAN.transfer_seconds(s) for s in sizes]
     assert costs == sorted(costs)
+
+
+# -- properties --------------------------------------------------------------
+
+_models = st.builds(
+    NetworkModel,
+    latency_seconds=st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False),
+    bandwidth_bytes_per_second=st.floats(min_value=1.0, max_value=1e12,
+                                         allow_nan=False),
+)
+
+
+@given(model=_models)
+def test_zero_bytes_costs_exactly_the_latency(model):
+    assert model.transfer_seconds(0) == pytest.approx(
+        model.latency_seconds)
+
+
+@given(model=_models, size=st.integers(min_value=-10**9, max_value=-1))
+def test_any_negative_size_rejected(model, size):
+    with pytest.raises(ValueError):
+        model.transfer_seconds(size)
+
+
+@given(model=_models,
+       a=st.integers(min_value=0, max_value=10**9),
+       b=st.integers(min_value=0, max_value=10**9))
+def test_transfer_cost_monotone_and_additive_above_latency(model, a, b):
+    small, large = sorted((a, b))
+    assert model.transfer_seconds(small) <= model.transfer_seconds(large)
+    # per-byte cost is linear: the latency is charged exactly once
+    assert model.transfer_seconds(a + b) == pytest.approx(
+        model.transfer_seconds(a) + model.transfer_seconds(b)
+        - model.latency_seconds)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.cloud.network import WAN
 from repro.cloud.notify import NotificationService
 from repro.cloud.simclock import SimClock
@@ -52,6 +54,33 @@ def test_delivery_charges_the_clock():
     before = clock.now()
     service.notify("alice@x", "p1", "A")
     assert clock.now() > before
+
+
+def test_delivery_cost_is_the_full_payload_transfer():
+    clock, service = make_service()
+    payload = NotificationService.payload_bytes("alice@x", "p1", "A")
+    before = clock.now()
+    service.notify("alice@x", "p1", "A")
+    assert clock.now() - before == \
+        pytest.approx(WAN.transfer_seconds(payload))
+
+
+def test_bigger_payload_costs_more():
+    clock, service = make_service()
+    t0 = clock.now()
+    service.notify("a@x", "p", "A")
+    short = clock.now() - t0
+    t1 = clock.now()
+    service.notify("a-much-longer-recipient@example.com",
+                   "process-with-a-long-id", "ACTIVITY-LONG")
+    assert clock.now() - t1 > short
+
+
+def test_payload_bytes_counts_utf8():
+    assert NotificationService.payload_bytes("a", "b", "c") == \
+        len("a\x00b\x00c".encode("utf-8"))
+    assert NotificationService.payload_bytes("ü", "b", "c") == \
+        len("ü\x00b\x00c".encode("utf-8"))
 
 
 def test_inbox_returns_copy():

@@ -1,0 +1,76 @@
+"""Open-loop and closed-loop arrival processes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fleet import ClosedLoop, OpenLoop, think_time
+
+
+class TestOpenLoop:
+    def test_arrival_times_are_increasing(self):
+        times = OpenLoop(instances=100, rate_per_second=5.0) \
+            .arrival_times(random.Random(1))
+        assert times == sorted(times)
+        assert len(times) == 100
+        assert all(t > 0 for t in times)
+
+    def test_same_seed_same_times(self):
+        loop = OpenLoop(instances=50, rate_per_second=2.0)
+        assert loop.arrival_times(random.Random(7)) == \
+            loop.arrival_times(random.Random(7))
+
+    def test_rate_scales_density(self):
+        slow = OpenLoop(instances=200, rate_per_second=1.0) \
+            .arrival_times(random.Random(3))
+        fast = OpenLoop(instances=200, rate_per_second=10.0) \
+            .arrival_times(random.Random(3))
+        assert fast[-1] < slow[-1]
+
+    def test_start_offset(self):
+        times = OpenLoop(instances=5, rate_per_second=5.0) \
+            .arrival_times(random.Random(0), start=100.0)
+        assert all(t > 100.0 for t in times)
+
+    def test_mode(self):
+        assert OpenLoop(instances=1).mode == "open"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpenLoop(instances=0)
+        with pytest.raises(ValueError):
+            OpenLoop(instances=1, rate_per_second=0)
+
+
+class TestClosedLoop:
+    def test_initial_batch_caps_at_instances(self):
+        assert ClosedLoop(instances=3, concurrency=8).initial_batch() == 3
+        assert ClosedLoop(instances=100, concurrency=8).initial_batch() == 8
+
+    def test_mode(self):
+        assert ClosedLoop(instances=1).mode == "closed"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClosedLoop(instances=0)
+        with pytest.raises(ValueError):
+            ClosedLoop(instances=1, concurrency=0)
+
+
+class TestThinkTime:
+    def test_zero_mean_is_zero(self):
+        assert think_time(random.Random(1), 0.0) == 0.0
+
+    def test_positive_mean_positive_sample(self):
+        assert think_time(random.Random(1), 2.0) > 0.0
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            think_time(random.Random(1), -1.0)
+
+    def test_mean_roughly_matches(self):
+        rng = random.Random(5)
+        samples = [think_time(rng, 3.0) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(3.0, rel=0.1)

@@ -1,0 +1,82 @@
+"""FIFO multi-server station semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import Station
+
+
+def test_idle_station_serves_immediately():
+    station = Station("s", workers=1)
+    assert station.submit(1.0, 0.5) == 1.5
+    assert station.wait_seconds == 0.0
+
+
+def test_busy_single_server_queues_fifo():
+    station = Station("s", workers=1)
+    assert station.submit(0.0, 1.0) == 1.0
+    assert station.submit(0.0, 1.0) == 2.0
+    assert station.submit(0.5, 1.0) == 3.0
+    # jobs 2 and 3 waited 1.0 and 1.5 seconds respectively
+    assert station.wait_seconds == pytest.approx(2.5)
+
+
+def test_two_workers_serve_in_parallel():
+    station = Station("s", workers=2)
+    assert station.submit(0.0, 1.0) == 1.0
+    assert station.submit(0.0, 1.0) == 1.0
+    assert station.submit(0.0, 1.0) == 2.0
+    assert station.wait_seconds == pytest.approx(1.0)
+
+
+def test_zero_service_time_allowed():
+    station = Station("s")
+    assert station.submit(2.0, 0.0) == 2.0
+
+
+def test_negative_service_time_rejected():
+    with pytest.raises(ValueError):
+        Station("s").submit(0.0, -0.1)
+
+
+def test_zero_workers_rejected():
+    with pytest.raises(ValueError):
+        Station("s", workers=0)
+
+
+def test_queue_depth_series_tracks_waiting_jobs():
+    station = Station("s", workers=1)
+    station.submit(0.0, 2.0)        # served at once
+    station.submit(0.5, 1.0)        # waits 0.5 → 2.0
+    station.submit(1.0, 1.0)        # waits 1.0 → 3.0
+    series = station.queue_depth_series()
+    assert series == [(0.5, 1), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+
+def test_metrics_utilization_and_mean_depth():
+    station = Station("s", workers=1)
+    station.submit(0.0, 2.0)
+    station.submit(0.0, 2.0)
+    m = station.metrics(horizon=4.0)
+    assert m.utilization == pytest.approx(1.0)
+    assert m.jobs == 2
+    assert m.busy_seconds == pytest.approx(4.0)
+    assert m.max_queue_depth == 1
+    # one job waiting during [0, 2) over a 4-second horizon
+    assert m.mean_queue_depth == pytest.approx(0.5)
+
+
+def test_metrics_zero_horizon():
+    m = Station("s").metrics(horizon=0.0)
+    assert m.utilization == 0.0
+    assert m.mean_queue_depth == 0.0
+
+
+def test_metrics_to_dict_roundtrips_keys():
+    station = Station("s", workers=3)
+    station.submit(0.0, 1.0)
+    d = station.metrics(horizon=2.0).to_dict()
+    assert d["name"] == "s"
+    assert d["workers"] == 3
+    assert d["utilization"] == pytest.approx(1.0 / 6.0)

@@ -143,6 +143,34 @@ class TestPublicTrust:
         assert "BOUND" in capsys.readouterr().out
 
 
+class TestLoadtest:
+    def test_open_loop_report(self, capsys):
+        code = main(["loadtest", "--instances", "6", "--seed", "7",
+                     "--workflow", "chain:3", "--rate", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet run: chain:3 [open loop, seed 7]" in out
+        assert "instances : 6/6 completed" in out
+        assert "0 failures" in out
+
+    def test_closed_loop_json(self, capsys):
+        code = main(["loadtest", "--instances", "6", "--mode", "closed",
+                     "--concurrency", "2", "--workflow", "chain:2",
+                     "--audit-every", "3", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["mode"] == "closed"
+        assert report["instances_completed"] == 6
+        assert report["instances_audited"] == 2
+        assert report["audit_failures"] == 0
+        assert set(report["stations"]) >= {"portal", "pool", "tfc",
+                                           "notify"}
+
+    def test_unknown_workflow_spec(self, capsys):
+        assert main(["loadtest", "--workflow", "mesh:2"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestCliErrorPaths:
     def test_render_encrypted_definition_fails_closed(self, tmp_path,
                                                       world, fig9a,

@@ -22,6 +22,7 @@ def test_all_examples_are_covered():
         "attack_demo.py",
         "dynamic_delegation.py",
         "insurance_claim.py",
+        "load_test.py",
     }
 
 
