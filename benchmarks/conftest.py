@@ -13,6 +13,7 @@ Table benches therefore use RSA-1024; the crypto microbenches sweep
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -96,4 +97,19 @@ def emit_table(name: str, title: str, header: list[str],
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+    return text
+
+
+def emit_bench_json(name: str, payload: dict) -> str:
+    """Persist a machine-readable benchmark result.
+
+    Written twice: ``BENCH_<name>.json`` at the repo root (what CI
+    uploads as an artifact and diff-checks across runs) and a copy under
+    ``benchmarks/results/`` next to the human-readable tables.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    root = pathlib.Path(__file__).parent.parent
+    (root / f"BENCH_{name}.json").write_text(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(text)
     return text

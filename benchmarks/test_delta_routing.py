@@ -1,0 +1,92 @@
+"""Delta routing: bytes on the wire for a long sequential instance.
+
+The acceptance claim of the delta-routing design (docs/ROUTING.md): a
+50-activity sequential workflow cycling 5 participants moves **at most
+15%** of the bytes full routing moves, because every hop after a
+participant's first visit ships only the CERs appended since they last
+held the document.  One closed-loop instance through the full cloud
+stack, identical seed in both modes; the machine-readable result lands
+in ``BENCH_delta_routing.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit_bench_json, emit_table
+from repro.fleet import ClosedLoop, FleetConfig, build_fleet, workload_from_spec
+
+SPEC = "chain:50:5"
+SEED = 7
+ACCEPTANCE_RATIO = 0.15
+
+
+def _run(delta: bool):
+    fleet = build_fleet(
+        workload_from_spec(SPEC),
+        FleetConfig(arrivals=ClosedLoop(instances=1, concurrency=1),
+                    seed=SEED, audit_every=1),
+        delta_routing=delta,
+    )
+    started = time.perf_counter()
+    report = fleet.run()
+    return report, time.perf_counter() - started
+
+
+def _wire(report) -> int:
+    return report.bytes_to_cloud + report.bytes_from_cloud
+
+
+def test_delta_moves_under_15_percent_of_full():
+    full, full_host = _run(delta=False)
+    delta, delta_host = _run(delta=True)
+
+    assert full.instances_completed == delta.instances_completed == 1
+    assert full.audit_failures == delta.audit_failures == 0
+    assert delta.hops_executed == full.hops_executed
+
+    ratio = _wire(delta) / _wire(full)
+    assert ratio <= ACCEPTANCE_RATIO, (
+        f"delta routing moved {ratio:.1%} of full-routing bytes "
+        f"(acceptance bar: {ACCEPTANCE_RATIO:.0%})"
+    )
+
+    rows = [
+        [report.routing, _wire(report), report.bytes_to_cloud,
+         report.bytes_from_cloud, f"{report.makespan_seconds:.3f}",
+         f"{report.throughput_per_second:.3f}",
+         f"{report.latency_p50:.3f}", f"{report.latency_p99:.3f}"]
+        for report in (full, delta)
+    ]
+    rows.append(["ratio", f"{ratio:.4f}", "", "", "", "", "", ""])
+    emit_table(
+        "delta_routing",
+        f"Delta vs full document routing — {SPEC}, 1 closed-loop instance",
+        ["routing", "wire B", "to cloud", "from cloud", "makespan",
+         "inst/sim-s", "p50", "p99"],
+        rows,
+    )
+
+    def as_dict(report, host_seconds):
+        return {
+            "routing": report.routing,
+            "bytes_on_wire": _wire(report),
+            "bytes_to_cloud": report.bytes_to_cloud,
+            "bytes_from_cloud": report.bytes_from_cloud,
+            "makespan_seconds": report.makespan_seconds,
+            "throughput_per_second": report.throughput_per_second,
+            "latency_p50": report.latency_p50,
+            "latency_p99": report.latency_p99,
+            "hops_executed": report.hops_executed,
+            "host_seconds": round(host_seconds, 3),
+            "chunk_store": report.chunk_store,
+        }
+
+    emit_bench_json("delta_routing", {
+        "workload": SPEC,
+        "seed": SEED,
+        "acceptance_ratio": ACCEPTANCE_RATIO,
+        "measured_ratio": round(ratio, 4),
+        "full": as_dict(full, full_host),
+        "delta": as_dict(delta, delta_host),
+    })

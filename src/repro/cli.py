@@ -183,7 +183,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         tfc_workers=args.tfc_workers,
         audit_every=args.audit_every,
     )
-    fleet = build_fleet(workload, config, portals=args.portals)
+    fleet = build_fleet(workload, config, portals=args.portals,
+                        delta_routing=args.delta)
     report = fleet.run()
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -266,7 +267,8 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--concurrency", type=int, default=10,
                           help="closed loop: instances in flight")
     loadtest.add_argument("--workflow", default="fig9",
-                          help="fig9, chain:N or diamond:N")
+                          help="fig9, chain:N[:P] or diamond:N[:P] "
+                               "(P participants cycling)")
     loadtest.add_argument("--loops", type=int, default=0,
                           help="extra loop iterations (fig9 only)")
     loadtest.add_argument("--think", type=float, default=0.0,
@@ -278,6 +280,9 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--audit-every", type=int, default=25,
                           help="cold-verify every Nth completion "
                                "(0 disables)")
+    loadtest.add_argument("--delta", action="store_true",
+                          help="delta document routing: ship only the "
+                               "CER chunks each side has not seen")
     loadtest.add_argument("--json", action="store_true",
                           help="emit the full report as JSON")
     loadtest.set_defaults(func=cmd_loadtest)

@@ -28,7 +28,7 @@ from .hdfs import SimHdfs
 from .network import LAN, NetworkModel
 from .simclock import SimClock
 
-__all__ = ["Cell", "Region", "RegionServer", "SimHBase"]
+__all__ = ["Cell", "CerChunkStore", "Region", "RegionServer", "SimHBase"]
 
 #: Sorts after every real row key (end of the key space).
 _END_KEY = "￿"
@@ -283,6 +283,39 @@ class SimHBase:
                            component="pool")
         return {cq: cell.value for cq, cell in row.items()}
 
+    def get_rows(self, table: str, row_keys: list[str],
+                 ) -> dict[str, dict[tuple[str, str], bytes]]:
+        """Batched multi-get (HBase's ``Table.get(List<Get>)``).
+
+        One client round-trip for the whole batch: the RPC latency is
+        charged once, the payload cost covers all returned cells.  The
+        delta-routing reassembly path depends on this — fetching fifty
+        chunk rows as fifty :meth:`get` calls would pay fifty network
+        latencies and erase the bytes saved on the wire.  Absent rows
+        are simply missing from the result.
+        """
+        if not row_keys:
+            return {}
+        out: dict[str, dict[tuple[str, str], bytes]] = {}
+        total_size = 0
+        key_bytes = 0
+        for row_key in row_keys:
+            region = self._locate(table, row_key)
+            server = self.server_of(region)
+            server.ops += 1
+            self.stats["gets"] += 1
+            row = region.rows.get(row_key)
+            key_bytes += len(row_key)
+            if row is None:
+                continue
+            total_size += sum(len(cell.value) for cell in row.values())
+            out[row_key] = {cq: cell.value for cq, cell in row.items()}
+        self.clock.advance(
+            self.network.rpc_seconds(key_bytes, total_size),
+            component="pool",
+        )
+        return out
+
     def delete_row(self, table: str, row_key: str) -> None:
         """Delete one row entirely (tombstoned in the WAL)."""
         region = self._locate(table, row_key)
@@ -419,3 +452,70 @@ class SimHBase:
     def region_count(self, table: str) -> int:
         """Number of regions a table is split into."""
         return len(self.regions_of(table))
+
+
+class CerChunkStore:
+    """Content-addressed chunk storage on top of :class:`SimHBase`.
+
+    One table, one row per distinct chunk, keyed by the chunk's SHA-256
+    hex — the natural dedup: a CER chunk shared by fifty hop versions
+    (or a definition chunk shared by a thousand fleet instances of the
+    same workflow) is written and stored exactly once.  Row keys are
+    uniformly distributed (they are hashes), so regions split evenly —
+    the HBase design the paper's §4.2 storage argument relies on.
+
+    The store keeps an in-memory digest index (the moral equivalent of
+    HBase block-cache bloom filters) so duplicate puts are suppressed
+    without a storage round-trip.
+    """
+
+    TABLE = "dra4wfms_chunks"
+
+    def __init__(self, hbase: SimHBase) -> None:
+        self.hbase = hbase
+        if not hbase.has_table(self.TABLE):
+            hbase.create_table(self.TABLE)
+        self._known: set[str] = set()
+        self.stats = {
+            "unique_chunks": 0,
+            "unique_bytes": 0,
+            "dedup_hits": 0,
+            "logical_bytes": 0,
+        }
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._known
+
+    def put_chunk(self, digest: str, data: bytes) -> bool:
+        """Store one chunk; returns True when it was actually written."""
+        self.stats["logical_bytes"] += len(data)
+        if digest in self._known:
+            self.stats["dedup_hits"] += 1
+            return False
+        self.hbase.put(self.TABLE, digest, "c", "b", data)
+        self._known.add(digest)
+        self.stats["unique_chunks"] += 1
+        self.stats["unique_bytes"] += len(data)
+        return True
+
+    def put_chunks(self, chunks: dict[str, bytes]) -> int:
+        """Store many chunks; returns how many were new."""
+        return sum(self.put_chunk(d, data) for d, data in chunks.items())
+
+    def get_chunks(self, digests: list[str]) -> dict[str, bytes]:
+        """Fetch chunk payloads in one batched read.
+
+        Missing digests are absent from the result (the caller decides
+        whether that is a fallback condition or an error).
+        """
+        wanted = list(dict.fromkeys(digests))
+        rows = self.hbase.get_rows(self.TABLE, wanted)
+        return {digest: cells[("c", "b")] for digest, cells in rows.items()
+                if ("c", "b") in cells}
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical bytes stored per physical byte (≥ 1.0)."""
+        if self.stats["unique_bytes"] == 0:
+            return 1.0
+        return self.stats["logical_bytes"] / self.stats["unique_bytes"]

@@ -19,14 +19,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..document.delta import Manifest, assemble, chunk_document
 from ..document.document import Dra4wfmsDocument
-from ..errors import ReplayDetected, StorageError, TamperDetected
-from .hbase import SimHBase
+from ..errors import (
+    DeltaError,
+    ReplayDetected,
+    StorageError,
+    TamperDetected,
+)
+from .hbase import CerChunkStore, SimHBase
 
 __all__ = ["PoolEntry", "DocumentPool"]
 
 DOC_TABLE = "dra4wfms_documents"
 TODO_TABLE = "dra4wfms_todo"
+MANIFEST_TABLE = "dra4wfms_manifests"
 
 _FAMILY_DOC = "doc"
 _FAMILY_HIST = "hist"
@@ -61,13 +68,30 @@ class ProcessSummary:
 
 
 class DocumentPool:
-    """HBase-backed storage for DRA4WfMS documents."""
+    """HBase-backed storage for DRA4WfMS documents.
 
-    def __init__(self, hbase: SimHBase) -> None:
+    With ``delta=True`` the pool stores each document version as a
+    small **manifest** (ordered chunk digests, see
+    :mod:`repro.document.delta`) plus content-addressed chunks in a
+    shared :class:`~repro.cloud.hbase.CerChunkStore` — so the k-th
+    version of an instance writes one new CER chunk and one manifest
+    instead of the whole document, and chunks dedup across versions
+    *and* across instances.  Reads reassemble and digest-check the full
+    canonical bytes, so everything downstream of the pool sees exactly
+    the bytes a full-storage pool would serve.
+    """
+
+    def __init__(self, hbase: SimHBase, delta: bool = False) -> None:
         self.hbase = hbase
+        self.delta = delta
         for table in (DOC_TABLE, TODO_TABLE):
             if not hbase.has_table(table):
                 hbase.create_table(table)
+        self.chunks: CerChunkStore | None = None
+        if delta:
+            self.chunks = CerChunkStore(hbase)
+            if not hbase.has_table(MANIFEST_TABLE):
+                hbase.create_table(MANIFEST_TABLE)
 
     # -- replay guard ------------------------------------------------------------
 
@@ -97,6 +121,8 @@ class DocumentPool:
                 f"process {process_id!r} was never registered; upload the "
                 f"initial document through a portal first"
             )
+        if self.delta:
+            return self._store_delta(document)
         data = document.to_bytes()
         row = self.hbase.get(DOC_TABLE, process_id)
         previous = row.get((_FAMILY_DOC, "latest"))
@@ -124,13 +150,88 @@ class DocumentPool:
         self.hbase.put(DOC_TABLE, process_id, _FAMILY_DOC, "latest", data)
         return seq
 
-    def latest(self, process_id: str) -> Dra4wfmsDocument:
-        """The most recent stored document of an instance."""
+    def _store_delta(self, document: Dra4wfmsDocument) -> int:
+        """Delta-mode store: new chunks + a manifest, not the document."""
+        process_id = document.process_id
+        manifest, payloads = chunk_document(document)
+        row = self.hbase.get(DOC_TABLE, process_id)
+        previous = row.get((_FAMILY_DOC, "manifest"))
+        if previous is not None:
+            # Monotonicity guard, chunk-level: every CER chunk of the
+            # previously stored version must reappear *byte-identical*
+            # in the new one.  Strictly stronger than the id-set check
+            # of full mode (it also catches a CER replaced in place),
+            # and O(chunk list) instead of O(parse document).
+            old_cers = set(Manifest.from_bytes(previous).cer_digests)
+            new_cers = set(manifest.cer_digests)
+            missing = old_cers - new_cers
+            if missing:
+                raise TamperDetected(
+                    f"submitted document for {process_id!r} drops "
+                    f"{len(missing)} previously stored CER chunk(s) "
+                    f"(rollback attack)"
+                )
+        assert self.chunks is not None
+        self.chunks.put_chunks(payloads)
+        manifest_bytes = manifest.to_bytes()
+        seq = sum(1 for (family, _) in row if family == _FAMILY_HIST)
+        self.hbase.put(DOC_TABLE, process_id, _FAMILY_HIST, f"{seq:08d}",
+                       manifest_bytes)
+        self.hbase.put(DOC_TABLE, process_id, _FAMILY_DOC, "manifest",
+                       manifest_bytes)
+        # Manifest-by-digest lookup: a delta retrieve names the version
+        # the client already holds by its document digest.
+        self.hbase.put(MANIFEST_TABLE, manifest.doc_digest, "m", "b",
+                       manifest_bytes)
+        return seq
+
+    # -- delta-mode accessors -----------------------------------------------
+
+    def latest_manifest(self, process_id: str) -> Manifest:
+        """Manifest of the most recent stored version (delta mode only)."""
+        if not self.delta:
+            raise StorageError("pool is not in delta mode")
+        row = self.hbase.get(DOC_TABLE, process_id)
+        data = row.get((_FAMILY_DOC, "manifest"))
+        if data is None:
+            raise StorageError(f"no document stored for {process_id!r}")
+        return Manifest.from_bytes(data)
+
+    def manifest_by_digest(self, doc_digest: str) -> Manifest | None:
+        """Manifest of any stored version, by document digest, or None."""
+        if not self.delta:
+            raise StorageError("pool is not in delta mode")
+        row = self.hbase.get(MANIFEST_TABLE, doc_digest)
+        data = row.get(("m", "b"))
+        if data is None:
+            return None
+        return Manifest.from_bytes(data)
+
+    def assemble_bytes(self, manifest: Manifest) -> bytes:
+        """Reassembled, digest-checked canonical bytes of *manifest*."""
+        assert self.chunks is not None
+        fetched = self.chunks.get_chunks(manifest.chunk_digests)
+        missing = [d for d in manifest.chunk_digests if d not in fetched]
+        if missing:
+            raise DeltaError(
+                f"chunk store is missing {len(missing)} chunk(s) of "
+                f"manifest {manifest.doc_digest[:12]}…"
+            )
+        return assemble(manifest, fetched)
+
+    def latest_bytes(self, process_id: str) -> bytes:
+        """Canonical bytes of the most recent stored version."""
+        if self.delta:
+            return self.assemble_bytes(self.latest_manifest(process_id))
         row = self.hbase.get(DOC_TABLE, process_id)
         data = row.get((_FAMILY_DOC, "latest"))
         if data is None:
             raise StorageError(f"no document stored for {process_id!r}")
-        return Dra4wfmsDocument.from_bytes(data)
+        return data
+
+    def latest(self, process_id: str) -> Dra4wfmsDocument:
+        """The most recent stored document of an instance."""
+        return Dra4wfmsDocument.from_bytes(self.latest_bytes(process_id))
 
     def history(self, process_id: str) -> list[Dra4wfmsDocument]:
         """Every stored version, oldest first."""
@@ -139,6 +240,13 @@ class DocumentPool:
             (qualifier, data) for (family, qualifier), data in row.items()
             if family == _FAMILY_HIST
         )
+        if self.delta:
+            return [
+                Dra4wfmsDocument.from_bytes(
+                    self.assemble_bytes(Manifest.from_bytes(data))
+                )
+                for _, data in versions
+            ]
         return [Dra4wfmsDocument.from_bytes(data) for _, data in versions]
 
     def process_ids(self) -> list[str]:
@@ -150,9 +258,15 @@ class DocumentPool:
     def summarize(self, process_id: str) -> ProcessSummary:
         """Metadata summary of one instance (no decryption)."""
         row = self.hbase.get(DOC_TABLE, process_id)
-        data = row.get((_FAMILY_DOC, "latest"))
-        if data is None:
-            raise StorageError(f"no document stored for {process_id!r}")
+        if self.delta:
+            data = row.get((_FAMILY_DOC, "manifest"))
+            if data is None:
+                raise StorageError(f"no document stored for {process_id!r}")
+            data = self.assemble_bytes(Manifest.from_bytes(data))
+        else:
+            data = row.get((_FAMILY_DOC, "latest"))
+            if data is None:
+                raise StorageError(f"no document stored for {process_id!r}")
         document = Dra4wfmsDocument.from_bytes(data)
         completed = [
             cer for cer in document.cers(include_definition=False)
@@ -184,9 +298,10 @@ class DocumentPool:
                min_executions: int | None = None,
                include_archived: bool = False) -> list[ProcessSummary]:
         """Search pooled instances by metadata filters (AND semantics)."""
+        latest_cell = (_FAMILY_DOC, "manifest" if self.delta else "latest")
         out: list[ProcessSummary] = []
         for process_id, row in self.hbase.scan(DOC_TABLE):
-            if (_FAMILY_DOC, "latest") not in row:
+            if latest_cell not in row:
                 continue
             if not include_archived and \
                     (_FAMILY_META, "archived") in row:

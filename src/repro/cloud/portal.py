@@ -26,10 +26,16 @@ from dataclasses import dataclass
 from ..core.tfc import TfcServer
 from ..crypto.backend import CryptoBackend, default_backend
 from ..crypto.pki import KeyDirectory
+from ..document.delta import DeltaDocument, assemble
 from ..document.document import Dra4wfmsDocument
 from ..document.vcache import VerificationCache
 from ..document.verify import verify_document
-from ..errors import PortalError, RuntimeFault
+from ..errors import (
+    DeltaFallbackRequired,
+    DeltaMismatch,
+    PortalError,
+    RuntimeFault,
+)
 from ..model.controlflow import JoinKind
 from .network import WAN, NetworkModel
 from .notify import NotificationService
@@ -76,7 +82,10 @@ class PortalServer:
         self._challenges: dict[str, bytes] = {}
         self._sessions: dict[str, Session] = {}
         self.stats = {"logins": 0, "searches": 0, "retrievals": 0,
-                      "uploads": 0, "submissions": 0, "rejected": 0}
+                      "uploads": 0, "submissions": 0, "rejected": 0,
+                      "delta_retrievals": 0, "delta_submissions": 0,
+                      "delta_fallbacks": 0,
+                      "bytes_in": 0, "bytes_out": 0}
 
     # -- authentication ------------------------------------------------------
 
@@ -129,12 +138,63 @@ class PortalServer:
     def retrieve(self, session: Session, process_id: str) -> bytes:
         """Fetch the latest document of a process instance."""
         self._require(session)
-        document = self.pool.latest(process_id)
-        data = document.to_bytes()
+        data = self.pool.latest_bytes(process_id)
         self.stats["retrievals"] += 1
+        self.stats["bytes_out"] += len(data)
         self.clock.advance(self.network.rpc_seconds(64, len(data)),
                            component="portal")
         return data
+
+    def retrieve_delta(self, session: Session, process_id: str,
+                       have_digest: str | None = None,
+                       also_have: frozenset[str] | set[str] = frozenset(),
+                       ) -> DeltaDocument:
+        """One-round delta retrieve: manifest + chunks the client lacks.
+
+        *have_digest* names the document version the client last
+        received (the ``doc_digest`` of that manifest); *also_have*
+        lists digests of chunks the client holds beyond that version —
+        typically the CERs it produced itself on an earlier submit.
+        The response carries the latest manifest plus only the chunks
+        not covered by either, so a returning participant pays one WAN
+        round trip for the handful of CERs appended since its last
+        visit.  An unknown or ``None`` *have_digest* degrades to "all
+        chunks" (a cold client's first contact), never to an error.
+
+        Raises :class:`~repro.errors.DeltaFallbackRequired` when the
+        chunk store cannot supply a referenced chunk — the client
+        retries with a full :meth:`retrieve`.
+        """
+        self._require(session)
+        if not self.pool.delta:
+            raise PortalError("this cloud does not serve delta transfers")
+        manifest = self.pool.latest_manifest(process_id)
+        known: set[str] = set(also_have)
+        if have_digest == manifest.doc_digest:
+            known.update(manifest.chunk_digests)
+        elif have_digest is not None:
+            held = self.pool.manifest_by_digest(have_digest)
+            if held is not None:
+                known.update(held.chunk_digests)
+        missing = [d for d in manifest.chunk_digests if d not in known]
+        chunks = self.pool.chunks.get_chunks(missing)
+        if len(chunks) != len(set(missing)):
+            self.stats["delta_fallbacks"] += 1
+            raise DeltaFallbackRequired(
+                f"chunk store cannot serve {process_id!r}; retry with a "
+                f"full retrieve"
+            )
+        delta = DeltaDocument(manifest=manifest, chunks=chunks)
+        request = 64 + len(have_digest or "") + 64 * len(also_have)
+        self.stats["retrievals"] += 1
+        self.stats["delta_retrievals"] += 1
+        self.stats["bytes_in"] += request
+        self.stats["bytes_out"] += delta.wire_bytes
+        self.clock.advance(
+            self.network.rpc_seconds(request, delta.wire_bytes),
+            component="portal",
+        )
+        return delta
 
     def upload_initial(self, session: Session, data: bytes) -> str:
         """Start a process: verify, register (replay guard), store, notify.
@@ -143,6 +203,7 @@ class PortalServer:
         """
         self._require(session)
         document = Dra4wfmsDocument.from_bytes(data)
+        self.stats["bytes_in"] += len(data)
         self.clock.advance(self.network.transfer_seconds(len(data)),
                            component="portal")
         try:
@@ -178,8 +239,61 @@ class PortalServer:
         (empty when the process terminated).
         """
         self._require(session)
+        self.stats["bytes_in"] += len(data)
         self.clock.advance(self.network.transfer_seconds(len(data)),
                            component="portal")
+        return self._accept_submission(data)
+
+    def submit_delta(self, session: Session,
+                     delta: DeltaDocument) -> list[PoolEntry]:
+        """Accept an executed document shipped as manifest + new chunks.
+
+        The portal reassembles the full canonical bytes from the
+        delta's chunks plus the shared chunk store, digest-checks them
+        against the manifest, and from there runs the *identical*
+        verify → TFC → merge → store path a full submission takes —
+        the bytes are the same, so the security posture is the same.
+        Only the transfer is charged at delta size.
+
+        Raises :class:`~repro.errors.DeltaFallbackRequired` when the
+        chunk store cannot supply a referenced chunk (e.g. a fresh
+        cloud after the client cached chunks elsewhere); the client
+        retries with :meth:`submit` and the full bytes.
+        """
+        self._require(session)
+        if not self.pool.delta:
+            raise PortalError("this cloud does not accept delta transfers")
+        self.stats["bytes_in"] += delta.wire_bytes
+        self.clock.advance(self.network.transfer_seconds(delta.wire_bytes),
+                           component="portal")
+        manifest = delta.manifest
+        needed = [d for d in manifest.chunk_digests
+                  if d not in delta.chunks]
+        fetched = self.pool.chunks.get_chunks(needed)
+        if len(fetched) != len(set(needed)):
+            self.stats["delta_fallbacks"] += 1
+            missing = sorted(set(needed) - set(fetched))
+            raise DeltaFallbackRequired(
+                f"submission references {len(missing)} chunk(s) this "
+                f"cloud does not hold; resubmit the full document"
+            )
+        try:
+            data = assemble(manifest, {**fetched, **delta.chunks})
+        except DeltaMismatch as exc:
+            self.stats["rejected"] += 1
+            raise PortalError(f"submission rejected: {exc}") from exc
+        entries = self._accept_submission(data)
+        self.stats["delta_submissions"] += 1
+        return entries
+
+    def _accept_submission(self, data: bytes) -> list[PoolEntry]:
+        """Shared verify → TFC → merge → store → notify path.
+
+        *data* is always the **full** canonical serialization — by the
+        time a delta submission reaches this point it has been
+        reassembled and digest-checked, so both entry points run the
+        same checks over the same bytes.
+        """
         document = Dra4wfmsDocument.from_bytes(data)
         if not self.pool.is_registered(document.process_id):
             self.stats["rejected"] += 1

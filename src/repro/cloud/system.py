@@ -17,9 +17,15 @@ from ..core.tfc import TfcServer
 from ..crypto.backend import CryptoBackend, default_backend
 from ..crypto.keys import KeyPair
 from ..crypto.pki import KeyDirectory
+from ..document.delta import ChunkCache, decode_delta, encode_delta
 from ..document.document import Dra4wfmsDocument
 from ..document.vcache import VerificationCache
-from ..errors import CloudError, JoinNotReady
+from ..errors import (
+    CloudError,
+    DeltaError,
+    DeltaFallbackRequired,
+    JoinNotReady,
+)
 from ..model.definition import WorkflowDefinition
 from .hbase import SimHBase
 from .hdfs import SimHdfs
@@ -46,11 +52,16 @@ class CloudSystem:
                  split_threshold_rows: int = 256,
                  backend: CryptoBackend | None = None,
                  verify_cache: VerificationCache | None = None,
-                 clock: SimClock | None = None) -> None:
+                 clock: SimClock | None = None,
+                 delta_routing: bool = False) -> None:
         if portals < 1:
             raise CloudError("need at least one portal server")
         self.backend = backend or default_backend()
         self.directory = directory
+        #: When True the pool stores manifests + content-addressed CER
+        #: chunks, and clients ship/receive deltas (see docs/ROUTING.md).
+        #: Off by default — full-document routing, as before.
+        self.delta_routing = delta_routing
         #: When supplied, all portals and the TFC share this signature
         #: cache: a document verified at any front door costs only its
         #: newly appended CERs anywhere else in the cloud.  ``None``
@@ -69,7 +80,7 @@ class CloudSystem:
             clock=self.clock, network=LAN,
             split_threshold_rows=split_threshold_rows,
         )
-        self.pool = DocumentPool(self.hbase)
+        self.pool = DocumentPool(self.hbase, delta=delta_routing)
         self.notifier = NotificationService(clock=self.clock, network=WAN)
         self.tfc = TfcServer(
             tfc_keypair, directory, backend=self.backend,
@@ -107,14 +118,28 @@ class CloudSystem:
 
     # -- fleet monitoring (MapReduce jobs of §4.2) -------------------------------
 
+    def _document_of_row(self, row) -> Dra4wfmsDocument | None:
+        """Latest document from a pool row, in either storage mode."""
+        data = row.get(("doc", "latest"))
+        if data is None and self.delta_routing:
+            manifest_bytes = row.get(("doc", "manifest"))
+            if manifest_bytes is not None:
+                from ..document.delta import Manifest
+
+                data = self.pool.assemble_bytes(
+                    Manifest.from_bytes(manifest_bytes)
+                )
+        if data is None:
+            return None
+        return Dra4wfmsDocument.from_bytes(data)
+
     def activity_statistics(self) -> tuple[dict[str, int], JobStats]:
         """MapReduce: executions per activity across all instances."""
 
         def map_fn(row_key, row):
-            data = row.get(("doc", "latest"))
-            if data is None:
+            document = self._document_of_row(row)
+            if document is None:
                 return
-            document = Dra4wfmsDocument.from_bytes(data)
             for cer in document.cers(include_definition=False):
                 if cer.kind in ("standard", "tfc"):
                     yield cer.activity_id, 1
@@ -133,10 +158,9 @@ class CloudSystem:
         """
 
         def map_fn(row_key, row):
-            data = row.get(("doc", "latest"))
-            if data is None:
+            document = self._document_of_row(row)
+            if document is None:
                 return
-            document = Dra4wfmsDocument.from_bytes(data)
             for cer in document.cers(include_definition=False):
                 if cer.kind in ("standard", "intermediate"):
                     yield cer.participant, 1
@@ -150,10 +174,9 @@ class CloudSystem:
         """MapReduce: completed executions per process instance."""
 
         def map_fn(row_key, row):
-            data = row.get(("doc", "latest"))
-            if data is None:
+            document = self._document_of_row(row)
+            if document is None:
                 return
-            document = Dra4wfmsDocument.from_bytes(data)
             count = sum(
                 1 for cer in document.cers(include_definition=False)
                 if cer.kind in ("standard", "tfc")
@@ -185,6 +208,20 @@ class CloudClient:
         self.session: Session = self.portal.login(
             self.keypair.identity, signature
         )
+        #: Chunks this client holds (delta mode): everything the portal
+        #: ever sent us plus everything we assembled locally.
+        self.chunks = ChunkCache()
+        #: process id → doc_digest of the version we last retrieved.
+        self._have: dict[str, str] = {}
+        #: process id → digests of chunks we shipped in our own submits
+        #: since the last retrieve (the portal must not send those back).
+        self._own_chunks: dict[str, set[str]] = {}
+        #: Chunk digests the cloud side is known to hold (it sent them
+        #: to us, or accepted them from us) — what submits diff against.
+        self._cloud_known: set[str] = set()
+        #: Wire accounting for the fleet/benchmark reports.
+        self.bytes_received = 0
+        self.bytes_sent = 0
 
     @property
     def identity(self) -> str:
@@ -197,7 +234,71 @@ class CloudClient:
 
     def upload_initial(self, document: Dra4wfmsDocument) -> str:
         """Start a process instance."""
-        return self.portal.upload_initial(self.session, document.to_bytes())
+        data = document.to_bytes()
+        self.bytes_sent += len(data)
+        return self.portal.upload_initial(self.session, data)
+
+    # -- delta-aware transfer helpers ------------------------------------
+
+    def retrieve_bytes(self, process_id: str) -> bytes:
+        """Latest document bytes, moving only unseen chunks when possible.
+
+        Delta mode is one round trip: the request names the version
+        this client last received plus the digests of chunks it shipped
+        itself on intervening submits, and the reply carries the latest
+        manifest plus only the chunks not covered by either.  The
+        document is reassembled and digest-checked locally.  Any delta
+        failure falls back to a full retrieve — delta routing is an
+        optimisation, never a liveness risk.
+        """
+        if not self.system.delta_routing:
+            data = self.portal.retrieve(self.session, process_id)
+            self.bytes_received += len(data)
+            return data
+        own = self._own_chunks.get(process_id, set())
+        try:
+            delta = self.portal.retrieve_delta(
+                self.session, process_id,
+                self._have.get(process_id), frozenset(own),
+            )
+            data = decode_delta(delta, self.chunks)
+        except (DeltaFallbackRequired, DeltaError, KeyError):
+            data = self.portal.retrieve(self.session, process_id)
+            self.bytes_received += len(data)
+            return data
+        self.bytes_received += delta.wire_bytes
+        # The request itself carries the have-digest plus one digest
+        # per chunk we asked the portal not to resend.
+        self.bytes_sent += 64 + 64 * len(own)
+        self._have[process_id] = delta.manifest.doc_digest
+        # The new manifest covers every chunk we submitted before this
+        # retrieve, so the have-digest subsumes the own-chunk list.
+        self._own_chunks.pop(process_id, None)
+        # Everything in the manifest lives in the cloud's chunk store.
+        self._cloud_known.update(delta.manifest.chunk_digests)
+        return data
+
+    def submit_document(self, document: Dra4wfmsDocument) -> list:
+        """Submit an executed document, shipping only new chunks."""
+        if not self.system.delta_routing:
+            data = document.to_bytes()
+            self.bytes_sent += len(data)
+            return self.portal.submit(self.session, data)
+        delta = encode_delta(document, known=self._cloud_known)
+        try:
+            entries = self.portal.submit_delta(self.session, delta)
+        except DeltaFallbackRequired:
+            data = document.to_bytes()
+            self.bytes_sent += len(data)
+            return self.portal.submit(self.session, data)
+        self.bytes_sent += delta.wire_bytes
+        self._cloud_known.update(delta.manifest.chunk_digests)
+        self.chunks.add_all(delta.chunks)
+        # Remember what we shipped so the next retrieve of this process
+        # can ask the portal not to send our own CERs back.
+        self._own_chunks.setdefault(
+            document.process_id, set()).update(delta.chunks)
+        return entries
 
     def execute(self, process_id: str, activity_id: str,
                 responder: Responder) -> list:
@@ -206,14 +307,14 @@ class CloudClient:
         Raises :class:`~repro.errors.JoinNotReady` when an AND-join is
         still missing sibling branches — retry after they arrive.
         """
-        data = self.portal.retrieve(self.session, process_id)
+        data = self.retrieve_bytes(process_id)
         result = self.agent.execute_activity(
             data, activity_id, responder,
             mode="advanced",
             tfc_identity=self.system.tfc.identity,
             tfc_public_key=self.system.tfc.public_key,
         )
-        return self.portal.submit(self.session, result.document.to_bytes())
+        return self.submit_document(result.document)
 
     def monitor(self, process_id: str):
         """Execution status of one instance."""

@@ -41,6 +41,7 @@ from ..document.amendments import (
     make_amendment_cer,
 )
 from ..document.builder import make_intermediate_cer, make_standard_cer
+from ..document.delta import ChunkCache, DeltaDocument, decode_delta
 from ..document.document import Dra4wfmsDocument
 from ..document.nonrepudiation import frontier_cers
 from ..document.vcache import VerificationCache
@@ -116,6 +117,20 @@ class ActivityExecutionAgent:
         #: next routed copy costs hashing, not RSA.  ``None`` (default)
         #: keeps every receive a cold, trust-nothing verification.
         self.verify_cache = verify_cache
+        #: Content-addressed chunks this agent has seen: lets a peer
+        #: route a :class:`~repro.document.delta.DeltaDocument` (only
+        #: the CERs this agent lacks) instead of the full bytes.  The
+        #: decoded document is digest-checked and then verified exactly
+        #: like a full transfer.
+        self.chunk_cache = ChunkCache()
+
+    def _materialize(self, data) -> Dra4wfmsDocument:
+        """Turn any accepted transfer form into a parsed document."""
+        if isinstance(data, Dra4wfmsDocument):
+            return data
+        if isinstance(data, DeltaDocument):
+            data = decode_delta(data, self.chunk_cache)
+        return Dra4wfmsDocument.from_bytes(data)
 
     @property
     def identity(self) -> str:
@@ -124,7 +139,7 @@ class ActivityExecutionAgent:
 
     # -- step 1: receive & verify ------------------------------------------------
 
-    def receive(self, data: bytes | Dra4wfmsDocument,
+    def receive(self, data: bytes | Dra4wfmsDocument | DeltaDocument,
                 merge_with: list[Dra4wfmsDocument] | None = None,
                 ) -> tuple[Dra4wfmsDocument, VerificationReport, float]:
         """Parse, merge (AND-join) and verify a routed document.
@@ -132,8 +147,7 @@ class ActivityExecutionAgent:
         Returns ``(document, report, seconds)``.
         """
         start = time.perf_counter()
-        document = (data if isinstance(data, Dra4wfmsDocument)
-                    else Dra4wfmsDocument.from_bytes(data))
+        document = self._materialize(data)
         for branch in merge_with or ():
             document = document.merge(branch)
         report = verify_document(
@@ -147,7 +161,7 @@ class ActivityExecutionAgent:
 
     def execute_activity(
         self,
-        data: bytes | Dra4wfmsDocument,
+        data: bytes | Dra4wfmsDocument | DeltaDocument,
         activity_id: str,
         responder: Responder | Mapping[str, str],
         *,
@@ -180,8 +194,7 @@ class ActivityExecutionAgent:
 
         # α phase: parse + verify + decrypt ------------------------------------
         alpha_start = time.perf_counter()
-        document = (data if isinstance(data, Dra4wfmsDocument)
-                    else Dra4wfmsDocument.from_bytes(data))
+        document = self._materialize(data)
         for branch in merge_with or ():
             document = document.merge(branch)
         report = verify_document(
@@ -297,7 +310,7 @@ class ActivityExecutionAgent:
 
     # -- run-time amendments (dynamic flow control / security policy) ------
 
-    def amend(self, data: bytes | Dra4wfmsDocument,
+    def amend(self, data: bytes | Dra4wfmsDocument | DeltaDocument,
               amendment: Amendment) -> Dra4wfmsDocument:
         """Embed a signed run-time amendment into a routed document.
 
@@ -307,8 +320,7 @@ class ActivityExecutionAgent:
         document frontier.  Returns the new document; the caller routes
         it onwards like any other copy.
         """
-        document = (data if isinstance(data, Dra4wfmsDocument)
-                    else Dra4wfmsDocument.from_bytes(data))
+        document = self._materialize(data)
         verify_document(
             document, self.directory, self.backend,
             definition_reader=(self.identity, self.keypair.private_key),

@@ -28,7 +28,7 @@ from ..errors import RuntimeFault
 from ..model.controlflow import JoinKind
 from ..model.definition import WorkflowDefinition
 from .aea import Responder
-from .runtime import ExecutionTrace, InMemoryRuntime, StepTrace
+from .runtime import ExecutionTrace, InMemoryRuntime, StepTrace, _Delivery
 
 __all__ = ["ThreadedRuntime"]
 
@@ -38,6 +38,7 @@ class _Ready:
     activity_id: str
     document: Dra4wfmsDocument
     merge_with: list[Dra4wfmsDocument]
+    wire_bytes: int
 
 
 class ThreadedRuntime(InMemoryRuntime):
@@ -68,31 +69,45 @@ class ThreadedRuntime(InMemoryRuntime):
             process_id=initial_document.process_id,
             mode=mode,
             initial_size=initial_document.size_bytes,
+            routing="delta" if self.delta_routing else "full",
         )
-        pending: list[tuple[str, Dra4wfmsDocument]] = [
-            (definition.start_activity, initial_document.clone())
+        # Packaged like every later hop, so delta mode primes the start
+        # participant's chunk cache (see ProcessExecution.__init__).
+        pending: list[_Delivery] = [
+            self.package(definition, definition.start_activity,
+                         initial_document)
         ]
-        join_buffers: dict[str, list[Dra4wfmsDocument]] = {}
+        join_buffers: dict[str, list[tuple[Dra4wfmsDocument, int]]] = {}
         step = 0
 
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             while pending:
                 # Partition this wave into executable work, buffering
                 # AND-join arrivals until all branches are present.
+                # Deltas are decoded here, sequentially, against the
+                # receiving agent's chunk cache — the expensive crypto
+                # below still fans out.
                 batch: list[_Ready] = []
-                for activity_id, document in pending:
+                for delivery in pending:
+                    activity_id = delivery.activity_id
                     activity = definition.activity(activity_id)
+                    agent = self.agent_for(activity.participant)
+                    document = agent._materialize(delivery.payload)
                     if activity.join is JoinKind.AND:
                         arity = len(definition.incoming(activity_id))
                         buffer = join_buffers.setdefault(activity_id, [])
-                        buffer.append(document)
+                        buffer.append((document, delivery.wire_bytes))
                         if len(buffer) < arity:
                             continue
                         join_buffers[activity_id] = []
-                        batch.append(_Ready(activity_id, buffer[0],
-                                            buffer[1:]))
+                        batch.append(_Ready(
+                            activity_id, buffer[0][0],
+                            [doc for doc, _ in buffer[1:]],
+                            sum(wire for _, wire in buffer),
+                        ))
                     else:
-                        batch.append(_Ready(activity_id, document, []))
+                        batch.append(_Ready(activity_id, document, [],
+                                            delivery.wire_bytes))
                 pending = []
                 if not batch:
                     break
@@ -161,11 +176,14 @@ class ThreadedRuntime(InMemoryRuntime):
                         num_cers=len(
                             document.cers(include_definition=False)),
                         mode=mode,
+                        wire_bytes=item.wire_bytes,
                         intermediate_size_bytes=intermediate_size,
+                        document=document,
                     ))
                     trace.final_document = document
                     for next_activity in routing.next_activities:
-                        pending.append((next_activity, document.clone()))
+                        pending.append(self.package(
+                            definition, next_activity, document))
 
         leftover = {
             aid: len(docs) for aid, docs in join_buffers.items() if docs

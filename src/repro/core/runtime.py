@@ -21,6 +21,7 @@ from typing import Mapping
 from ..crypto.backend import CryptoBackend, default_backend
 from ..crypto.keys import KeyPair
 from ..crypto.pki import KeyDirectory
+from ..document.delta import DeltaDocument, encode_delta
 from ..document.document import Dra4wfmsDocument
 from ..errors import RuntimeFault
 from ..model.controlflow import JoinKind
@@ -54,6 +55,11 @@ class StepTrace:
     #: CERs in the produced document (excluding the definition CER).
     num_cers: int
     mode: str
+    #: Bytes that crossed the wire to deliver this step's input
+    #: document(s) — the full canonical size, or the manifest + unseen
+    #: chunks when the runtime routes deltas.  AND-joins sum all
+    #: buffered branch deliveries.
+    wire_bytes: int = 0
     #: Advanced mode only: size of the intermediate document the AEA
     #: handed to the TFC (the paper's ``X_Ai`` rows in Table 2).
     intermediate_size_bytes: int | None = None
@@ -69,6 +75,8 @@ class ExecutionTrace:
     process_id: str
     mode: str
     initial_size: int
+    #: ``"full"`` or ``"delta"`` — how documents moved between agents.
+    routing: str = "full"
     steps: list[StepTrace] = field(default_factory=list)
     final_document: Dra4wfmsDocument | None = None
 
@@ -76,6 +84,11 @@ class ExecutionTrace:
     def total_alpha(self) -> float:
         """Sum of verify times across all steps."""
         return sum(s.alpha for s in self.steps)
+
+    @property
+    def total_wire_bytes(self) -> int:
+        """Bytes moved between participants across the whole process."""
+        return sum(s.wire_bytes for s in self.steps)
 
     @property
     def total_beta(self) -> float:
@@ -91,7 +104,12 @@ class ExecutionTrace:
 @dataclass
 class _Delivery:
     activity_id: str
-    document: Dra4wfmsDocument
+    #: What travels: the document itself (full routing) or a
+    #: :class:`DeltaDocument` holding only the chunks the receiving
+    #: agent has not seen yet (delta routing).
+    payload: Dra4wfmsDocument | DeltaDocument
+    #: Simulated transfer size of this delivery.
+    wire_bytes: int
 
 
 class ProcessExecution:
@@ -124,12 +142,21 @@ class ProcessExecution:
             process_id=initial_document.process_id,
             mode=mode,
             initial_size=initial_document.size_bytes,
+            routing="delta" if runtime.delta_routing else "full",
         )
+        # The initial hand-off is always a full document: no agent has
+        # seen any of its chunks yet, so a delta would only add the
+        # manifest on top.
+        # The initial hand-off goes through the same packaging as every
+        # later hop: in delta mode the start participant has no chunks
+        # yet, so the wire cost is the full document plus manifest — but
+        # decoding it primes that agent's cache for later revisits.
         self._queue: deque[_Delivery] = deque(
-            [_Delivery(definition.start_activity, initial_document.clone())]
+            [runtime.package(definition, definition.start_activity,
+                             initial_document)]
         )
-        # AND-join branch buffers: activity id → received branch docs.
-        self._join_buffers: dict[str, list[Dra4wfmsDocument]] = {}
+        # AND-join branch buffers: activity id → (branch doc, wire bytes).
+        self._join_buffers: dict[str, list[tuple[Dra4wfmsDocument, int]]] = {}
         self._step = 0
 
     @property
@@ -156,31 +183,38 @@ class ProcessExecution:
                 )
             delivery = self._queue.popleft()
             activity = self.definition.activity(delivery.activity_id)
+            agent = self.runtime.agent_for(activity.participant)
+            # Materialise the payload with the *receiving* agent so a
+            # delta is decoded against (and folded into) its chunk
+            # cache — exactly what a remote AEA would do.
+            incoming = agent._materialize(delivery.payload)
+            wire_bytes = delivery.wire_bytes
 
             merge_with: list[Dra4wfmsDocument] = []
             if activity.join is JoinKind.AND:
                 arity = len(self.definition.incoming(activity.activity_id))
                 buffer = self._join_buffers.setdefault(
                     activity.activity_id, [])
-                buffer.append(delivery.document)
+                buffer.append((incoming, wire_bytes))
                 if len(buffer) < arity:
                     continue
                 self._join_buffers[activity.activity_id] = []
-                delivery = _Delivery(activity.activity_id, buffer[0])
-                merge_with = buffer[1:]
+                incoming = buffer[0][0]
+                merge_with = [doc for doc, _ in buffer[1:]]
+                wire_bytes = sum(wire for _, wire in buffer)
 
-            responder = self.responders.get(delivery.activity_id)
+            activity_id = activity.activity_id
+            responder = self.responders.get(activity_id)
             if responder is None:
                 raise RuntimeFault(
                     f"no responder registered for activity "
-                    f"{delivery.activity_id!r}"
+                    f"{activity_id!r}"
                 )
 
-            agent = self.runtime.agent_for(activity.participant)
             tfc = self.runtime.tfc
             if self.mode == "basic":
                 result = agent.execute_activity(
-                    delivery.document, delivery.activity_id, responder,
+                    incoming, activity_id, responder,
                     mode="basic", merge_with=merge_with,
                 )
                 routing = result.routing
@@ -189,7 +223,7 @@ class ProcessExecution:
                 alpha = result.timings.verify_seconds
             else:
                 result = agent.execute_activity(
-                    delivery.document, delivery.activity_id, responder,
+                    incoming, activity_id, responder,
                     mode="advanced",
                     tfc_identity=tfc.identity,
                     tfc_public_key=tfc.public_key,
@@ -217,6 +251,7 @@ class ProcessExecution:
                 signatures_verified=result.timings.signatures_verified,
                 num_cers=len(document.cers(include_definition=False)),
                 mode=self.mode,
+                wire_bytes=wire_bytes,
                 intermediate_size_bytes=(
                     intermediate_size if self.mode == "advanced" else None),
                 document=document,
@@ -226,12 +261,15 @@ class ProcessExecution:
 
             assert routing is not None
             for next_activity in routing.next_activities:
-                self._queue.append(
-                    _Delivery(next_activity, document.clone()))
+                self._queue.append(self._outgoing(next_activity, document))
             return step_trace
 
         self._check_joins_drained()
         return None
+
+    def _outgoing(self, next_activity: str,
+                  document: Dra4wfmsDocument) -> _Delivery:
+        return self.runtime.package(self.definition, next_activity, document)
 
     def _check_joins_drained(self) -> None:
         leftover = {
@@ -251,10 +289,15 @@ class InMemoryRuntime:
                  directory: KeyDirectory,
                  participants: Mapping[str, KeyPair],
                  tfc: TfcServer | None = None,
-                 backend: CryptoBackend | None = None) -> None:
+                 backend: CryptoBackend | None = None,
+                 delta_routing: bool = False) -> None:
         self.directory = directory
         self.backend = backend or default_backend()
         self.tfc = tfc
+        #: When True, routed documents travel as deltas against each
+        #: receiving agent's content-addressed chunk cache instead of
+        #: full canonical bytes (see docs/ROUTING.md).
+        self.delta_routing = delta_routing
         self._agents: dict[str, ActivityExecutionAgent] = {
             identity: ActivityExecutionAgent(keypair, directory, self.backend)
             for identity, keypair in participants.items()
@@ -268,6 +311,24 @@ class InMemoryRuntime:
             raise RuntimeFault(
                 f"no key pair registered for participant {identity!r}"
             ) from None
+
+    def package(self, definition: WorkflowDefinition, next_activity: str,
+                document: Dra4wfmsDocument) -> _Delivery:
+        """Package *document* for delivery to *next_activity*'s agent.
+
+        Delta routing diffs against the receiving agent's chunk cache
+        at send time: only the manifest and the CER chunks that agent
+        has never seen travel.  The receiver rebuilds the full byte-
+        identical document before verifying — nothing in the security
+        path changes, only the transfer size.
+        """
+        if self.delta_routing:
+            recipient = definition.activity(next_activity).participant
+            agent = self.agent_for(recipient)
+            delta = encode_delta(document, known=agent.chunk_cache)
+            return _Delivery(next_activity, delta, delta.wire_bytes)
+        return _Delivery(next_activity, document.clone(),
+                         document.size_bytes)
 
     def start(self,
               initial_document: Dra4wfmsDocument,

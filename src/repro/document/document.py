@@ -15,7 +15,7 @@ import xml.etree.ElementTree as ET
 from ..errors import DocumentFormatError, TamperDetected
 from ..model.definition import WorkflowDefinition
 from ..model.xpdl import definition_from_xml
-from ..xmlsec.canonical import canonicalize, parse_xml
+from ..xmlsec.canonical import CanonicalMemo, canonicalize, parse_xml
 from ..xmlsec.xmldsig import ID_ATTR, index_by_id
 from ..xmlsec.xmlenc import ENC_TAG, EncryptedValue
 from ..crypto.backend import CryptoBackend, default_backend
@@ -51,12 +51,33 @@ class Dra4wfmsDocument:
                 f"expected <{DOC_TAG}>, got <{root.tag}>"
             )
         self.root = root
+        # Per-document canonical-bytes memo.  The documented mutation
+        # surface is append_cer/merge (which invalidate the stale
+        # entries); code that mutates ``self.root`` behind the
+        # document's back must call drop_canonical_cache() before the
+        # next serialization.
+        self._memo = CanonicalMemo()
 
     # -- serialization ---------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Canonical byte serialization (what gets routed and stored)."""
-        return canonicalize(self.root)
+        """Canonical byte serialization (what gets routed and stored).
+
+        Memoised per subtree: on a document with n CERs only the CERs
+        appended since the last serialization are re-escaped; everything
+        unchanged is spliced from the canonical memo, making the hot
+        serialize-after-append path O(new CER) instead of O(document).
+        """
+        return canonicalize(self.root, self._memo)
+
+    def drop_canonical_cache(self) -> None:
+        """Invalidate every memoised serialization of this document.
+
+        Required after any direct mutation of ``self.root`` that
+        bypasses :meth:`append_cer`/:meth:`merge` (tamper-simulation
+        harnesses, tests).
+        """
+        self._memo.clear()
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Dra4wfmsDocument":
@@ -69,7 +90,14 @@ class Dra4wfmsDocument:
         return len(self.to_bytes())
 
     def clone(self) -> "Dra4wfmsDocument":
-        """Deep, independent copy (routing must never share mutable trees)."""
+        """Deep, independent copy (routing must never share mutable trees).
+
+        The clone starts with a *cold* canonical memo: clones are the
+        designated way to obtain a mutable copy (tamper simulations,
+        branch documents), and inherited cache entries would go stale
+        under direct tree edits.  The clone rebuilds its memo on first
+        serialization.
+        """
         return Dra4wfmsDocument(copy.deepcopy(self.root))
 
     # -- header -----------------------------------------------------------------
@@ -233,7 +261,13 @@ class Dra4wfmsDocument:
                 raise DocumentFormatError(
                     f"cannot append CER: id {eid!r} already present"
                 )
-        self.results_section.append(cer.element)
+        results = self.results_section
+        # Appending stales the serialization of every ancestor of the
+        # insertion point — the results section and the document root —
+        # but of no sibling CER: their cached chunks stay valid.
+        self._memo.discard(self.root)
+        self._memo.discard(results)
+        results.append(cer.element)
 
     # -- AND-join merge --------------------------------------------------------------
 
@@ -252,17 +286,25 @@ class Dra4wfmsDocument:
             )
         merged = self.clone()
         own = {cer.key: cer for cer in merged.cers()}
+        results = merged.results_section
         for cer in other.cers(include_definition=False):
             mine = own.get(cer.key)
             if mine is None:
-                merged.results_section.append(copy.deepcopy(cer.element))
-            elif canonicalize(mine.element) != canonicalize(cer.element):
+                merged._memo.discard(merged.root)
+                merged._memo.discard(results)
+                results.append(copy.deepcopy(cer.element))
+            # Shared CERs must be byte-identical; both serializations
+            # come from (and populate) the respective document's memo,
+            # so a k-way join compares cached chunks instead of
+            # re-escaping every shared CER pairwise.
+            elif (canonicalize(mine.element, merged._memo)
+                    != canonicalize(cer.element, other._memo)):
                 raise TamperDetected(
                     f"CER {cer.cer_id!r} differs between branch documents"
                 )
         # Definition sections must agree too.
-        own_def = canonicalize(self.definition_cer.element)
-        other_def = canonicalize(other.definition_cer.element)
+        own_def = canonicalize(self.definition_cer.element, self._memo)
+        other_def = canonicalize(other.definition_cer.element, other._memo)
         if own_def != other_def:
             raise TamperDetected(
                 "workflow definitions differ between branch documents"

@@ -147,8 +147,11 @@ class _SignatureChecker:
         def check(job):
             sid, signature, public_key, key = job
             try:
+                # Sharing the digest memo across workers is safe: dict
+                # get/set are GIL-atomic, entries are write-once, and a
+                # lost race merely recomputes one digest.
                 signature.verify(public_key, self.root, self.backend,
-                                 self.id_index)
+                                 self.id_index, digest_memo=self._digests)
             except XmlSignatureError as exc:
                 return sid, ("fresh", exc), None
             return sid, ("fresh", None), key
@@ -189,7 +192,7 @@ class _SignatureChecker:
                 return ("hit", None)
         try:
             signature.verify(public_key, self.root, self.backend,
-                             self.id_index)
+                             self.id_index, digest_memo=self._digests)
         except XmlSignatureError as exc:
             return ("fresh", exc)
         if key is not None:

@@ -105,6 +105,14 @@ class ReplayDetected(VerificationError):
     """A document with an already-used process id was presented again."""
 
 
+class DeltaError(DocumentError):
+    """Base class for delta-routing (manifest/chunk) errors."""
+
+
+class DeltaMismatch(DeltaError):
+    """A reassembled document does not match its manifest digest."""
+
+
 # ---------------------------------------------------------------------------
 # Runtime (AEA / TFC / router)
 # ---------------------------------------------------------------------------
@@ -145,6 +153,11 @@ class RegionError(StorageError):
 
 class PortalError(CloudError):
     """A portal server rejected the request (auth, missing doc, ...)."""
+
+
+class DeltaFallbackRequired(PortalError):
+    """A delta request cannot be served (unknown manifest or missing
+    chunks); the client must fall back to a full-document transfer."""
 
 
 class FleetError(CloudError):

@@ -57,3 +57,15 @@ class CryptoCostModel:
         if document_bytes < 0:
             raise ValueError("counts must be non-negative")
         return self.sign_seconds + self.hash_per_byte * document_bytes
+
+    def delta_overhead(self, chunk_bytes: int) -> float:
+        """Delta routing bookkeeping: content-hash the moved chunks.
+
+        Charged on the *wire* bytes of a delta transfer — the SHA-256
+        pass that keys and re-checks each chunk.  Deliberately tiny
+        compared to the RSA work: delta routing must not look free, but
+        its cost is hashing, not signatures.
+        """
+        if chunk_bytes < 0:
+            raise ValueError("counts must be non-negative")
+        return self.hash_per_byte * chunk_bytes

@@ -264,9 +264,9 @@ class Fleet:
             return
 
         client = self._client(participant)
+        wire_before = client.bytes_received + client.bytes_sent
         with self.clock.capture() as retrieve_cost:
-            data = client.portal.retrieve(client.session,
-                                          instance.process_id)
+            data = client.retrieve_bytes(instance.process_id)
         responder = self.workload.responders.get(activity_id)
         if responder is None:
             raise FleetError(
@@ -287,16 +287,23 @@ class Fleet:
                         lambda: self._resolve(instance, []))
             return
 
-        submitted = result.document.to_bytes()
         with self.clock.capture() as submit_cost:
-            entries = client.portal.submit(client.session, submitted)
+            entries = client.submit_document(result.document)
         self._hops += 1
 
         costs = self.config.costs
+        # Crypto costs are charged on the *full* canonical sizes in
+        # both routing modes: delta routing shrinks the wire and the
+        # store, never what gets hashed, verified, or signed.
+        full_size = result.document.size_bytes
         aea_cost = costs.aea_execute(result.timings.signatures_verified,
                                      len(data))
+        if self.system.delta_routing:
+            hop_wire = (client.bytes_received + client.bytes_sent
+                        - wire_before)
+            aea_cost += costs.delta_overhead(hop_wire)
         tfc_cost = costs.tfc_process(
-            result.timings.signatures_verified + 1, len(submitted)
+            result.timings.signatures_verified + 1, full_size
         )
         submit_by = submit_cost.by_component()
         visits: list[tuple[Station, float]] = []
@@ -409,10 +416,17 @@ class Fleet:
         throughput = (round(self._completed / makespan, 9)
                       if makespan > 0 else 0.0)
         horizon = self._last_completion if self._completed else self.now
+        clients = self._clients.values()
+        store = self.system.pool.chunks
+        chunk_stats = store.stats if store is not None else {}
         return FleetReport(
             workload=self.workload.name,
             mode=self.config.arrivals.mode,
             seed=self.config.seed,
+            routing="delta" if self.system.delta_routing else "full",
+            bytes_to_cloud=sum(c.bytes_sent for c in clients),
+            bytes_from_cloud=sum(c.bytes_received for c in clients),
+            chunk_store=dict(sorted(chunk_stats.items())),
             instances_started=self._started,
             instances_completed=self._completed,
             hops_executed=self._hops,
@@ -435,12 +449,16 @@ def build_fleet(workload: FleetWorkload,
                 datanodes: int = 3,
                 bits: int = 1024,
                 backend=None,
-                shared_cache: bool = True) -> Fleet:
+                shared_cache: bool = True,
+                delta_routing: bool = False) -> Fleet:
     """Stand up a world + cloud + fleet for *workload* in one call.
 
     Enrolls the workload's identities plus the cloud's TFC, wires an
     (optionally) shared :class:`VerificationCache` through portals and
-    TFC, and returns a ready-to-``run()`` :class:`Fleet`.
+    TFC, and returns a ready-to-``run()`` :class:`Fleet`.  With
+    ``delta_routing`` the pool stores content-addressed CER chunks and
+    every client moves manifest + unseen chunks instead of full
+    documents (see docs/ROUTING.md).
     """
     from ..workloads.participants import build_world
 
@@ -454,5 +472,6 @@ def build_fleet(workload: FleetWorkload,
         datanodes=datanodes,
         backend=world.backend,
         verify_cache=VerificationCache() if shared_cache else None,
+        delta_routing=delta_routing,
     )
     return Fleet(system, workload, world.keypairs, config)

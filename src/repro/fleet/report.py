@@ -51,6 +51,15 @@ class FleetReport:
     instances_audited: int = 0
     audit_failures: int = 0
     join_retries: int = 0
+    #: ``"full"`` or ``"delta"`` — how documents moved over the wire.
+    routing: str = "full"
+    #: Client → cloud transfer volume (canonical or delta-wire bytes).
+    bytes_to_cloud: int = 0
+    #: Cloud → client transfer volume.
+    bytes_from_cloud: int = 0
+    #: Content-addressed chunk-store counters (delta runs; empty on
+    #: full-routing runs, where no chunk store exists).
+    chunk_store: dict[str, int] = field(default_factory=dict)
 
     # -- latency aggregates ------------------------------------------------
 
@@ -127,6 +136,11 @@ class FleetReport:
             "instances_audited": self.instances_audited,
             "audit_failures": self.audit_failures,
             "join_retries": self.join_retries,
+            "routing": self.routing,
+            "bytes_to_cloud": self.bytes_to_cloud,
+            "bytes_from_cloud": self.bytes_from_cloud,
+            "chunk_store": {k: self.chunk_store[k]
+                            for k in sorted(self.chunk_store)},
         }
 
     def to_json(self) -> str:
@@ -151,6 +165,13 @@ class FleetReport:
             f"  audit     : {self.instances_audited} instances "
             f"re-verified cold, {self.audit_failures} failures; "
             f"{self.join_retries} join retries",
+            f"  routing   : {self.routing}   "
+            f"to cloud {self.bytes_to_cloud:,} B   "
+            f"from cloud {self.bytes_from_cloud:,} B"
+            + (f"   dedup hits {self.chunk_store.get('dedup_hits', 0)}"
+               f" ({self.chunk_store.get('unique_bytes', 0):,} B unique "
+               f"of {self.chunk_store.get('logical_bytes', 0):,} B logical)"
+               if self.routing == "delta" else ""),
             "  station        util   busy-s     jobs  maxQ  meanQ  "
             "wait-s",
         ]

@@ -7,6 +7,11 @@ identities to enroll.  Specs are compact strings usable from the CLI::
     fig9         the paper's Figure-9 workflow (advanced model)
     chain:N      N sequential activities (workloads.generator)
     diamond:N    AND-split into N parallel branches, then a join
+
+``chain:N:P`` / ``diamond:N:P`` cycle ``P`` participants over the
+activities instead of one participant per activity — the shape where
+delta routing shines, since a returning participant already holds most
+of the document's chunks.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from ..workloads.generator import (
     auto_responders,
     chain_definition,
     diamond_definition,
+    participant_pool,
 )
 
 __all__ = ["FleetWorkload", "workload_from_spec"]
@@ -61,21 +67,30 @@ def workload_from_spec(spec: str, loops: int = 0) -> FleetWorkload:
         return FleetWorkload(name="fig9", definition=definition,
                              responders=figure9_responders(loops))
     kind, _, arg = spec.partition(":")
+    arg, _, pool_arg = arg.partition(":")
+    pool = None
+    if pool_arg:
+        if not pool_arg.isdigit() or int(pool_arg) < 1:
+            raise ValueError(
+                f"unknown workload spec {spec!r} (participant count "
+                f"must be a positive integer)"
+            )
+        pool = participant_pool(int(pool_arg))
     if kind == "chain" and arg.isdigit():
-        definition = chain_definition(int(arg))
+        definition = chain_definition(int(arg), participants=pool)
         return FleetWorkload(
             name=spec, definition=definition,
             responders=auto_responders(definition),
             designer="designer@enterprise.example",
         )
     if kind == "diamond" and arg.isdigit():
-        definition = diamond_definition(int(arg))
+        definition = diamond_definition(int(arg), participants=pool)
         return FleetWorkload(
             name=spec, definition=definition,
             responders=auto_responders(definition),
             designer="designer@enterprise.example",
         )
     raise ValueError(
-        f"unknown workload spec {spec!r} (expected fig9, chain:N or "
-        f"diamond:N)"
+        f"unknown workload spec {spec!r} (expected fig9, chain:N[:P] or "
+        f"diamond:N[:P] — P participants cycling over the activities)"
     )

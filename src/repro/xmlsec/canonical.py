@@ -18,6 +18,16 @@ Canonicalization adequate for documents this library itself produces:
 The guarantee the rest of the stack relies on is *round-trip
 stability*: ``canonicalize(parse(canonicalize(e))) == canonicalize(e)``,
 which the property tests check on random trees.
+
+Because the canonical form of an element never depends on its ancestors
+(no namespace or entity context), a subtree's serialization can be
+cached and spliced verbatim into any later serialization of an
+enclosing tree.  :class:`CanonicalMemo` exploits exactly that:
+DRA4WfMS documents are append-only, so the CERs of every previous hop
+re-serialize to the same bytes on every hop — memoising them turns
+``to_bytes``/digesting from O(document) re-escaping work into an
+O(new CER) serialization plus a buffer join.  See ``docs/ROUTING.md``
+for the invalidation rules.
 """
 
 from __future__ import annotations
@@ -27,7 +37,13 @@ import xml.etree.ElementTree as ET
 
 from ..errors import CanonicalizationError
 
-__all__ = ["canonicalize", "parse_xml", "to_bytes"]
+__all__ = [
+    "CanonicalMemo",
+    "canonicalize",
+    "canonicalize_segments",
+    "parse_xml",
+    "to_bytes",
+]
 
 # Characters outside the XML 1.0 Char production (control characters
 # other than TAB/LF/CR, surrogates, and the U+FFFE/U+FFFF
@@ -37,11 +53,44 @@ __all__ = ["canonicalize", "parse_xml", "to_bytes"]
 # downstream.  Fail closed instead (found by the round-trip property
 # test).
 _INVALID_XML_CHAR = re.compile(
-    "[^\t\n\r\x20-퟿-�\U00010000-\U0010ffff]"
+    "[^\t\n\r\x20-퟿-�\U00010000-\U0010FFFF]"
 )
 
 # Conservative XML Name subset for tags and attribute names.
 _XML_NAME = re.compile(r"^[A-Za-z_][A-Za-z0-9._\-]*$")
+
+# Single-pass escaping: one compiled-regex scan decides whether a
+# string needs escaping at all.  Document text is dominated by base64
+# signature/ciphertext blobs that contain no escapable characters, so
+# the common case is a single C-level scan returning the string
+# untouched — measurably faster than chaining str.replace passes (see
+# benchmarks/test_canonical.py).  Only strings that do contain an
+# escapable character pay for the translate.
+_TEXT_NEEDS_ESCAPE = re.compile("[&<>\r]")
+_ATTR_NEEDS_ESCAPE = re.compile("[&<>\"\t\n\r]")
+_TEXT_ESCAPES = {
+    ord("&"): "&amp;",
+    ord("<"): "&lt;",
+    ord(">"): "&gt;",
+    # CR must be a character reference: parsers apply line-end
+    # normalization (CR → LF) to literal carriage returns, which would
+    # break round-trip stability (exactly why W3C C14N escapes it too).
+    ord("\r"): "&#13;",
+}
+_ATTR_ESCAPES = {
+    ord("&"): "&amp;",
+    ord("<"): "&lt;",
+    ord(">"): "&gt;",
+    ord('"'): "&quot;",
+    ord("\t"): "&#9;",
+    ord("\n"): "&#10;",
+    ord("\r"): "&#13;",
+}
+
+#: Attribute that makes an element memo-worthy: the signable elements of
+#: a DRA4WfMS document all carry an ``Id``, and those are exactly the
+#: subtrees that get re-canonicalized hop after hop.
+_ID_ATTR = "Id"
 
 
 def _check_chars(text: str, where: str) -> None:
@@ -56,36 +105,114 @@ def _check_chars(text: str, where: str) -> None:
 
 def _escape_text(text: str) -> str:
     _check_chars(text, "text content")
-    # CR must be a character reference: parsers apply line-end
-    # normalization (CR → LF) to literal carriage returns, which would
-    # break round-trip stability (exactly why W3C C14N escapes it too).
-    return (
-        text.replace("&", "&amp;")
-        .replace("<", "&lt;")
-        .replace(">", "&gt;")
-        .replace("\r", "&#13;")
-    )
+    if _TEXT_NEEDS_ESCAPE.search(text) is None:
+        return text
+    return text.translate(_TEXT_ESCAPES)
 
 
 def _escape_attr(value: str) -> str:
     _check_chars(value, "attribute value")
-    return (
-        value.replace("&", "&amp;")
-        .replace("<", "&lt;")
-        .replace(">", "&gt;")
-        .replace('"', "&quot;")
-        .replace("\t", "&#9;")
-        .replace("\n", "&#10;")
-        .replace("\r", "&#13;")
-    )
+    if _ATTR_NEEDS_ESCAPE.search(value) is None:
+        return value
+    return value.translate(_ATTR_ESCAPES)
 
 
-def _write(element: ET.Element, out: list[str]) -> None:
+class CanonicalMemo:
+    """Canonical serializations cached per element subtree.
+
+    Entries are keyed by element *identity* and hold a strong reference
+    to the element, so an ``id()`` can never be recycled while its entry
+    lives.  A memo belongs to exactly one element tree; the owner must
+
+    * call :meth:`discard` for every ancestor of a mutation point
+      (appending a CER stales the serialization of the results section
+      and the document root, but no sibling CER), and
+    * never share a memo between trees — :meth:`remap` derives a fresh
+      memo for a structure-preserving deep copy instead.
+
+    The memo is a pure producer-side optimisation: verification never
+    consults it, so no cache state can influence what a verifier
+    accepts (the acceptance bar of ``docs/ROUTING.md``).
+    """
+
+    __slots__ = ("_entries", "hits", "misses")
+
+    def __init__(self) -> None:
+        #: id(element) → (element, serialized chunk)
+        self._entries: dict[int, tuple[ET.Element, str]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, element: ET.Element) -> str | None:
+        """Cached chunk of *element*, or ``None``."""
+        entry = self._entries.get(id(element))
+        if entry is not None and entry[0] is element:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return None
+
+    def store(self, element: ET.Element, chunk: str) -> None:
+        """Remember the canonical chunk of *element*."""
+        self._entries[id(element)] = (element, chunk)
+
+    def discard(self, element: ET.Element) -> None:
+        """Invalidate the entry of *element* (mutation about to happen)."""
+        self._entries.pop(id(element), None)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    def remap(self, old_root: ET.Element,
+              new_root: ET.Element) -> "CanonicalMemo":
+        """Memo for a deep copy of the tree this memo belongs to.
+
+        ``copy.deepcopy`` preserves structure, so iterating both trees
+        in document order pairs each original element with its copy;
+        every cached chunk is transferred to the copy at zero
+        serialization cost.
+        """
+        fresh = CanonicalMemo()
+        entries = self._entries
+        store = fresh._entries
+        for old, new in zip(old_root.iter(), new_root.iter()):
+            entry = entries.get(id(old))
+            if entry is not None and entry[0] is old:
+                store[id(new)] = (new, entry[1])
+        return fresh
+
+
+def _write(element: ET.Element, out: list[str],
+           memo: CanonicalMemo | None = None) -> None:
     tag = element.tag
     if not isinstance(tag, str):
         # Comment/PI nodes have callable tags in ElementTree; canonical
         # form excludes them entirely.
         return
+    if memo is not None:
+        cached = memo.lookup(element)
+        if cached is not None:
+            out.append(cached)
+            return
+    if memo is not None and element.get(_ID_ATTR) is not None:
+        # Memo-worthy subtree: serialize into its own buffer so the
+        # joined chunk can be reused by every later serialization.
+        local: list[str] = []
+        _write_direct(element, local, memo)
+        chunk = "".join(local)
+        memo.store(element, chunk)
+        out.append(chunk)
+    else:
+        _write_direct(element, out, memo)
+
+
+def _write_direct(element: ET.Element, out: list[str],
+                  memo: CanonicalMemo | None) -> None:
+    tag = element.tag
     if not _XML_NAME.match(tag):
         raise CanonicalizationError(f"invalid element name {tag!r}")
     out.append(f"<{tag}")
@@ -98,23 +225,99 @@ def _write(element: ET.Element, out: list[str]) -> None:
     if element.text:
         out.append(_escape_text(element.text))
     for child in element:
-        _write(child, out)
+        _write(child, out, memo)
         if child.tail:
             out.append(_escape_text(child.tail))
     out.append(f"</{tag}>")
 
 
-def canonicalize(element: ET.Element) -> bytes:
+def canonicalize(element: ET.Element,
+                 memo: CanonicalMemo | None = None) -> bytes:
     """Return the canonical UTF-8 byte serialization of *element*.
 
     The element's own tail text is excluded (it belongs to the parent),
     matching XML-DSig reference processing.
+
+    When *memo* is given, previously serialized unchanged subtrees are
+    spliced from the cache, and the serialization of *element* itself
+    (plus every ``Id``-carrying subtree) is recorded for reuse.  The
+    memo must belong to the tree containing *element*.
     """
     if element is None:
         raise CanonicalizationError("cannot canonicalize None")
-    out: list[str] = []
+    if memo is not None:
+        cached = memo.lookup(element)
+        if cached is not None:
+            return cached.encode("utf-8")
+        out: list[str] = []
+        _write_direct(element, out, memo)
+        chunk = "".join(out)
+        if isinstance(element.tag, str):
+            memo.store(element, chunk)
+        return chunk.encode("utf-8")
+    out = []
     _write(element, out)
     return "".join(out).encode("utf-8")
+
+
+def canonicalize_segments(
+    element: ET.Element,
+    boundary_tag: str,
+    memo: CanonicalMemo | None = None,
+) -> list[tuple[bool, bytes]]:
+    """Canonical serialization of *element*, split at boundary subtrees.
+
+    Returns an ordered list of ``(is_boundary, bytes)`` segments whose
+    concatenation equals ``canonicalize(element)``.  Every maximal
+    subtree whose tag equals *boundary_tag* becomes its own segment
+    (flagged ``True``); the glue around them is merged into unflagged
+    segments.  Because canonical serialization is position-independent,
+    each boundary segment is exactly ``canonicalize(boundary_element)``
+    — this is what content-addresses a document's CERs for the delta
+    routing protocol (:mod:`repro.document.delta`).
+    """
+    if element is None:
+        raise CanonicalizationError("cannot canonicalize None")
+    segments: list[tuple[bool, bytes]] = []
+    glue: list[str] = []
+
+    def flush() -> None:
+        if glue:
+            segments.append((False, "".join(glue).encode("utf-8")))
+            glue.clear()
+
+    def walk(node: ET.Element) -> None:
+        tag = node.tag
+        if not isinstance(tag, str):
+            return
+        if tag == boundary_tag:
+            flush()
+            local: list[str] = []
+            _write(node, local, memo)
+            segments.append((True, "".join(local).encode("utf-8")))
+            return
+        if not _XML_NAME.match(tag):
+            raise CanonicalizationError(f"invalid element name {tag!r}")
+        glue.append(f"<{tag}")
+        for name in sorted(node.keys()):
+            if not _XML_NAME.match(name):
+                raise CanonicalizationError(
+                    f"invalid attribute name {name!r}"
+                )
+            value = node.get(name)
+            glue.append(f' {name}="{_escape_attr(value or "")}"')
+        glue.append(">")
+        if node.text:
+            glue.append(_escape_text(node.text))
+        for child in node:
+            walk(child)
+            if child.tail:
+                glue.append(_escape_text(child.tail))
+        glue.append(f"</{tag}>")
+
+    walk(element)
+    flush()
+    return segments
 
 
 def to_bytes(element: ET.Element) -> bytes:

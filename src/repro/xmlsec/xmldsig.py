@@ -160,12 +160,21 @@ class XmlSignature:
 
     def verify(self, public_key: RsaPublicKey, root: ET.Element,
                backend: CryptoBackend | None = None,
-               id_index: dict[str, ET.Element] | None = None) -> None:
+               id_index: dict[str, ET.Element] | None = None,
+               digest_memo: dict[int, bytes] | None = None) -> None:
         """Verify this signature against the document rooted at *root*.
 
         Checks (1) that every referenced element's current digest equals
         the signed digest, and (2) the RSA signature over the canonical
         ``SignedInfo``.  Raises :class:`XmlSignatureError` on failure.
+
+        *digest_memo* maps ``id(element)`` to its already-computed
+        digest.  Cascaded signatures reference overlapping element sets,
+        so one verification pass over a document recomputes the same
+        digests O(n) times; a memo scoped to a single pass over a
+        *static* tree (the verifier never mutates it) makes that O(n)
+        canonicalizations total without weakening any check — a wrong
+        cached digest still fails the comparison below.
         """
         backend = backend or default_backend()
         index = id_index if id_index is not None else index_by_id(root)
@@ -175,7 +184,13 @@ class XmlSignature:
                 raise XmlSignatureError(
                     f"referenced element {ref.target_id!r} not found"
                 )
-            actual = digest_element(target, backend)
+            if digest_memo is None:
+                actual = digest_element(target, backend)
+            else:
+                actual = digest_memo.get(id(target))
+                if actual is None:
+                    actual = digest_element(target, backend)
+                    digest_memo[id(target)] = actual
             if actual != ref.digest:
                 raise XmlSignatureError(
                     f"digest mismatch for element {ref.target_id!r} "

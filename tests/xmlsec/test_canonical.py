@@ -162,3 +162,145 @@ class TestXmlValidityGuards:
         element.text = "line\nbreak\tand\rcr"
         out = canonicalize(element)
         assert canonicalize(parse_xml(out)) == out
+
+
+# -- single-pass escaping ------------------------------------------------------
+
+
+class TestEscapingEquivalence:
+    """The table-driven (str.translate) escapers must match the
+    reference chained-replace semantics exactly — & first, then the
+    other entities, so no double escaping."""
+
+    @staticmethod
+    def _reference_text(text):
+        return (text.replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;").replace("\r", "&#13;"))
+
+    @staticmethod
+    def _reference_attr(value):
+        return (value.replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;").replace('"', "&quot;")
+                .replace("\t", "&#9;").replace("\n", "&#10;")
+                .replace("\r", "&#13;"))
+
+    @given(_texts)
+    def test_text_matches_reference(self, text):
+        from repro.xmlsec.canonical import _escape_text
+        assert _escape_text(text) == self._reference_text(text)
+
+    @given(_texts)
+    def test_attr_matches_reference(self, value):
+        from repro.xmlsec.canonical import _escape_attr
+        assert _escape_attr(value) == self._reference_attr(value)
+
+    def test_no_double_escaping(self):
+        from repro.xmlsec.canonical import _escape_text
+        assert _escape_text("&amp;") == "&amp;amp;"
+        assert _escape_text("&<>&") == "&amp;&lt;&gt;&amp;"
+
+
+# -- canonical memo ------------------------------------------------------------
+
+
+class TestCanonicalMemo:
+    def _memo(self):
+        from repro.xmlsec.canonical import CanonicalMemo
+        return CanonicalMemo()
+
+    def test_store_lookup_discard(self):
+        memo = self._memo()
+        element = ET.Element("a")
+        assert memo.lookup(element) is None
+        assert memo.misses == 1
+        memo.store(element, "<a></a>")
+        assert memo.lookup(element) == "<a></a>"
+        assert memo.hits == 1
+        assert len(memo) == 1
+        memo.discard(element)
+        assert memo.lookup(element) is None
+        assert len(memo) == 0
+
+    def test_clear_drops_everything(self):
+        memo = self._memo()
+        elements = [ET.Element(n) for n in ("a", "b", "c")]
+        for element in elements:
+            memo.store(element, element.tag)
+        memo.clear()
+        assert len(memo) == 0
+        assert all(memo.lookup(e) is None for e in elements)
+
+    def test_keyed_by_identity_not_equality(self):
+        memo = self._memo()
+        one, two = ET.Element("a"), ET.Element("a")
+        memo.store(one, "first")
+        assert memo.lookup(two) is None
+
+    def test_remap_transfers_entries_to_copy(self):
+        import copy
+        memo = self._memo()
+        root = ET.Element("r")
+        child = ET.SubElement(root, "c")
+        memo.store(child, "<c></c>")
+        twin = copy.deepcopy(root)
+        fresh = memo.remap(root, twin)
+        assert fresh.lookup(twin[0]) == "<c></c>"
+        # The fresh memo belongs to the copy, not the original.
+        assert fresh.lookup(child) is None
+
+    @given(xml_trees())
+    def test_memoized_canonicalize_is_identical(self, tree):
+        memo = self._memo()
+        cold = canonicalize(tree)
+        first = canonicalize(tree, memo)
+        second = canonicalize(tree, memo)
+        assert first == cold
+        assert second == cold
+
+
+# -- segmented canonicalization ------------------------------------------------
+
+
+class TestCanonicalizeSegments:
+    @given(xml_trees())
+    def test_concatenation_equals_canonicalize(self, tree):
+        from repro.xmlsec.canonical import canonicalize_segments
+        segments = canonicalize_segments(tree, "cer")
+        assert b"".join(data for _, data in segments) == canonicalize(tree)
+
+    @given(xml_trees())
+    def test_boundary_segments_are_subtree_canonicalizations(self, tree):
+        from repro.xmlsec.canonical import canonicalize_segments
+        segments = canonicalize_segments(tree, "cer")
+        boundary = [data for flagged, data in segments if flagged]
+        if tree.tag == "cer":
+            expected = [canonicalize(tree)]
+        else:
+            expected = [canonicalize(node) for node in tree.iter("cer")
+                        if self._is_maximal(tree, node)]
+        assert boundary == expected
+
+    @staticmethod
+    def _is_maximal(root, node):
+        """True when no ancestor of *node* is itself a boundary."""
+        parents = {child: parent for parent in root.iter()
+                   for child in parent}
+        current = parents.get(node)
+        while current is not None:
+            if current.tag == "cer":
+                return False
+            current = parents.get(current)
+        return True
+
+    def test_memo_reuse_does_not_change_segments(self):
+        from repro.xmlsec.canonical import CanonicalMemo, canonicalize_segments
+        root = parse_xml(b"<r><cer>one</cer><mid>x</mid><cer>two</cer></r>")
+        memo = CanonicalMemo()
+        cold = canonicalize_segments(root, "cer", memo)
+        warm = canonicalize_segments(root, "cer", memo)
+        assert warm == cold
+
+    def test_none_rejected(self):
+        from repro.xmlsec.canonical import canonicalize_segments
+        with pytest.raises(CanonicalizationError):
+            canonicalize_segments(None, "cer")
