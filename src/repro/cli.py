@@ -161,7 +161,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         ClosedLoop,
         FleetConfig,
         OpenLoop,
+        RealFleetConfig,
         build_fleet,
+        run_real_fleet,
         workload_from_spec,
     )
 
@@ -170,6 +172,25 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.real:
+        config = RealFleetConfig(
+            spec=args.workflow,
+            instances=args.instances,
+            seed=args.seed,
+            workers=args.workers,
+            loops=args.loops,
+            audit_every=args.audit_every,
+            delta_routing=args.delta,
+            verify_workers=args.verify_workers,
+            verify_batch=True if args.verify_workers else None,
+            portals=args.portals,
+        )
+        report = run_real_fleet(config)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        return 0 if report.audit_failures == 0 else 1
     if args.mode == "open":
         arrivals = OpenLoop(instances=args.instances,
                             rate_per_second=args.rate)
@@ -182,6 +203,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         think_seconds=args.think,
         tfc_workers=args.tfc_workers,
         audit_every=args.audit_every,
+        verify_workers=args.verify_workers,
+        verify_batch=True if args.verify_workers else None,
     )
     fleet = build_fleet(workload, config, portals=args.portals,
                         delta_routing=args.delta)
@@ -283,6 +306,16 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--delta", action="store_true",
                           help="delta document routing: ship only the "
                                "CER chunks each side has not seen")
+    loadtest.add_argument("--real", action="store_true",
+                          help="true-parallel mode: run instances over "
+                               "an OS process pool instead of the "
+                               "discrete-event simulation")
+    loadtest.add_argument("--workers", type=int, default=1,
+                          help="worker processes for --real (aggregates "
+                               "are identical for any worker count)")
+    loadtest.add_argument("--verify-workers", type=int, default=None,
+                          help="threads for batched RSA verification "
+                               "inside portals/TFC/audits")
     loadtest.add_argument("--json", action="store_true",
                           help="emit the full report as JSON")
     loadtest.set_defaults(func=cmd_loadtest)

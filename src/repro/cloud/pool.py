@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..document.delta import Manifest, assemble, chunk_document
+from ..document.delta import Manifest, assemble, chunk_document, seed_chunks
 from ..document.document import Dra4wfmsDocument
 from ..errors import (
     DeltaError,
@@ -207,8 +207,7 @@ class DocumentPool:
             return None
         return Manifest.from_bytes(data)
 
-    def assemble_bytes(self, manifest: Manifest) -> bytes:
-        """Reassembled, digest-checked canonical bytes of *manifest*."""
+    def _fetch_chunks(self, manifest: Manifest) -> dict[str, bytes]:
         assert self.chunks is not None
         fetched = self.chunks.get_chunks(manifest.chunk_digests)
         missing = [d for d in manifest.chunk_digests if d not in fetched]
@@ -217,7 +216,11 @@ class DocumentPool:
                 f"chunk store is missing {len(missing)} chunk(s) of "
                 f"manifest {manifest.doc_digest[:12]}…"
             )
-        return assemble(manifest, fetched)
+        return fetched
+
+    def assemble_bytes(self, manifest: Manifest) -> bytes:
+        """Reassembled, digest-checked canonical bytes of *manifest*."""
+        return assemble(manifest, self._fetch_chunks(manifest))
 
     def latest_bytes(self, process_id: str) -> bytes:
         """Canonical bytes of the most recent stored version."""
@@ -230,7 +233,21 @@ class DocumentPool:
         return data
 
     def latest(self, process_id: str) -> Dra4wfmsDocument:
-        """The most recent stored document of an instance."""
+        """The most recent stored document of an instance.
+
+        In delta mode the returned document's canonical memo is
+        pre-seeded from the digest-checked chunks, so downstream
+        serialization/chunking of the (unchanged) history is O(new CER)
+        instead of O(document).
+        """
+        if self.delta:
+            manifest = self.latest_manifest(process_id)
+            fetched = self._fetch_chunks(manifest)
+            document = Dra4wfmsDocument.from_bytes(
+                assemble(manifest, fetched)
+            )
+            seed_chunks(document, manifest, fetched)
+            return document
         return Dra4wfmsDocument.from_bytes(self.latest_bytes(process_id))
 
     def history(self, process_id: str) -> list[Dra4wfmsDocument]:

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from ..core.tfc import TfcServer
 from ..crypto.backend import CryptoBackend, default_backend
 from ..crypto.pki import KeyDirectory
-from ..document.delta import DeltaDocument, assemble
+from ..document.delta import DeltaDocument, Manifest, assemble, seed_chunks
 from ..document.document import Dra4wfmsDocument
 from ..document.vcache import VerificationCache
 from ..document.verify import verify_document
@@ -66,7 +66,9 @@ class PortalServer:
                  clock: SimClock,
                  network: NetworkModel = WAN,
                  backend: CryptoBackend | None = None,
-                 verify_cache: VerificationCache | None = None) -> None:
+                 verify_cache: VerificationCache | None = None,
+                 verify_workers: int | None = None,
+                 verify_batch: bool | None = None) -> None:
         self.portal_id = portal_id
         self.pool = pool
         self.directory = directory
@@ -79,6 +81,10 @@ class PortalServer:
         #: it (and the TFC's) so a document verified at any front door
         #: costs only its new CERs at the next.  ``None`` → cold.
         self.verify_cache = verify_cache
+        #: Batched RSA verification knobs forwarded to
+        #: :func:`verify_document` (see its *workers*/*batch* docs).
+        self.verify_workers = verify_workers
+        self.verify_batch = verify_batch
         self._challenges: dict[str, bytes] = {}
         self._sessions: dict[str, Session] = {}
         self.stats = {"logins": 0, "searches": 0, "retrievals": 0,
@@ -212,6 +218,8 @@ class PortalServer:
                 definition_reader=(self.tfc.identity,
                                    self.tfc.keypair.private_key),
                 cache=self.verify_cache,
+                workers=self.verify_workers,
+                batch=self.verify_batch,
             )
         except Exception as exc:
             self.stats["rejected"] += 1
@@ -277,24 +285,36 @@ class PortalServer:
                 f"submission references {len(missing)} chunk(s) this "
                 f"cloud does not hold; resubmit the full document"
             )
+        all_chunks = {**fetched, **delta.chunks}
         try:
-            data = assemble(manifest, {**fetched, **delta.chunks})
+            data = assemble(manifest, all_chunks)
         except DeltaMismatch as exc:
             self.stats["rejected"] += 1
             raise PortalError(f"submission rejected: {exc}") from exc
-        entries = self._accept_submission(data)
+        entries = self._accept_submission(data, manifest=manifest,
+                                          chunks=all_chunks)
         self.stats["delta_submissions"] += 1
         return entries
 
-    def _accept_submission(self, data: bytes) -> list[PoolEntry]:
+    def _accept_submission(self, data: bytes,
+                           manifest: Manifest | None = None,
+                           chunks: dict[str, bytes] | None = None,
+                           ) -> list[PoolEntry]:
         """Shared verify → TFC → merge → store → notify path.
 
         *data* is always the **full** canonical serialization — by the
         time a delta submission reaches this point it has been
         reassembled and digest-checked, so both entry points run the
-        same checks over the same bytes.
+        same checks over the same bytes.  A delta submission also
+        passes its (digest-checked) *manifest*/*chunks* so the parsed
+        document's canonical memo starts warm: the TFC-finalise, merge
+        and re-store steps then re-serialize only the new CER instead
+        of the whole history.  Verification never reads the memo, so
+        this changes no accept/reject decision.
         """
         document = Dra4wfmsDocument.from_bytes(data)
+        if manifest is not None and chunks is not None:
+            seed_chunks(document, manifest, chunks)
         if not self.pool.is_registered(document.process_id):
             self.stats["rejected"] += 1
             raise PortalError(

@@ -53,6 +53,18 @@ class CostCapture:
         """Captured seconds of one component (0.0 when absent)."""
         return self.by_component().get(name, 0.0)
 
+    def merge(self, other: "CostCapture | list[tuple[str, float]]") -> None:
+        """Append another capture's charges (tags preserved) to this one.
+
+        A worker-pool run captures costs in the worker process; the
+        parent merges each worker's serialized charge list into its own
+        capture so per-component attribution survives the process
+        boundary instead of being silently dropped.
+        """
+        charges = other.charges if isinstance(other, CostCapture) else other
+        for component, seconds in charges:
+            self.charges.append((str(component), float(seconds)))
+
 
 class SimClock:
     """A monotonically advancing simulated clock.
@@ -115,6 +127,25 @@ class SimClock:
             yield bucket
         finally:
             self._capture = previous
+
+    def absorb(self,
+               charges: "CostCapture | list[tuple[str, float]]") -> None:
+        """Credit charges recorded *elsewhere* into this clock.
+
+        Pool workers run with their own :class:`SimClock`; their tagged
+        crypto/IO charges come back to the parent as plain
+        ``(component, seconds)`` lists.  Inside an active
+        :meth:`capture` block the charges land in the capture bucket
+        (preserving tags); outside one, simulated time advances by
+        their total — either way nothing is dropped.
+        """
+        items = (charges.charges if isinstance(charges, CostCapture)
+                 else charges)
+        if self._capture is not None:
+            self._capture.merge(items)
+            return
+        for _, seconds in items:
+            self.advance(seconds)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run *callback* once the clock advances past ``now + delay``."""

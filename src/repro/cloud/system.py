@@ -17,7 +17,12 @@ from ..core.tfc import TfcServer
 from ..crypto.backend import CryptoBackend, default_backend
 from ..crypto.keys import KeyPair
 from ..crypto.pki import KeyDirectory
-from ..document.delta import ChunkCache, decode_delta, encode_delta
+from ..document.delta import (
+    ChunkCache,
+    decode_delta,
+    encode_delta,
+    seed_chunks,
+)
 from ..document.document import Dra4wfmsDocument
 from ..document.vcache import VerificationCache
 from ..errors import (
@@ -53,7 +58,9 @@ class CloudSystem:
                  backend: CryptoBackend | None = None,
                  verify_cache: VerificationCache | None = None,
                  clock: SimClock | None = None,
-                 delta_routing: bool = False) -> None:
+                 delta_routing: bool = False,
+                 verify_workers: int | None = None,
+                 verify_batch: bool | None = None) -> None:
         if portals < 1:
             raise CloudError("need at least one portal server")
         self.backend = backend or default_backend()
@@ -67,6 +74,13 @@ class CloudSystem:
         #: newly appended CERs anywhere else in the cloud.  ``None``
         #: (default) keeps every verification cold.
         self.verify_cache = verify_cache
+        #: Batched RSA verification knobs shared by this cloud's TFC and
+        #: portals: *verify_workers* > 1 threads independent RSA checks,
+        #: *verify_batch* forces the single-dispatch ``verify_batch()``
+        #: path even single-threaded.  Accept/reject behaviour is
+        #: unchanged either way.
+        self.verify_workers = verify_workers
+        self.verify_batch = verify_batch
         #: All components charge simulated costs here; the fleet
         #: scheduler passes its own clock so it can capture per-
         #: component service times (see :mod:`repro.fleet`).
@@ -86,6 +100,8 @@ class CloudSystem:
             tfc_keypair, directory, backend=self.backend,
             clock=self.clock.now,
             verify_cache=verify_cache,
+            verify_workers=verify_workers,
+            verify_batch=verify_batch,
         )
         self.portals = [
             PortalServer(
@@ -98,6 +114,8 @@ class CloudSystem:
                 network=WAN,
                 backend=self.backend,
                 verify_cache=verify_cache,
+                verify_workers=verify_workers,
+                verify_batch=verify_batch,
             )
             for i in range(portals)
         ]
@@ -251,10 +269,15 @@ class CloudClient:
         failure falls back to a full retrieve — delta routing is an
         optimisation, never a liveness risk.
         """
+        data, _ = self._retrieve(process_id)
+        return data
+
+    def _retrieve(self, process_id: str):
+        """Shared retrieve: ``(bytes, manifest-or-None)``."""
         if not self.system.delta_routing:
             data = self.portal.retrieve(self.session, process_id)
             self.bytes_received += len(data)
-            return data
+            return data, None
         own = self._own_chunks.get(process_id, set())
         try:
             delta = self.portal.retrieve_delta(
@@ -265,7 +288,7 @@ class CloudClient:
         except (DeltaFallbackRequired, DeltaError, KeyError):
             data = self.portal.retrieve(self.session, process_id)
             self.bytes_received += len(data)
-            return data
+            return data, None
         self.bytes_received += delta.wire_bytes
         # The request itself carries the have-digest plus one digest
         # per chunk we asked the portal not to resend.
@@ -276,7 +299,23 @@ class CloudClient:
         self._own_chunks.pop(process_id, None)
         # Everything in the manifest lives in the cloud's chunk store.
         self._cloud_known.update(delta.manifest.chunk_digests)
-        return data
+        return data, delta.manifest
+
+    def retrieve_document(self, process_id: str) -> Dra4wfmsDocument:
+        """Latest document, parsed — memo-warm in delta mode.
+
+        Delta retrieves already digest-checked every chunk during
+        reassembly, so the parsed document's canonical memo can be
+        seeded from them: the AEA's clone/append/re-chunk work on this
+        hop then touches only the new CER instead of re-serializing the
+        whole history.  Full-mode retrieves parse cold, exactly as
+        before.
+        """
+        data, manifest = self._retrieve(process_id)
+        document = Dra4wfmsDocument.from_bytes(data)
+        if manifest is not None:
+            seed_chunks(document, manifest, self.chunks)
+        return document
 
     def submit_document(self, document: Dra4wfmsDocument) -> list:
         """Submit an executed document, shipping only new chunks."""
@@ -307,9 +346,9 @@ class CloudClient:
         Raises :class:`~repro.errors.JoinNotReady` when an AND-join is
         still missing sibling branches — retry after they arrive.
         """
-        data = self.retrieve_bytes(process_id)
+        document = self.retrieve_document(process_id)
         result = self.agent.execute_activity(
-            data, activity_id, responder,
+            document, activity_id, responder,
             mode="advanced",
             tfc_identity=self.system.tfc.identity,
             tfc_public_key=self.system.tfc.public_key,

@@ -261,7 +261,7 @@ class ActivityExecutionAgent:
 
         # β phase: encrypt + sign -------------------------------------------------
         beta_start = time.perf_counter()
-        new_document = document.clone()
+        new_document = document.clone_for_append()
         targets = cascade_targets(new_document, definition, activity_id)
         routing: RoutingDecision | None
 
@@ -335,7 +335,7 @@ class ActivityExecutionAgent:
         )
         check_authorized(amendment, self.identity, current)
 
-        new_document = document.clone()
+        new_document = document.clone_for_append()
         sequence = len(amendment_cers(new_document))
         frontier = [
             cer.signature.element for cer in frontier_cers(new_document)

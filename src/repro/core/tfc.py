@@ -80,7 +80,9 @@ class TfcServer:
                  clock: Callable[[], float] | None = None,
                  keep_copies: bool = True,
                  trusted_tfcs: set[str] | None = None,
-                 verify_cache: VerificationCache | None = None) -> None:
+                 verify_cache: VerificationCache | None = None,
+                 verify_workers: int | None = None,
+                 verify_batch: bool | None = None) -> None:
         self.keypair = keypair
         self.directory = directory
         self.backend = backend or default_backend()
@@ -99,6 +101,10 @@ class TfcServer:
         #: Opt-in shared signature cache for incremental verification
         #: (``None`` keeps every ``process()`` a cold verify).
         self.verify_cache = verify_cache
+        #: Batched RSA verification knobs forwarded to
+        #: :func:`verify_document` (see its *workers*/*batch* docs).
+        self.verify_workers = verify_workers
+        self.verify_batch = verify_batch
         #: TFC identities whose CERs this server accepts in incoming
         #: documents.  Cross-enterprise deployments run one TFC per
         #: enterprise (Fig. 6 shows a TFC per hop); list the federation
@@ -134,6 +140,8 @@ class TfcServer:
             definition_reader=(self.identity, self.keypair.private_key),
             tfc_identities=self.trusted_tfcs,
             cache=self.verify_cache,
+            workers=self.verify_workers,
+            batch=self.verify_batch,
         )
         from ..document.amendments import effective_definition
 
@@ -182,7 +190,7 @@ class TfcServer:
             }
 
         timestamp = float(self.clock())
-        new_document = document.clone()
+        new_document = document.clone_for_append()
         intermediate_sig = new_document.find_cer(
             activity_id, iteration, cer_it.kind
         ).signature.element

@@ -34,7 +34,7 @@ import json
 from dataclasses import dataclass, field
 
 from ..errors import DeltaError, DeltaMismatch
-from ..xmlsec.canonical import canonicalize_segments
+from ..xmlsec.canonical import canonicalize_boundaries
 from .document import Dra4wfmsDocument
 from .sections import CER_TAG
 
@@ -49,6 +49,7 @@ __all__ = [
     "chunk_document",
     "decode_delta",
     "encode_delta",
+    "seed_chunks",
 ]
 
 #: Format tag embedded in every serialized manifest (versioned so a
@@ -136,12 +137,23 @@ def chunk_bytes(document: Dra4wfmsDocument) -> list[tuple[Chunk, bytes]]:
     """Split *document* into ordered (chunk, bytes) pairs.
 
     Uses the document's canonical memo, so on the hot append-then-ship
-    path only the newly appended CER is actually re-serialized.
+    path only the newly appended CER is actually re-serialized — and
+    only its digest is actually re-hashed: CER chunk digests are cached
+    on the memo under the same invalidation contract as the bytes
+    themselves (a mutation discards both).
     """
+    memo = document._memo
     pairs: list[tuple[Chunk, bytes]] = []
-    for is_cer, data in canonicalize_segments(document.root, CER_TAG,
-                                              document._memo):
-        pairs.append((Chunk(digest=chunk_digest(data), length=len(data),
+    for is_cer, data, node in canonicalize_boundaries(document.root,
+                                                      CER_TAG, memo):
+        digest = None
+        if node is not None and memo is not None:
+            digest = memo.chunk_digest_of(node)
+        if digest is None:
+            digest = chunk_digest(data)
+            if node is not None and memo is not None:
+                memo.store_chunk_digest(node, digest)
+        pairs.append((Chunk(digest=digest, length=len(data),
                             is_cer=is_cer), data))
     return pairs
 
@@ -271,6 +283,61 @@ def encode_delta(document: Dra4wfmsDocument,
         missing = {digest: data for digest, data in payloads.items()
                    if digest not in known}
     return DeltaDocument(manifest=manifest, chunks=missing)
+
+
+def _boundary_nodes(root, boundary_tag):
+    """Maximal *boundary_tag* subtrees of *root*, in document order."""
+    nodes = []
+
+    def walk(node):
+        if not isinstance(node.tag, str):
+            return
+        if node.tag == boundary_tag:
+            nodes.append(node)
+            return
+        for child in node:
+            walk(child)
+
+    walk(root)
+    return nodes
+
+
+def seed_chunks(document: Dra4wfmsDocument, manifest: Manifest,
+                chunks) -> None:
+    """Warm *document*'s canonical memo from already-verified chunks.
+
+    *document* must have been parsed from the byte concatenation the
+    *manifest* describes (i.e. the output of :func:`assemble`, which
+    checked every chunk digest and the whole-document digest).  Each CER
+    chunk is then **exactly** the canonical serialization of the
+    corresponding parsed CER subtree — round-trip stability
+    (``canonicalize(parse(canonicalize(e))) == canonicalize(e)``)
+    guarantees it — so the memo can be pre-loaded with the chunk string,
+    its encoded bytes, and its content digest at zero serialization
+    cost.  Without this, every ``from_bytes`` on the portal/store path
+    starts cold and re-serializes the whole history on its next
+    chunking or merge.
+
+    This is a producer-side optimisation only: verification never reads
+    the memo.  *chunks* is any digest→bytes mapping (``dict`` or
+    :class:`ChunkCache`); missing digests just leave those entries cold.
+    Structural mismatch (CER count differs from the manifest) silently
+    seeds nothing.
+    """
+    memo = document._memo
+    nodes = _boundary_nodes(document.root, CER_TAG)
+    cer_chunks = [c for c in manifest.chunks if c.is_cer]
+    if len(nodes) != len(cer_chunks):
+        return
+    for node, chunk in zip(nodes, cer_chunks):
+        try:
+            data = chunks[chunk.digest]
+        except KeyError:
+            continue
+        if len(data) != chunk.length:
+            continue
+        memo.store(node, data.decode("utf-8"))
+        memo.store_chunk(node, data, chunk.digest)
 
 
 def decode_delta(delta: DeltaDocument, cache: ChunkCache) -> bytes:

@@ -100,6 +100,22 @@ class Dra4wfmsDocument:
         """
         return Dra4wfmsDocument(copy.deepcopy(self.root))
 
+    def clone_for_append(self) -> "Dra4wfmsDocument":
+        """Deep copy that inherits this document's canonical memo.
+
+        For the hot hop path (execute → append CER → serialize), where
+        the copy is only ever mutated through :meth:`append_cer`/
+        :meth:`merge` — which maintain the memo invalidation contract —
+        a cold memo would force an O(document) re-serialization per hop.
+        ``copy.deepcopy`` preserves tree structure, so the memo is
+        transferred by :meth:`CanonicalMemo.remap` at zero serialization
+        cost.  Code that mutates the copy's tree directly must use
+        :meth:`clone` (or call :meth:`drop_canonical_cache`).
+        """
+        copied = Dra4wfmsDocument(copy.deepcopy(self.root))
+        copied._memo = self._memo.remap(self.root, copied.root)
+        return copied
+
     # -- header -----------------------------------------------------------------
 
     @property
@@ -284,7 +300,7 @@ class Dra4wfmsDocument:
                 f"cannot merge documents of different process instances "
                 f"({self.process_id} vs {other.process_id})"
             )
-        merged = self.clone()
+        merged = self.clone_for_append()
         own = {cer.key: cer for cer in merged.cers()}
         results = merged.results_section
         for cer in other.cers(include_definition=False):

@@ -26,11 +26,15 @@ cryptographic mismatches) or :class:`~repro.errors.VerificationError`
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from contextlib import suppress
 from dataclasses import dataclass, field
 
-from ..crypto.backend import CryptoBackend, default_backend
+from ..crypto.backend import (
+    CryptoBackend,
+    VerifyJob,
+    default_backend,
+    dispatch_verify_batch,
+)
 from ..crypto.pki import KeyDirectory
 from ..crypto.pure.rsa import RsaPrivateKey, RsaPublicKey
 from ..errors import (
@@ -120,15 +124,22 @@ class _SignatureChecker:
         self._digests: dict[int, bytes] = {}
 
     def prefetch(self, pairs: list[tuple[XmlSignature, RsaPublicKey]],
-                 workers: int) -> None:
-        """Verify *pairs* concurrently, memoising per-signature outcomes.
+                 workers: int | None) -> None:
+        """Pre-verify *pairs* in one batch, memoising per-signature outcomes.
+
+        The digest phase (reference comparisons, structural checks) runs
+        sequentially — it is cheap and shares the digest memo without
+        contention — then every surviving RSA check goes through a
+        single :func:`dispatch_verify_batch` call, which the backend may
+        fan across *workers* threads.
 
         Failures are *not* raised here: the sequential pass re-raises
         them at the same point in document order a serial verification
         would, so error reporting is identical with and without the
-        thread pool.
+        batch.
         """
-        jobs: list[tuple[str, XmlSignature, RsaPublicKey, bytes | None]] = []
+        rsa_jobs: list[VerifyJob] = []
+        pending: list[tuple[str, XmlSignature, bytes | None]] = []
         for signature, public_key in pairs:
             sid = signature.element.get(ID_ATTR)
             if sid is None or sid in self._memo:
@@ -140,27 +151,28 @@ class _SignatureChecker:
                 if key is not None and self.cache.seen(key):
                     self._memo[sid] = ("hit", None)
                     continue
-            jobs.append((sid, signature, public_key, key))
-        if not jobs:
-            return
-
-        def check(job):
-            sid, signature, public_key, key = job
             try:
-                # Sharing the digest memo across workers is safe: dict
-                # get/set are GIL-atomic, entries are write-once, and a
-                # lost race merely recomputes one digest.
-                signature.verify(public_key, self.root, self.backend,
-                                 self.id_index, digest_memo=self._digests)
+                message, sig_value, mode = signature.prepare_verify(
+                    self.root, self.backend, self.id_index,
+                    digest_memo=self._digests,
+                )
             except XmlSignatureError as exc:
-                return sid, ("fresh", exc), None
-            return sid, ("fresh", None), key
-
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            for sid, outcome, key in pool.map(check, jobs):
-                self._memo[sid] = outcome
-                if key is not None and outcome[1] is None:
+                self._memo[sid] = ("fresh", exc)
+                continue
+            rsa_jobs.append((public_key, message, sig_value, mode))
+            pending.append((sid, signature, key))
+        if not rsa_jobs:
+            return
+        results = dispatch_verify_batch(self.backend, rsa_jobs,
+                                        workers=workers)
+        for (sid, signature, key), error in zip(pending, results):
+            if error is None:
+                self._memo[sid] = ("fresh", None)
+                if key is not None:
                     self.cache.record(key)
+            else:
+                self._memo[sid] = ("fresh",
+                                   signature.wrap_rsa_failure(error))
 
     def verify(self, signature: XmlSignature,
                public_key: RsaPublicKey) -> None:
@@ -209,6 +221,7 @@ def verify_document(
     tfc_identities: set[str] | None = None,
     cache: VerificationCache | None = None,
     workers: int | None = None,
+    batch: bool | None = None,
 ) -> VerificationReport:
     """Verify *document* end to end.
 
@@ -238,6 +251,14 @@ def verify_document(
         thread pool of this size (useful for cold auditor/offline
         verifies of long cascades).  Error behaviour is unchanged: the
         first failure in document order is raised.
+    batch:
+        Force the batched pre-verification path even with one worker:
+        all fresh RSA checks go through one
+        :meth:`~repro.crypto.backend.CryptoBackend.verify_batch`
+        dispatch.  Verdicts, failing-CER attribution, and cache
+        accounting are identical to the sequential path (the
+        differential suite in ``tests/document/test_batch_differential``
+        pins this).  Defaults to following *workers*.
     """
     backend = backend or default_backend()
     report = VerificationReport(
@@ -252,8 +273,8 @@ def verify_document(
         raise TamperDetected(str(exc)) from exc
     checker = _SignatureChecker(document.root, backend, id_index, cache,
                                 report)
-    if workers is not None and workers > 1:
-        # Pre-verify every resolvable signature concurrently; outcomes
+    if (workers is not None and workers > 1) or batch:
+        # Pre-verify every resolvable signature in one batch; outcomes
         # surface below at the same point serial verification would
         # reach them.  Unresolvable signers/signatures are left for the
         # sequential pass so their errors keep their document position.

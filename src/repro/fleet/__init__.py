@@ -13,7 +13,8 @@ See ``docs/FLEET.md`` for the event model and how to read a report.
 from .arrivals import ClosedLoop, OpenLoop, think_time
 from .costs import CryptoCostModel
 from .fleet import TFC_IDENTITY, Fleet, FleetConfig, build_fleet
-from .report import FleetReport, percentile
+from .pool_exec import InstanceResult, RealFleetConfig, run_real_fleet
+from .report import FleetReport, RealFleetReport, percentile
 from .stations import Station, StationMetrics
 from .workload import FleetWorkload, workload_from_spec
 
@@ -24,12 +25,16 @@ __all__ = [
     "FleetConfig",
     "FleetReport",
     "FleetWorkload",
+    "InstanceResult",
     "OpenLoop",
+    "RealFleetConfig",
+    "RealFleetReport",
     "Station",
     "StationMetrics",
     "TFC_IDENTITY",
     "build_fleet",
     "percentile",
+    "run_real_fleet",
     "think_time",
     "workload_from_spec",
 ]

@@ -81,6 +81,11 @@ class FleetConfig:
     aea_workers: int = 1
     #: Cold-re-verify every Nth completed instance (0 disables).
     audit_every: int = 25
+    #: Batched RSA verification knobs for audits and the cloud's
+    #: TFC/portal verifies (see :func:`verify_document`).  ``None``
+    #: keeps the sequential path.
+    verify_workers: int | None = None
+    verify_batch: bool | None = None
     costs: CryptoCostModel = field(default_factory=CryptoCostModel)
     #: Hard stop against runaway event loops.
     max_events: int = 5_000_000
@@ -266,7 +271,12 @@ class Fleet:
         client = self._client(participant)
         wire_before = client.bytes_received + client.bytes_sent
         with self.clock.capture() as retrieve_cost:
-            data = client.retrieve_bytes(instance.process_id)
+            document = client.retrieve_document(instance.process_id)
+        # Identical to len(retrieved bytes): the parsed document
+        # re-serializes to the exact bytes retrieved (round-trip
+        # stability), so simulated costs are unchanged by the
+        # memo-seeded retrieve path.
+        retrieved_size = document.size_bytes
         responder = self.workload.responders.get(activity_id)
         if responder is None:
             raise FleetError(
@@ -275,7 +285,7 @@ class Fleet:
             )
         try:
             result = client.agent.execute_activity(
-                data, activity_id, responder,
+                document, activity_id, responder,
                 mode="advanced",
                 tfc_identity=self.system.tfc.identity,
                 tfc_public_key=self.system.tfc.public_key,
@@ -297,7 +307,7 @@ class Fleet:
         # store, never what gets hashed, verified, or signed.
         full_size = result.document.size_bytes
         aea_cost = costs.aea_execute(result.timings.signatures_verified,
-                                     len(data))
+                                     retrieved_size)
         if self.system.delta_routing:
             hop_wire = (client.bytes_received + client.bytes_sent
                         - wire_before)
@@ -360,6 +370,8 @@ class Fleet:
                 document, self.system.directory, self.system.backend,
                 definition_reader=(self.system.tfc.identity,
                                    self.system.tfc.keypair.private_key),
+                workers=self.config.verify_workers,
+                batch=self.config.verify_batch,
             )
         except Exception:
             self._audit_failures += 1
@@ -473,5 +485,7 @@ def build_fleet(workload: FleetWorkload,
         backend=world.backend,
         verify_cache=VerificationCache() if shared_cache else None,
         delta_routing=delta_routing,
+        verify_workers=config.verify_workers,
+        verify_batch=config.verify_batch,
     )
     return Fleet(system, workload, world.keypairs, config)

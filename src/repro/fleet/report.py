@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from .stations import StationMetrics
 
-__all__ = ["FleetReport", "percentile"]
+__all__ = ["FleetReport", "RealFleetReport", "percentile"]
 
 
 def percentile(samples: list[float], fraction: float) -> float:
@@ -181,4 +181,117 @@ class FleetReport:
                 f"{m.busy_seconds:>8.3f} {m.jobs:>8d} {m.max_queue_depth:>5d} "
                 f"{m.mean_queue_depth:>6.2f} {m.wait_seconds:>7.3f}"
             )
+        return "\n".join(lines)
+
+
+@dataclass
+class RealFleetReport:
+    """Aggregates of one true-parallel (``--real``) fleet run.
+
+    Unlike :class:`FleetReport` this mixes two kinds of quantity:
+
+    * **deterministic aggregates** — instance counts, hops, wire bytes,
+      audit outcomes, merged *simulated* per-component seconds.  These
+      are identical for the same (world, spec, seed) no matter how many
+      worker processes ran the instances; :meth:`deterministic_dict`
+      exposes exactly this subset, and the real-mode determinism test
+      compares it across worker counts.
+    * **host measurements** — wall-clock seconds, per-instance host
+      seconds, throughput per *wall* second, and the host's CPU count.
+      These obviously vary run to run and are excluded from the
+      deterministic view; benches record them (with ``cpu_count`` for
+      honest interpretation of scaling numbers).
+    """
+
+    workload: str
+    routing: str
+    seed: int
+    workers: int
+    instances: int
+    hops_executed: int
+    bytes_to_cloud: int
+    bytes_from_cloud: int
+    instances_audited: int
+    audit_failures: int
+    #: Merged simulated seconds per component tag (see SimClock.absorb).
+    sim_seconds: dict[str, float] = field(default_factory=dict)
+    #: Host seconds each instance took inside its worker, index order.
+    host_seconds_per_instance: list[float] = field(
+        default_factory=list, repr=False)
+    #: Host wall-clock seconds of the whole run (pool setup included).
+    wall_seconds: float = 0.0
+    cpu_count: int = 1
+
+    @property
+    def throughput_per_wall_second(self) -> float:
+        """Completed instances per *host* second (0.0 for empty runs)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.instances / self.wall_seconds
+
+    @property
+    def host_seconds_total(self) -> float:
+        """Summed per-instance host seconds (CPU-ish, not wall)."""
+        return sum(self.host_seconds_per_instance)
+
+    # -- serialisation ------------------------------------------------------
+
+    def deterministic_dict(self) -> dict[str, object]:
+        """The worker-count-independent subset (determinism currency)."""
+        return {
+            "workload": self.workload,
+            "routing": self.routing,
+            "seed": self.seed,
+            "instances": self.instances,
+            "hops_executed": self.hops_executed,
+            "bytes_to_cloud": self.bytes_to_cloud,
+            "bytes_from_cloud": self.bytes_from_cloud,
+            "instances_audited": self.instances_audited,
+            "audit_failures": self.audit_failures,
+            "sim_seconds": {k: self.sim_seconds[k]
+                            for k in sorted(self.sim_seconds)},
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        """Full JSON-safe snapshot (host measurements included)."""
+        out = self.deterministic_dict()
+        out.update({
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "host_seconds_total": round(self.host_seconds_total, 6),
+            "throughput_per_wall_second": round(
+                self.throughput_per_wall_second, 6),
+            "cpu_count": self.cpu_count,
+        })
+        return out
+
+    def to_json(self) -> str:
+        """Canonical serialisation of the full snapshot."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        lines = [
+            f"real fleet run: {self.workload} [seed {self.seed}, "
+            f"{self.workers} worker process"
+            f"{'es' if self.workers != 1 else ''}, "
+            f"{self.cpu_count} host CPUs]",
+            f"  instances : {self.instances} completed, "
+            f"{self.hops_executed} hops",
+            f"  wall time : {self.wall_seconds:.3f} s   "
+            f"throughput: {self.throughput_per_wall_second:.3f} inst/s   "
+            f"(host work: {self.host_seconds_total:.3f} s)",
+            f"  audit     : {self.instances_audited} instances "
+            f"re-verified cold, {self.audit_failures} failures",
+            f"  routing   : {self.routing}   "
+            f"to cloud {self.bytes_to_cloud:,} B   "
+            f"from cloud {self.bytes_from_cloud:,} B",
+        ]
+        if self.sim_seconds:
+            parts = ", ".join(
+                f"{name} {seconds:.3f}s"
+                for name, seconds in sorted(self.sim_seconds.items())
+            )
+            lines.append(f"  sim cost  : {parts}")
         return "\n".join(lines)

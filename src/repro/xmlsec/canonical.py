@@ -40,6 +40,7 @@ from ..errors import CanonicalizationError
 __all__ = [
     "CanonicalMemo",
     "canonicalize",
+    "canonicalize_boundaries",
     "canonicalize_segments",
     "parse_xml",
     "to_bytes",
@@ -135,11 +136,15 @@ class CanonicalMemo:
     accepts (the acceptance bar of ``docs/ROUTING.md``).
     """
 
-    __slots__ = ("_entries", "hits", "misses")
+    __slots__ = ("_entries", "_chunks", "hits", "misses")
 
     def __init__(self) -> None:
         #: id(element) → (element, serialized chunk)
         self._entries: dict[int, tuple[ET.Element, str]] = {}
+        #: id(element) → (element, encoded bytes, content digest or None)
+        #: for boundary subtrees (see :func:`canonicalize_boundaries`).
+        #: Invalidated exactly like ``_entries`` — same owner contract.
+        self._chunks: dict[int, tuple[ET.Element, bytes, str | None]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -158,14 +163,43 @@ class CanonicalMemo:
     def store(self, element: ET.Element, chunk: str) -> None:
         """Remember the canonical chunk of *element*."""
         self._entries[id(element)] = (element, chunk)
+        # A (re)serialization supersedes any cached encoded bytes.
+        self._chunks.pop(id(element), None)
+
+    def chunk_entry(self, element: ET.Element) -> bytes | None:
+        """Cached encoded bytes of a boundary subtree, or ``None``."""
+        entry = self._chunks.get(id(element))
+        if entry is not None and entry[0] is element:
+            return entry[1]
+        return None
+
+    def store_chunk(self, element: ET.Element, data: bytes,
+                    digest: str | None = None) -> None:
+        """Remember the encoded boundary bytes (and digest) of *element*."""
+        self._chunks[id(element)] = (element, data, digest)
+
+    def chunk_digest_of(self, element: ET.Element) -> str | None:
+        """Cached content digest of a boundary subtree, or ``None``."""
+        entry = self._chunks.get(id(element))
+        if entry is not None and entry[0] is element:
+            return entry[2]
+        return None
+
+    def store_chunk_digest(self, element: ET.Element, digest: str) -> None:
+        """Attach *digest* to the cached boundary bytes of *element*."""
+        entry = self._chunks.get(id(element))
+        if entry is not None and entry[0] is element:
+            self._chunks[id(element)] = (element, entry[1], digest)
 
     def discard(self, element: ET.Element) -> None:
         """Invalidate the entry of *element* (mutation about to happen)."""
         self._entries.pop(id(element), None)
+        self._chunks.pop(id(element), None)
 
     def clear(self) -> None:
         """Drop every entry."""
         self._entries.clear()
+        self._chunks.clear()
 
     def remap(self, old_root: ET.Element,
               new_root: ET.Element) -> "CanonicalMemo":
@@ -178,11 +212,16 @@ class CanonicalMemo:
         """
         fresh = CanonicalMemo()
         entries = self._entries
+        chunks = self._chunks
         store = fresh._entries
+        store_chunks = fresh._chunks
         for old, new in zip(old_root.iter(), new_root.iter()):
             entry = entries.get(id(old))
             if entry is not None and entry[0] is old:
                 store[id(new)] = (new, entry[1])
+            chunk = chunks.get(id(old))
+            if chunk is not None and chunk[0] is old:
+                store_chunks[id(new)] = (new, chunk[1], chunk[2])
         return fresh
 
 
@@ -260,30 +299,37 @@ def canonicalize(element: ET.Element,
     return "".join(out).encode("utf-8")
 
 
-def canonicalize_segments(
+def canonicalize_boundaries(
     element: ET.Element,
     boundary_tag: str,
     memo: CanonicalMemo | None = None,
-) -> list[tuple[bool, bytes]]:
+) -> list[tuple[bool, bytes, ET.Element | None]]:
     """Canonical serialization of *element*, split at boundary subtrees.
 
-    Returns an ordered list of ``(is_boundary, bytes)`` segments whose
-    concatenation equals ``canonicalize(element)``.  Every maximal
-    subtree whose tag equals *boundary_tag* becomes its own segment
-    (flagged ``True``); the glue around them is merged into unflagged
-    segments.  Because canonical serialization is position-independent,
-    each boundary segment is exactly ``canonicalize(boundary_element)``
-    — this is what content-addresses a document's CERs for the delta
+    Returns an ordered list of ``(is_boundary, bytes, node)`` segments
+    whose byte concatenation equals ``canonicalize(element)``.  Every
+    maximal subtree whose tag equals *boundary_tag* becomes its own
+    segment (flagged ``True``, *node* set to the subtree root); the glue
+    around them is merged into unflagged segments with ``node=None``.
+    Because canonical serialization is position-independent, each
+    boundary segment is exactly ``canonicalize(boundary_element)`` —
+    this is what content-addresses a document's CERs for the delta
     routing protocol (:mod:`repro.document.delta`).
+
+    With a *memo*, boundary segments reuse not just the cached chunk
+    string but the cached **encoded bytes** (the UTF-8 encode of a long
+    base64-heavy CER is itself measurable on the per-hop path); exposing
+    *node* lets :func:`repro.document.delta.chunk_bytes` cache the
+    content digest under the same invalidation contract.
     """
     if element is None:
         raise CanonicalizationError("cannot canonicalize None")
-    segments: list[tuple[bool, bytes]] = []
+    segments: list[tuple[bool, bytes, ET.Element | None]] = []
     glue: list[str] = []
 
     def flush() -> None:
         if glue:
-            segments.append((False, "".join(glue).encode("utf-8")))
+            segments.append((False, "".join(glue).encode("utf-8"), None))
             glue.clear()
 
     def walk(node: ET.Element) -> None:
@@ -292,9 +338,17 @@ def canonicalize_segments(
             return
         if tag == boundary_tag:
             flush()
+            if memo is not None:
+                cached = memo.chunk_entry(node)
+                if cached is not None:
+                    segments.append((True, cached, node))
+                    return
             local: list[str] = []
             _write(node, local, memo)
-            segments.append((True, "".join(local).encode("utf-8")))
+            data = "".join(local).encode("utf-8")
+            if memo is not None:
+                memo.store_chunk(node, data)
+            segments.append((True, data, node))
             return
         if not _XML_NAME.match(tag):
             raise CanonicalizationError(f"invalid element name {tag!r}")
@@ -318,6 +372,16 @@ def canonicalize_segments(
     walk(element)
     flush()
     return segments
+
+
+def canonicalize_segments(
+    element: ET.Element,
+    boundary_tag: str,
+    memo: CanonicalMemo | None = None,
+) -> list[tuple[bool, bytes]]:
+    """:func:`canonicalize_boundaries` without the node handles."""
+    return [(is_boundary, data) for is_boundary, data, _ in
+            canonicalize_boundaries(element, boundary_tag, memo)]
 
 
 def to_bytes(element: ET.Element) -> bytes:

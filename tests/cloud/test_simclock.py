@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.cloud.simclock import SimClock
+from repro.cloud.simclock import CostCapture, SimClock
 
 
 def test_starts_at_zero():
@@ -157,3 +157,69 @@ def test_captured_totals_match_equivalent_advances(charges):
     assert bucket.total == pytest.approx(
         sum(seconds for _, seconds in charges))
     assert sum(bucket.by_component().values()) == pytest.approx(bucket.total)
+
+
+# -- cross-process merge semantics -------------------------------------------
+
+
+def test_merge_appends_charges_with_tags():
+    bucket = CostCapture([("portal", 1.0)])
+    bucket.merge([("pool", 0.5), ("notify", 0.25)])
+    assert bucket.charges == [
+        ("portal", 1.0), ("pool", 0.5), ("notify", 0.25)]
+    assert bucket.by_component() == pytest.approx(
+        {"portal": 1.0, "pool": 0.5, "notify": 0.25})
+
+
+def test_merge_accepts_another_capture():
+    a = CostCapture([("portal", 1.0)])
+    b = CostCapture([("portal", 2.0), ("pool", 3.0)])
+    a.merge(b)
+    assert a.by_component() == pytest.approx({"portal": 3.0, "pool": 3.0})
+    # The donor is untouched.
+    assert b.by_component() == pytest.approx({"portal": 2.0, "pool": 3.0})
+
+
+def test_absorb_into_active_capture_preserves_tags():
+    """Pool-worker charges land in the capture bucket, not the floor."""
+    clock = SimClock()
+    with clock.capture() as bucket:
+        clock.advance(1.0, component="portal")
+        clock.absorb([("pool", 0.5), ("portal", 0.25)])
+    assert clock.now() == 0.0
+    assert bucket.by_component() == pytest.approx(
+        {"portal": 1.25, "pool": 0.5})
+
+
+def test_absorb_without_capture_advances_time():
+    clock = SimClock(10.0)
+    clock.absorb(CostCapture([("pool", 1.5), ("notify", 0.5)]))
+    assert clock.now() == pytest.approx(12.0)
+
+
+def test_absorb_fires_due_callbacks():
+    """Absorbed time is real time: scheduled events still fire."""
+    clock = SimClock()
+    fired = []
+    clock.schedule(1.0, lambda: fired.append(clock.now()))
+    clock.absorb([("pool", 2.0)])
+    assert fired == [1.0]
+    assert clock.now() == pytest.approx(2.0)
+
+
+@given(charges=st.lists(st.tuples(
+    st.sampled_from(["portal", "pool", None]), _durations), max_size=20))
+def test_absorb_conserves_every_charge(charges):
+    """Capture-then-absorb loses nothing across the process boundary."""
+    worker = SimClock()
+    with worker.capture() as worker_bucket:
+        for component, seconds in charges:
+            worker.advance(seconds, component=component)
+    # ... the worker's bucket crosses the pickle boundary as a list ...
+    wire = list(worker_bucket.charges)
+    parent = SimClock()
+    with parent.capture() as merged:
+        parent.absorb(wire)
+    assert merged.total == pytest.approx(worker_bucket.total)
+    assert merged.by_component() == pytest.approx(
+        worker_bucket.by_component())

@@ -1,0 +1,285 @@
+"""The tamper-matrix case registry, shared by two suites.
+
+Each :class:`TamperCase` is one adversarial mutation of a fully
+executed document: sections × mutation kinds, exactly the sweep
+``test_tamper_matrix.py`` runs against the verification cache.  The
+cases live here — not inline in that module — so the batched-
+verification differential suite (``test_batch_differential.py``) can
+replay the *same* attacks and assert that batched RSA verification
+reaches the same verdict, with the same failing-signature attribution,
+as the sequential path.
+
+A case's ``apply(document, donor)`` mutates *document* in place;
+``donor`` names which pristine sibling document the mutation grafts
+from (``None`` for self-contained mutations):
+
+=================  ======================================================
+donor key          fixture it resolves to
+=================  ======================================================
+sibling_basic      independent Fig. 9A run (replay source, basic model)
+sibling_advanced   independent Fig. 9B run, offset TFC clock
+fig9b_doc          the pristine Fig. 9B document (cross-workflow graft)
+=================  ======================================================
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable
+from xml.etree import ElementTree as ET
+
+__all__ = [
+    "BASIC_CER_COUNT",
+    "TFC_CER_COUNT",
+    "TamperCase",
+    "TAMPER_CASES",
+    "flip_base64",
+    "tfc_cers",
+]
+
+# Standard CERs in the Fig. 9A basic-model document (two loop passes).
+BASIC_CER_COUNT = 10
+# TFC CERs in the Fig. 9B advanced-model document.
+TFC_CER_COUNT = 10
+
+
+@dataclass(frozen=True)
+class TamperCase:
+    """One adversarial mutation: which document, what to do to it."""
+
+    name: str
+    #: ``"basic"`` (Fig. 9A document) or ``"advanced"`` (Fig. 9B).
+    model: str
+    #: Donor-document key (see module docstring) or ``None``.
+    donor: str | None
+    apply: Callable[[object, object | None], None]
+
+
+def flip_base64(node: ET.Element) -> None:
+    """Corrupt a base64 text payload while keeping it well-formed."""
+    text = node.text or ""
+    node.text = ("QUJD" if not text.startswith("QUJD") else "REVG") + text[4:]
+
+
+def tfc_cers(document) -> list[ET.Element]:
+    """The TFC CER elements of an advanced-model document, in order."""
+    return [cer for cer in document.results_section.findall("CER")
+            if cer.get("Kind") == "tfc"]
+
+
+# -- execution results -------------------------------------------------------
+
+
+def _result_flip(index: int):
+    def apply(document, donor) -> None:
+        cer = document.results_section.findall("CER")[index]
+        flip_base64(cer.find("ExecutionResult/EncryptedData/CipherData/"
+                             "CipherValue"))
+    return apply
+
+
+def _result_swap(index: int):
+    # Exchange the result *contents* of two CERs (Ids stay put, so only
+    # the digests can catch it).
+    def apply(document, donor) -> None:
+        cers = document.results_section.findall("CER")
+        result_a = cers[index].find("ExecutionResult")
+        result_b = cers[(index + 1) % BASIC_CER_COUNT].find("ExecutionResult")
+        a_children, b_children = list(result_a), list(result_b)
+        for child in a_children:
+            result_a.remove(child)
+        for child in b_children:
+            result_b.remove(child)
+            result_a.append(child)
+        for child in a_children:
+            result_b.append(child)
+    return apply
+
+
+def _result_replay(index: int):
+    # Substitute the same activity's result from the sibling run —
+    # valid ciphertext, validly signed, wrong document.
+    def apply(document, donor) -> None:
+        cer = document.results_section.findall("CER")[index]
+        donor_cer = donor.results_section.findall("CER")[index]
+        own = cer.find("ExecutionResult")
+        grafted = copy.deepcopy(donor_cer.find("ExecutionResult"))
+        cer.remove(own)
+        cer.insert(list(cer).index(cer.find("Signature")), grafted)
+    return apply
+
+
+# -- signatures --------------------------------------------------------------
+
+
+def _signature_flip(index: int):
+    def apply(document, donor) -> None:
+        cer = document.results_section.findall("CER")[index]
+        flip_base64(cer.find("Signature/SignatureValue"))
+    return apply
+
+
+def _signature_swap(index: int):
+    # Exchange whole signatures between two CERs of the document.
+    def apply(document, donor) -> None:
+        cers = document.results_section.findall("CER")
+        cer_a = cers[index]
+        cer_b = cers[(index + 3) % BASIC_CER_COUNT]
+        sig_a, sig_b = cer_a.find("Signature"), cer_b.find("Signature")
+        pos_a, pos_b = list(cer_a).index(sig_a), list(cer_b).index(sig_b)
+        cer_a.remove(sig_a)
+        cer_b.remove(sig_b)
+        cer_a.insert(pos_a, sig_b)
+        cer_b.insert(pos_b, sig_a)
+    return apply
+
+
+def _signature_replay(index: int):
+    # Graft the *same position's* signature from the sibling run: same
+    # signer, same signature id, honestly produced — but over the
+    # sibling's ciphertext, so every digest must mismatch here.
+    def apply(document, donor) -> None:
+        cer = document.results_section.findall("CER")[index]
+        donor_cer = donor.results_section.findall("CER")[index]
+        own = cer.find("Signature")
+        pos = list(cer).index(own)
+        cer.remove(own)
+        cer.insert(pos, copy.deepcopy(donor_cer.find("Signature")))
+    return apply
+
+
+# -- header ------------------------------------------------------------------
+
+
+def _header_flip(document, donor) -> None:
+    document.header.set("ProcessId", "forged-instance-id")
+
+
+def _header_swap(document, donor) -> None:
+    header = document.header
+    pid, name = header.get("ProcessId"), header.get("ProcessName")
+    header.set("ProcessId", name)
+    header.set("ProcessName", pid)
+
+
+def _header_replay(document, donor) -> None:
+    # Replace the whole header with the sibling instance's (validly
+    # designer-signed there): instance-substitution attack.
+    own = document.header
+    root = document.root
+    pos = list(root).index(own)
+    root.remove(own)
+    root.insert(pos, copy.deepcopy(donor.header))
+
+
+# -- embedded workflow definition --------------------------------------------
+
+
+def _definition_flip(document, donor) -> None:
+    for node in document.root.iter("Activity"):
+        if node.get("ActivityId") == "D":
+            node.set("Participant", "mallory@evil.example")
+
+
+def _definition_swap(document, donor) -> None:
+    # Exchange the designated participants of two activities: both
+    # identities stay legitimate, only the assignment changes.
+    activities = [node for node in document.root.iter("Activity")
+                  if node.get("ActivityId") in ("B1", "D")]
+    assert len(activities) == 2
+    first, second = activities
+    p1, p2 = first.get("Participant"), second.get("Participant")
+    first.set("Participant", p2)
+    second.set("Participant", p1)
+
+
+def _definition_replay(document, donor) -> None:
+    # Swap in another workflow's definition section wholesale (the
+    # Fig. 9B definition, validly signed in its own documents).
+    def_cer = document.root.find("ApplicationDefinition/CER")
+    own = def_cer.find("WorkflowDefinitionSection")
+    foreign = donor.root.find(".//WorkflowDefinitionSection")
+    pos = list(def_cer).index(own)
+    def_cer.remove(own)
+    def_cer.insert(pos, copy.deepcopy(foreign))
+
+
+# -- TFC timestamps (advanced model) -----------------------------------------
+
+
+def _timestamp_flip(index: int):
+    def apply(document, donor) -> None:
+        cer = tfc_cers(document)[index]
+        cer.find("Timestamp").set("Time", "0.0")
+    return apply
+
+
+def _timestamp_swap(index: int):
+    # Exchange witnessed times between two TFC CERs (reordering history
+    # while every timestamp value stays plausible).
+    def apply(document, donor) -> None:
+        cers = tfc_cers(document)
+        ts_a = cers[index].find("Timestamp")
+        ts_b = cers[(index + 1) % TFC_CER_COUNT].find("Timestamp")
+        time_a, time_b = ts_a.get("Time"), ts_b.get("Time")
+        ts_a.set("Time", time_b)
+        ts_b.set("Time", time_a)
+    return apply
+
+
+def _timestamp_replay(index: int):
+    # Graft the corresponding timestamp from the offset-clock sibling
+    # run — TFC-signed there, so a loosely keyed cache might remember
+    # it as "good".
+    def apply(document, donor) -> None:
+        cer = tfc_cers(document)[index]
+        donor_cer = tfc_cers(donor)[index]
+        own = cer.find("Timestamp")
+        pos = list(cer).index(own)
+        cer.remove(own)
+        cer.insert(pos, copy.deepcopy(donor_cer.find("Timestamp")))
+    return apply
+
+
+# -- the registry ------------------------------------------------------------
+
+
+def _build_cases() -> list[TamperCase]:
+    cases: list[TamperCase] = []
+    for index in range(BASIC_CER_COUNT):
+        cases.append(TamperCase(f"result-flip-{index}", "basic", None,
+                                _result_flip(index)))
+        cases.append(TamperCase(f"result-swap-{index}", "basic", None,
+                                _result_swap(index)))
+        cases.append(TamperCase(f"result-replay-{index}", "basic",
+                                "sibling_basic", _result_replay(index)))
+        cases.append(TamperCase(f"signature-flip-{index}", "basic", None,
+                                _signature_flip(index)))
+        cases.append(TamperCase(f"signature-swap-{index}", "basic", None,
+                                _signature_swap(index)))
+        cases.append(TamperCase(f"signature-replay-{index}", "basic",
+                                "sibling_basic", _signature_replay(index)))
+    cases.append(TamperCase("header-flip", "basic", None, _header_flip))
+    cases.append(TamperCase("header-swap", "basic", None, _header_swap))
+    cases.append(TamperCase("header-replay", "basic", "sibling_basic",
+                            _header_replay))
+    cases.append(TamperCase("definition-flip", "basic", None,
+                            _definition_flip))
+    cases.append(TamperCase("definition-swap", "basic", None,
+                            _definition_swap))
+    cases.append(TamperCase("definition-replay", "basic", "fig9b_doc",
+                            _definition_replay))
+    for index in range(TFC_CER_COUNT):
+        cases.append(TamperCase(f"timestamp-flip-{index}", "advanced", None,
+                                _timestamp_flip(index)))
+        cases.append(TamperCase(f"timestamp-swap-{index}", "advanced", None,
+                                _timestamp_swap(index)))
+        cases.append(TamperCase(f"timestamp-replay-{index}", "advanced",
+                                "sibling_advanced",
+                                _timestamp_replay(index)))
+    return cases
+
+
+#: The full adversarial sweep: 96 mutations over two document models.
+TAMPER_CASES: list[TamperCase] = _build_cases()

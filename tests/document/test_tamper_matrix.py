@@ -16,7 +16,9 @@ advanced model — TFC timestamp) apply each mutation kind:
   workflow), the classic substitution attack against a cache keyed too
   loosely.
 
-Every mutation must be rejected twice: by a cold verification and by a
+The mutations themselves live in the :mod:`tamper_cases` registry
+(shared with the batched-verification differential suite).  Every
+mutation must be rejected twice: by a cold verification and by a
 verification running against a cache **pre-warmed on the pristine
 document** — with the *same* exception type and message.  A cache hit
 on any tampered content would be a security hole, so these tests are
@@ -26,63 +28,13 @@ keys on exact content, not on document identity.
 
 from __future__ import annotations
 
-import copy
-import itertools
-
 import pytest
 
-from repro.core import InMemoryRuntime, TfcServer
-from repro.document import build_initial_document
 from repro.document.vcache import VerificationCache
 from repro.document.verify import verify_document
 from repro.errors import TamperDetected, VerificationError
-from repro.workloads import build_world, figure9_responders
-from repro.workloads.figure9 import (
-    DESIGNER,
-    PARTICIPANTS,
-    figure_9a_definition,
-    figure_9b_definition,
-)
 
-TFC_IDENTITY = "tfc@cloud.example"
-
-# Standard CERs in the Fig. 9A basic-model document (two loop passes).
-BASIC_CER_COUNT = 10
-# TFC CERs in the Fig. 9B advanced-model document.
-TFC_CER_COUNT = 10
-MUTATIONS = ("flip", "swap", "replay")
-
-
-# -- sibling documents (replay sources) --------------------------------------
-
-
-@pytest.fixture(scope="module")
-def sibling_basic(world, fig9a, backend):
-    """An independent execution of Fig. 9A: same workflow, same
-    participants, different process instance — every element validly
-    signed *in its own document*."""
-    initial = build_initial_document(fig9a, world.keypair(DESIGNER),
-                                     backend=backend)
-    runtime = InMemoryRuntime(world.directory, world.keypairs,
-                              backend=backend)
-    trace = runtime.run(initial, fig9a, figure9_responders(1), mode="basic")
-    return trace.final_document
-
-
-@pytest.fixture(scope="module")
-def sibling_advanced(world, fig9b, backend):
-    """An independent advanced-model run whose TFC clock starts at 100,
-    so its (validly signed) timestamps differ from the pristine run's."""
-    counter = itertools.count(100)
-    tfc = TfcServer(world.keypair(TFC_IDENTITY), world.directory,
-                    backend=backend, clock=lambda: float(next(counter)))
-    initial = build_initial_document(fig9b, world.keypair(DESIGNER),
-                                     backend=backend)
-    runtime = InMemoryRuntime(world.directory, world.keypairs, tfc=tfc,
-                              backend=backend)
-    trace = runtime.run(initial, fig9b, figure9_responders(1),
-                        mode="advanced")
-    return trace.final_document
+from .tamper_cases import TAMPER_CASES, flip_base64
 
 
 @pytest.fixture(scope="module")
@@ -95,17 +47,6 @@ def warm_cache(fig9a_trace, fig9b_run, world, backend):
     verify_document(trace.final_document, world.directory, backend,
                     cache=cache)
     return cache
-
-
-@pytest.fixture()
-def basic_doc(fig9a_trace):
-    return fig9a_trace.final_document.clone()
-
-
-@pytest.fixture()
-def advanced_doc(fig9b_run):
-    trace, _ = fig9b_run
-    return trace.final_document.clone()
 
 
 # -- the double rejection assertion ------------------------------------------
@@ -123,201 +64,19 @@ def assert_rejected_cold_and_warm(document, world, backend, cache):
     # pristine originals must still fully verify against it.
 
 
-def _flip_base64(node):
-    text = node.text or ""
-    node.text = ("QUJD" if not text.startswith("QUJD") else "REVG") + text[4:]
+# -- the full matrix ---------------------------------------------------------
 
 
-# -- execution results -------------------------------------------------------
+class TestTamperMatrix:
+    """Every registry case is rejected cold *and* against a warm cache."""
 
-
-class TestResultMatrix:
-    """Every standard CER's ExecutionResult × every mutation kind."""
-
-    @pytest.mark.parametrize("index", range(BASIC_CER_COUNT))
-    def test_flip(self, basic_doc, world, backend, warm_cache, index):
-        cer = basic_doc.results_section.findall("CER")[index]
-        _flip_base64(cer.find("ExecutionResult/EncryptedData/CipherData/"
-                              "CipherValue"))
-        assert_rejected_cold_and_warm(basic_doc, world, backend, warm_cache)
-
-    @pytest.mark.parametrize("index", range(BASIC_CER_COUNT))
-    def test_swap(self, basic_doc, world, backend, warm_cache, index):
-        # Exchange the result *contents* of two CERs (Ids stay put, so
-        # only the digests can catch it).
-        cers = basic_doc.results_section.findall("CER")
-        result_a = cers[index].find("ExecutionResult")
-        result_b = cers[(index + 1) % BASIC_CER_COUNT].find("ExecutionResult")
-        a_children, b_children = list(result_a), list(result_b)
-        for child in a_children:
-            result_a.remove(child)
-        for child in b_children:
-            result_b.remove(child)
-            result_a.append(child)
-        for child in a_children:
-            result_b.append(child)
-        assert_rejected_cold_and_warm(basic_doc, world, backend, warm_cache)
-
-    @pytest.mark.parametrize("index", range(BASIC_CER_COUNT))
-    def test_replay(self, basic_doc, sibling_basic, world, backend,
-                    warm_cache, index):
-        # Substitute the same activity's result from the sibling run —
-        # valid ciphertext, validly signed, wrong document.
-        cer = basic_doc.results_section.findall("CER")[index]
-        donor = sibling_basic.results_section.findall("CER")[index]
-        own, grafted = cer.find("ExecutionResult"), \
-            copy.deepcopy(donor.find("ExecutionResult"))
-        cer.remove(own)
-        cer.insert(list(cer).index(cer.find("Signature")), grafted)
-        assert_rejected_cold_and_warm(basic_doc, world, backend, warm_cache)
-
-
-# -- signatures --------------------------------------------------------------
-
-
-class TestSignatureMatrix:
-    """Every standard CER's Signature × every mutation kind."""
-
-    @pytest.mark.parametrize("index", range(BASIC_CER_COUNT))
-    def test_flip(self, basic_doc, world, backend, warm_cache, index):
-        cer = basic_doc.results_section.findall("CER")[index]
-        _flip_base64(cer.find("Signature/SignatureValue"))
-        assert_rejected_cold_and_warm(basic_doc, world, backend, warm_cache)
-
-    @pytest.mark.parametrize("index", range(BASIC_CER_COUNT))
-    def test_swap(self, basic_doc, world, backend, warm_cache, index):
-        # Exchange whole signatures between two CERs of the document.
-        cers = basic_doc.results_section.findall("CER")
-        cer_a = cers[index]
-        cer_b = cers[(index + 3) % BASIC_CER_COUNT]
-        sig_a, sig_b = cer_a.find("Signature"), cer_b.find("Signature")
-        pos_a, pos_b = list(cer_a).index(sig_a), list(cer_b).index(sig_b)
-        cer_a.remove(sig_a)
-        cer_b.remove(sig_b)
-        cer_a.insert(pos_a, sig_b)
-        cer_b.insert(pos_b, sig_a)
-        assert_rejected_cold_and_warm(basic_doc, world, backend, warm_cache)
-
-    @pytest.mark.parametrize("index", range(BASIC_CER_COUNT))
-    def test_replay(self, basic_doc, sibling_basic, world, backend,
-                    warm_cache, index):
-        # Graft the *same position's* signature from the sibling run:
-        # same signer, same signature id, honestly produced — but over
-        # the sibling's ciphertext, so every digest must mismatch here.
-        cer = basic_doc.results_section.findall("CER")[index]
-        donor = sibling_basic.results_section.findall("CER")[index]
-        own = cer.find("Signature")
-        pos = list(cer).index(own)
-        cer.remove(own)
-        cer.insert(pos, copy.deepcopy(donor.find("Signature")))
-        assert_rejected_cold_and_warm(basic_doc, world, backend, warm_cache)
-
-
-# -- header ------------------------------------------------------------------
-
-
-class TestHeaderMatrix:
-    def test_flip(self, basic_doc, world, backend, warm_cache):
-        basic_doc.header.set("ProcessId", "forged-instance-id")
-        assert_rejected_cold_and_warm(basic_doc, world, backend, warm_cache)
-
-    def test_swap(self, basic_doc, world, backend, warm_cache):
-        header = basic_doc.header
-        pid, name = header.get("ProcessId"), header.get("ProcessName")
-        header.set("ProcessId", name)
-        header.set("ProcessName", pid)
-        assert_rejected_cold_and_warm(basic_doc, world, backend, warm_cache)
-
-    def test_replay(self, basic_doc, sibling_basic, world, backend,
-                    warm_cache):
-        # Replace the whole header with the sibling instance's (validly
-        # designer-signed there): instance-substitution attack.
-        own = basic_doc.header
-        root = basic_doc.root
-        pos = list(root).index(own)
-        root.remove(own)
-        root.insert(pos, copy.deepcopy(sibling_basic.header))
-        assert_rejected_cold_and_warm(basic_doc, world, backend, warm_cache)
-
-
-# -- embedded workflow definition --------------------------------------------
-
-
-class TestDefinitionMatrix:
-    def test_flip(self, basic_doc, world, backend, warm_cache):
-        for node in basic_doc.root.iter("Activity"):
-            if node.get("ActivityId") == "D":
-                node.set("Participant", "mallory@evil.example")
-        assert_rejected_cold_and_warm(basic_doc, world, backend, warm_cache)
-
-    def test_swap(self, basic_doc, world, backend, warm_cache):
-        # Exchange the designated participants of two activities: both
-        # identities stay legitimate, only the assignment changes.
-        activities = [node for node in basic_doc.root.iter("Activity")
-                      if node.get("ActivityId") in ("B1", "D")]
-        assert len(activities) == 2
-        first, second = activities
-        p1, p2 = first.get("Participant"), second.get("Participant")
-        first.set("Participant", p2)
-        second.set("Participant", p1)
-        assert_rejected_cold_and_warm(basic_doc, world, backend, warm_cache)
-
-    def test_replay(self, basic_doc, fig9b_run, world, backend, warm_cache):
-        # Swap in another workflow's definition section wholesale (the
-        # Fig. 9B definition, validly signed in its own documents).
-        trace, _ = fig9b_run
-        donor = trace.final_document
-        def_cer = basic_doc.root.find("ApplicationDefinition/CER")
-        own = def_cer.find("WorkflowDefinitionSection")
-        foreign = donor.root.find(".//WorkflowDefinitionSection")
-        pos = list(def_cer).index(own)
-        def_cer.remove(own)
-        def_cer.insert(pos, copy.deepcopy(foreign))
-        assert_rejected_cold_and_warm(basic_doc, world, backend, warm_cache)
-
-
-# -- TFC timestamps (advanced model) -----------------------------------------
-
-
-class TestTimestampMatrix:
-    def _tfc_cers(self, document):
-        return [cer for cer in document.results_section.findall("CER")
-                if cer.get("Kind") == "tfc"]
-
-    @pytest.mark.parametrize("index", range(TFC_CER_COUNT))
-    def test_flip(self, advanced_doc, world, backend, warm_cache, index):
-        cer = self._tfc_cers(advanced_doc)[index]
-        cer.find("Timestamp").set("Time", "0.0")
-        assert_rejected_cold_and_warm(advanced_doc, world, backend,
-                                      warm_cache)
-
-    @pytest.mark.parametrize("index", range(TFC_CER_COUNT))
-    def test_swap(self, advanced_doc, world, backend, warm_cache, index):
-        # Exchange witnessed times between two TFC CERs (reordering
-        # history while every timestamp value stays plausible).
-        cers = self._tfc_cers(advanced_doc)
-        ts_a = cers[index].find("Timestamp")
-        ts_b = cers[(index + 1) % TFC_CER_COUNT].find("Timestamp")
-        time_a, time_b = ts_a.get("Time"), ts_b.get("Time")
-        ts_a.set("Time", time_b)
-        ts_b.set("Time", time_a)
-        assert_rejected_cold_and_warm(advanced_doc, world, backend,
-                                      warm_cache)
-
-    @pytest.mark.parametrize("index", range(TFC_CER_COUNT))
-    def test_replay(self, advanced_doc, sibling_advanced, world, backend,
-                    warm_cache, index):
-        # Graft the corresponding timestamp from the offset-clock
-        # sibling run — TFC-signed there, so a loosely keyed cache
-        # might remember it as "good".
-        cer = self._tfc_cers(advanced_doc)[index]
-        donor = self._tfc_cers(sibling_advanced)[index]
-        own = cer.find("Timestamp")
-        pos = list(cer).index(own)
-        cer.remove(own)
-        cer.insert(pos, copy.deepcopy(donor.find("Timestamp")))
-        assert_rejected_cold_and_warm(advanced_doc, world, backend,
-                                      warm_cache)
+    @pytest.mark.parametrize("case", TAMPER_CASES, ids=lambda c: c.name)
+    def test_rejected(self, case, basic_doc, advanced_doc, tamper_donors,
+                      world, backend, warm_cache):
+        document = basic_doc if case.model == "basic" else advanced_doc
+        donor = tamper_donors[case.donor] if case.donor else None
+        case.apply(document, donor)
+        assert_rejected_cold_and_warm(document, world, backend, warm_cache)
 
 
 # -- the cache itself stays honest -------------------------------------------
@@ -356,7 +115,7 @@ class TestCacheIntegrity:
         """A failed verification must not grow the cache."""
         cache = VerificationCache()
         node = basic_doc.root.find(".//CER/Signature/SignatureValue")
-        _flip_base64(node)
+        flip_base64(node)
         with pytest.raises((TamperDetected, VerificationError)):
             verify_document(basic_doc, world.directory, backend, cache=cache)
         # Entries may exist for the CERs verified *before* the broken
