@@ -100,12 +100,15 @@ def emit_table(name: str, title: str, header: list[str],
     return text
 
 
-def emit_bench_json(name: str, payload: dict) -> str:
-    """Persist a machine-readable benchmark result.
+def emit_bench(name: str, payload: dict) -> str:
+    """Persist a machine-readable benchmark result — the ONE emitter.
 
     Written twice: ``BENCH_<name>.json`` at the repo root (what CI
     uploads as an artifact and diff-checks across runs) and a copy under
-    ``benchmarks/results/`` next to the human-readable tables.
+    ``benchmarks/results/`` next to the human-readable tables.  Every
+    bench and sweep script goes through here so the naming scheme,
+    serialisation (sorted keys, trailing newline) and destinations can
+    never drift apart.
     """
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     root = pathlib.Path(__file__).parent.parent
@@ -113,3 +116,7 @@ def emit_bench_json(name: str, payload: dict) -> str:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.json").write_text(text)
     return text
+
+
+# Back-compat alias for external scripts pinned to the old name.
+emit_bench_json = emit_bench

@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 import time
 
-from conftest import emit_bench_json, emit_table
+from conftest import emit_bench, emit_table
 from repro.fleet import ClosedLoop, FleetConfig, build_fleet, workload_from_spec
 
 SPEC = "chain:50:5"
@@ -85,7 +85,7 @@ def test_delta_moves_under_15_percent_of_full():
             "chunk_store": report.chunk_store,
         }
 
-    emitted = emit_bench_json("delta_routing", {
+    emitted = emit_bench("delta_routing", {
         "workload": SPEC,
         "seed": SEED,
         "acceptance_ratio": ACCEPTANCE_RATIO,

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import os
 
-from conftest import emit_bench_json, emit_table
+from conftest import emit_bench, emit_table
 from repro.fleet import RealFleetConfig, run_real_fleet, workload_from_spec
 from repro.fleet.fleet import TFC_IDENTITY
 from repro.workloads.participants import build_world
@@ -85,7 +85,7 @@ def test_worker_pool_scaling():
         ["workers", "wall s", "inst/s", "speedup", "hops"],
         rows,
     )
-    emit_bench_json("fleet_real", {
+    emit_bench("fleet_real", {
         "workload": SPEC,
         "instances": INSTANCES,
         "seed": SEED,

@@ -18,6 +18,12 @@ import pathlib
 import subprocess
 import sys
 
+# The sweep persists through the benchmark suite's single emitter, so
+# root artifacts and benchmarks/results/ copies never drift apart.
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent
+                       / "benchmarks"))
+from conftest import emit_bench  # noqa: E402
+
 SPECS = ["chain:10:5", "chain:25:5", "chain:50:5"]
 SEED = 7
 
@@ -63,9 +69,7 @@ def main() -> int:
               f"(ratio {ratio:.4f}) {verdict}")
         if ratio >= 1.0:
             failed = True
-    root = pathlib.Path(__file__).parent.parent
-    (root / "BENCH_delta_sweep.json").write_text(
-        json.dumps(sweep, indent=2, sort_keys=True) + "\n")
+    emit_bench("delta_sweep", sweep)
     return 1 if failed else 0
 
 

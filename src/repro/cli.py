@@ -172,6 +172,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    delta = args.delta or args.replication is not None
     if args.real:
         config = RealFleetConfig(
             spec=args.workflow,
@@ -180,10 +181,13 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             workers=args.workers,
             loops=args.loops,
             audit_every=args.audit_every,
-            delta_routing=args.delta,
+            delta_routing=delta,
             verify_workers=args.verify_workers,
             verify_batch=True if args.verify_workers else None,
             portals=args.portals,
+            placement=args.placement,
+            chunk_replicas=args.replication,
+            split_threshold_rows=args.split_rows,
         )
         report = run_real_fleet(config)
         if args.json:
@@ -207,7 +211,10 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         verify_batch=True if args.verify_workers else None,
     )
     fleet = build_fleet(workload, config, portals=args.portals,
-                        delta_routing=args.delta)
+                        delta_routing=delta,
+                        placement=args.placement,
+                        chunk_replicas=args.replication,
+                        split_threshold_rows=args.split_rows)
     report = fleet.run()
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -298,6 +305,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="mean participant think time, sim-seconds")
     loadtest.add_argument("--portals", type=int, default=2,
                           help="portal servers")
+    loadtest.add_argument("--placement", choices=("round-robin", "ring"),
+                          default="round-robin",
+                          help="instance→portal placement: ring pins "
+                               "each instance to one portal by "
+                               "consistent hash and reports per-portal "
+                               "load (see docs/SHARDING.md)")
+    loadtest.add_argument("--replication", type=int, default=None,
+                          metavar="R",
+                          help="replicate delta chunks over R region-"
+                               "server shards with read-repair "
+                               "(implies --delta)")
+    loadtest.add_argument("--split-rows", type=int, default=256,
+                          help="HBase region auto-split row threshold")
     loadtest.add_argument("--tfc-workers", type=int, default=1,
                           help="parallel TFC verify/sign workers")
     loadtest.add_argument("--audit-every", type=int, default=25,

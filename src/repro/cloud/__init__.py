@@ -10,8 +10,10 @@ from .hdfs import BlockInfo, DataNode, SimHdfs
 from .mapreduce import JobStats, MapReduceEngine
 from .network import LAN, WAN, NetworkModel
 from .notify import Notification, NotificationService
+from .placement import PortalPlacement, ReplicatedChunkStore
 from .pool import DOC_TABLE, TODO_TABLE, DocumentPool, PoolEntry, ProcessSummary
 from .portal import PortalServer, Session
+from .sharding import DEFAULT_VNODES, HashRing, placement_skew
 from .simclock import SimClock
 from .system import CloudClient, CloudSystem, run_process_in_cloud
 
@@ -20,9 +22,11 @@ __all__ = [
     "Cell",
     "CloudClient",
     "CloudSystem",
+    "DEFAULT_VNODES",
     "DOC_TABLE",
     "DataNode",
     "DocumentPool",
+    "HashRing",
     "JobStats",
     "LAN",
     "MapReduceEngine",
@@ -30,15 +34,18 @@ __all__ = [
     "Notification",
     "NotificationService",
     "PoolEntry",
+    "PortalPlacement",
     "ProcessSummary",
     "PortalServer",
     "Region",
     "RegionServer",
+    "ReplicatedChunkStore",
     "Session",
     "SimClock",
     "SimHBase",
     "SimHdfs",
     "TODO_TABLE",
     "WAN",
+    "placement_skew",
     "run_process_in_cloud",
 ]

@@ -52,6 +52,9 @@ class Region:
     end_key: str             # exclusive (_END_KEY = unbounded)
     rows: dict[str, dict[tuple[str, str], Cell]] = field(default_factory=dict)
     memstore_bytes: int = 0
+    #: Total stored cell-value bytes (maintained incrementally — the
+    #: byte-threshold split trigger must not rescan the region per put).
+    data_bytes: int = 0
     #: Write-ahead log entries since the last flush:
     #: ("put", row_key, family, qualifier, value, timestamp) or
     #: ("delete", row_key, "", "", b"", timestamp) tombstones.
@@ -66,6 +69,14 @@ class Region:
     def row_count(self) -> int:
         """Rows currently in the region."""
         return len(self.rows)
+
+    def recompute_bytes(self) -> int:
+        """Rebuild the byte counter from the rows (recovery paths)."""
+        self.data_bytes = sum(
+            len(cell.value)
+            for cells in self.rows.values() for cell in cells.values()
+        )
+        return self.data_bytes
 
     def sorted_keys(self) -> list[str]:
         """Row keys in order (HBase rows are key-sorted)."""
@@ -174,6 +185,8 @@ class SimHBase:
                  clock: SimClock | None = None,
                  network: NetworkModel = LAN,
                  split_threshold_rows: int = 256,
+                 split_threshold_bytes: int | None = None,
+                 auto_balance: bool = True,
                  memstore_flush_bytes: int = 1 << 20) -> None:
         if region_servers < 1:
             raise StorageError("need at least one region server")
@@ -181,6 +194,14 @@ class SimHBase:
         self.hdfs = hdfs or SimHdfs(clock=self.clock, network=network)
         self.network = network
         self.split_threshold_rows = split_threshold_rows
+        #: When set, a region also splits once its stored cell bytes
+        #: exceed this — the real HBase trigger (``hbase.hregion.max.
+        #: filesize``); row count alone under-splits tables whose rows
+        #: grow (the document table: one fat row per instance).
+        self.split_threshold_bytes = split_threshold_bytes
+        #: Rebalance regions across servers after every split (load-
+        #: driven, not operator-driven — the §3 elasticity story).
+        self.auto_balance = auto_balance
         self.memstore_flush_bytes = memstore_flush_bytes
         self.servers: dict[str, RegionServer] = {
             f"rs{i}": RegionServer(f"rs{i}") for i in range(region_servers)
@@ -189,7 +210,7 @@ class SimHBase:
         self._region_ids = itertools.count(1)
         self._assign_cursor = itertools.count(0)
         self.stats = {"puts": 0, "gets": 0, "scans": 0, "splits": 0,
-                      "flushes": 0}
+                      "flushes": 0, "moves": 0}
 
     # -- table & region management ------------------------------------------------
 
@@ -217,17 +238,20 @@ class SimHBase:
         return sorted(regions, key=lambda r: r.start_key)
 
     def _assign(self, region: Region) -> RegionServer:
-        # Least-loaded live server, round-robin tiebreak.
+        # Least-loaded live server, round-robin tiebreak.  The rotation
+        # must not involve ``hash(str)`` — it is salted per process and
+        # would make region placement (and the split/move counters the
+        # fleet reports) vary between same-seed runs.
         live = [s for s in self.servers.values() if s.alive]
         if not live:
             raise RegionError("no live region server to host the region")
         cursor = next(self._assign_cursor)
         ordered = sorted(
-            live,
-            key=lambda s: (s.load, (hash(s.server_id) + cursor)
-                           % len(live)),
+            enumerate(live),
+            key=lambda pair: (pair[1].load,
+                              (pair[0] + cursor) % len(live)),
         )
-        server = ordered[0]
+        server = ordered[0][1]
         server.regions.append(region)
         return server
 
@@ -263,12 +287,16 @@ class SimHBase:
         self.clock.advance(self.network.transfer_seconds(len(value)),
                            component="pool")
         row = region.rows.setdefault(row_key, {})
+        previous = row.get((family, qualifier))
+        if previous is not None:
+            region.data_bytes -= len(previous.value)
         row[(family, qualifier)] = Cell(value=value, timestamp=timestamp)
         region.memstore_bytes += len(value)
+        region.data_bytes += len(value)
         self.stats["puts"] += 1
         if region.memstore_bytes >= self.memstore_flush_bytes:
             self._flush(region)
-        if region.row_count > self.split_threshold_rows:
+        if self._needs_split(region):
             self._split(region)
 
     def get(self, table: str, row_key: str) -> dict[tuple[str, str], bytes]:
@@ -322,7 +350,9 @@ class SimHBase:
         region.wal.append(("delete", row_key, "", "", b"",
                            self.clock.now()))
         self.hdfs.write(region.wal_path(), region.encode_wal())
-        region.rows.pop(row_key, None)
+        dropped = region.rows.pop(row_key, None)
+        if dropped is not None:
+            region.data_bytes -= sum(len(c.value) for c in dropped.values())
 
     def scan(self, table: str, start_key: str = "",
              stop_key: str | None = None, limit: int | None = None,
@@ -360,6 +390,12 @@ class SimHBase:
         self.hdfs.write(region.wal_path(), b"")
         self.stats["flushes"] += 1
 
+    def _needs_split(self, region: Region) -> bool:
+        if region.row_count > self.split_threshold_rows:
+            return True
+        return (self.split_threshold_bytes is not None
+                and region.data_bytes > self.split_threshold_bytes)
+
     def _split(self, region: Region) -> None:
         keys = region.sorted_keys()
         if len(keys) < 2:
@@ -373,12 +409,18 @@ class SimHBase:
         )
         region.end_key = midpoint
         for key in keys[len(keys) // 2:]:
-            sibling.rows[key] = region.rows.pop(key)
+            moved = region.rows.pop(key)
+            sibling.rows[key] = moved
+            moved_bytes = sum(len(c.value) for c in moved.values())
+            region.data_bytes -= moved_bytes
+            sibling.data_bytes += moved_bytes
         self._tables[region.table].append(sibling)
         self._assign(sibling)
         self._flush(region)
         self._flush(sibling)
         self.stats["splits"] += 1
+        if self.auto_balance:
+            self.stats["moves"] += self.balance()
 
     def kill_server(self, server_id: str) -> int:
         """Fail a region server and recover its regions elsewhere.
@@ -413,6 +455,7 @@ class SimHBase:
                 if self.hdfs.exists(region.wal_path()) else b""
             )
             region.memstore_bytes = 0
+            region.recompute_bytes()
             self._assign(region)
         return replayed
 
@@ -449,9 +492,18 @@ class SimHBase:
         """Row count of a table across all regions."""
         return sum(r.row_count for r in self.regions_of(table))
 
+    def total_bytes(self, table: str) -> int:
+        """Stored cell-value bytes of a table across all regions."""
+        return sum(r.data_bytes for r in self.regions_of(table))
+
     def region_count(self, table: str) -> int:
         """Number of regions a table is split into."""
         return len(self.regions_of(table))
+
+    def server_loads(self) -> dict[str, int]:
+        """Rows hosted per region server (the balancing metric)."""
+        return {server_id: server.load
+                for server_id, server in sorted(self.servers.items())}
 
 
 class CerChunkStore:

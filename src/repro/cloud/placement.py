@@ -1,0 +1,247 @@
+"""Placement services of the sharded cloud tier.
+
+Two users of the :class:`~repro.cloud.sharding.HashRing` live here:
+
+* :class:`PortalPlacement` — pins every process instance to one portal
+  of the tier for its whole lifetime.  Portals are stateless (all state
+  is in the pool), so *any* portal could serve any request; pinning by
+  consistent hash instead of round-robin gives each instance session
+  affinity (warm per-portal caches), keeps placement independent of
+  call order (round-robin depends on who logged in when — a property
+  that breaks worker-count-independent reports), and makes per-portal
+  load a pure function of the instance population.
+* :class:`ReplicatedChunkStore` — factor-R placement of
+  content-addressed CER chunks over a set of shard tables, with
+  digest-checked read-repair on miss.  A lost or corrupted replica is
+  healed from any surviving one; a chunk whose bytes fail their SHA-256
+  is never served, never repaired *from*, and never silently accepted.
+
+Both are deterministic: placement depends only on (names, vnodes,
+seed), never on host state, so same-seed fleet runs report identical
+placements no matter how many OS workers executed them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..errors import CloudError, StorageError
+from .hbase import SimHBase
+from .sharding import DEFAULT_VNODES, HashRing, placement_skew
+
+__all__ = ["PortalPlacement", "ReplicatedChunkStore"]
+
+
+class PortalPlacement:
+    """Consistent-hash pinning of process instances to portals."""
+
+    def __init__(self, portal_ids: list[str],
+                 vnodes: int = DEFAULT_VNODES,
+                 seed: int = 0) -> None:
+        self.ring = HashRing(portal_ids, vnodes=vnodes, seed=seed)
+        #: portal id → instances first routed there (observability).
+        self.placed: dict[str, int] = {pid: 0 for pid in portal_ids}
+        self._seen: set[str] = set()
+
+    def portal_for(self, process_id: str) -> str:
+        """The portal id owning *process_id* (counts first sightings)."""
+        portal_id = self.ring.node_for(process_id)
+        if process_id not in self._seen:
+            self._seen.add(process_id)
+            self.placed[portal_id] = self.placed.get(portal_id, 0) + 1
+        return portal_id
+
+    @property
+    def skew(self) -> float:
+        """Max/mean instances-per-portal of everything placed so far."""
+        return placement_skew(self.placed)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe placement snapshot for fleet reports."""
+        return {
+            "scheme": "ring",
+            "vnodes": self.ring.vnodes,
+            "portals": dict(sorted(self.placed.items())),
+            "skew": round(self.skew, 9),
+        }
+
+
+class ReplicatedChunkStore:
+    """Factor-R replicated, content-addressed chunk storage.
+
+    Same interface as :class:`~repro.cloud.hbase.CerChunkStore` (the
+    delta-routing :class:`~repro.cloud.pool.DocumentPool` uses either
+    interchangeably), but each chunk is written to *replicas* distinct
+    shard tables chosen by consistent hash of its digest.  Reads try
+    the primary shard first and fall back along the replica chain;
+    every payload read is re-hashed against its digest, so a corrupted
+    replica is indistinguishable from a missing one — and either is
+    healed by **read-repair**: the first intact copy found is written
+    back to the shards that should have held it.
+
+    The in-memory digest index (`_known`) plays the same role as the
+    base store's: suppress duplicate puts without a storage round trip.
+    Read-repair deliberately bypasses it — repair is about the durable
+    copies, not the cache.
+    """
+
+    TABLE_PREFIX = "dra4wfms_chunks_shard"
+
+    def __init__(self, hbase: SimHBase, shards: int = 2,
+                 replicas: int = 2, vnodes: int = 64,
+                 seed: int = 0) -> None:
+        if shards < 1:
+            raise StorageError("need at least one chunk shard")
+        if not isinstance(replicas, int) or isinstance(replicas, bool):
+            raise StorageError(
+                f"chunk replication factor must be an integer, "
+                f"got {replicas!r}"
+            )
+        if replicas < 1:
+            raise StorageError("chunk replication factor must be >= 1")
+        if replicas > shards:
+            raise StorageError(
+                f"cannot keep {replicas} replicas on {shards} shard(s); "
+                f"add region servers or lower the factor"
+            )
+        self.hbase = hbase
+        self.replicas = replicas
+        self.shard_ids = [f"shard{i}" for i in range(shards)]
+        self.ring = HashRing(self.shard_ids, vnodes=vnodes, seed=seed)
+        for shard_id in self.shard_ids:
+            table = self._table(shard_id)
+            if not hbase.has_table(table):
+                hbase.create_table(table)
+        self._known: set[str] = set()
+        self.stats = {
+            "unique_chunks": 0,
+            "unique_bytes": 0,
+            "dedup_hits": 0,
+            "logical_bytes": 0,
+            "replicas": replicas,
+            "replica_fallbacks": 0,
+            "read_repairs": 0,
+            "corrupt_replicas": 0,
+        }
+
+    def _table(self, shard_id: str) -> str:
+        return f"{self.TABLE_PREFIX}-{shard_id}"
+
+    def replica_shards(self, digest: str) -> list[str]:
+        """The *replicas* shard ids holding a digest, primary first."""
+        return self.ring.nodes_for(digest, self.replicas)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._known
+
+    # -- writes --------------------------------------------------------------
+
+    def put_chunk(self, digest: str, data: bytes) -> bool:
+        """Store one chunk on its replica set; True when newly written."""
+        self.stats["logical_bytes"] += len(data)
+        if digest in self._known:
+            self.stats["dedup_hits"] += 1
+            return False
+        for shard_id in self.replica_shards(digest):
+            self.hbase.put(self._table(shard_id), digest, "c", "b", data)
+        self._known.add(digest)
+        self.stats["unique_chunks"] += 1
+        self.stats["unique_bytes"] += len(data)
+        return True
+
+    def put_chunks(self, chunks: dict[str, bytes]) -> int:
+        """Store many chunks; returns how many were new."""
+        return sum(self.put_chunk(d, data) for d, data in chunks.items())
+
+    # -- reads + repair ------------------------------------------------------
+
+    @staticmethod
+    def _intact(digest: str, data: bytes) -> bool:
+        return hashlib.sha256(data).hexdigest() == digest
+
+    def get_chunks(self, digests: list[str]) -> dict[str, bytes]:
+        """Fetch payloads, primaries batched, misses repaired.
+
+        One batched read per shard covers the primary copies; only
+        digests whose primary is missing *or corrupt* walk the replica
+        chain individually.  Missing-everywhere digests are absent from
+        the result (the caller decides whether that is a fallback
+        condition or an error), exactly as in the unreplicated store.
+        """
+        wanted = list(dict.fromkeys(digests))
+        by_shard: dict[str, list[str]] = {}
+        for digest in wanted:
+            by_shard.setdefault(self.replica_shards(digest)[0],
+                                []).append(digest)
+        out: dict[str, bytes] = {}
+        degraded: list[str] = []
+        for shard_id in sorted(by_shard):
+            rows = self.hbase.get_rows(self._table(shard_id),
+                                       by_shard[shard_id])
+            for digest in by_shard[shard_id]:
+                cells = rows.get(digest)
+                data = cells.get(("c", "b")) if cells else None
+                if data is not None and not self._intact(digest, data):
+                    self.stats["corrupt_replicas"] += 1
+                    data = None
+                if data is None:
+                    degraded.append(digest)
+                else:
+                    out[digest] = data
+        for digest in degraded:
+            data = self._read_with_repair(digest)
+            if data is not None:
+                out[digest] = data
+        return out
+
+    def _read_with_repair(self, digest: str) -> bytes | None:
+        """Walk the replica chain; heal the shards that missed."""
+        shards = self.replica_shards(digest)
+        healthy: bytes | None = None
+        missed: list[str] = []
+        for shard_id in shards:
+            row = self.hbase.get(self._table(shard_id), digest)
+            data = row.get(("c", "b"))
+            if data is not None and not self._intact(digest, data):
+                self.stats["corrupt_replicas"] += 1
+                data = None
+            if data is None:
+                missed.append(shard_id)
+            elif healthy is None:
+                healthy = data
+                self.stats["replica_fallbacks"] += 1
+        if healthy is None:
+            return None
+        for shard_id in missed:
+            self.hbase.put(self._table(shard_id), digest, "c", "b",
+                           healthy)
+            self.stats["read_repairs"] += 1
+        return healthy
+
+    # -- test/ops helpers ----------------------------------------------------
+
+    def damage_replica(self, digest: str, shard_index: int = 0,
+                       corrupt: bool = False) -> str:
+        """Lose (or bit-flip) one replica of a chunk — failure-injection
+        hook for tests and the adversarial harness.  Returns the shard
+        id that was damaged."""
+        shards = self.replica_shards(digest)
+        try:
+            shard_id = shards[shard_index]
+        except IndexError:
+            raise CloudError(
+                f"chunk has only {len(shards)} replicas"
+            ) from None
+        table = self._table(shard_id)
+        if corrupt:
+            self.hbase.put(table, digest, "c", "b", b"\x00corrupt\x00")
+        else:
+            self.hbase.delete_row(table, digest)
+        return shard_id
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical bytes stored per physical *unique* byte (≥ 1.0)."""
+        if self.stats["unique_bytes"] == 0:
+            return 1.0
+        return self.stats["logical_bytes"] / self.stats["unique_bytes"]

@@ -81,7 +81,8 @@ class DocumentPool:
     the bytes a full-storage pool would serve.
     """
 
-    def __init__(self, hbase: SimHBase, delta: bool = False) -> None:
+    def __init__(self, hbase: SimHBase, delta: bool = False,
+                 chunk_replicas: int | None = None) -> None:
         self.hbase = hbase
         self.delta = delta
         for table in (DOC_TABLE, TODO_TABLE):
@@ -89,7 +90,18 @@ class DocumentPool:
                 hbase.create_table(table)
         self.chunks: CerChunkStore | None = None
         if delta:
-            self.chunks = CerChunkStore(hbase)
+            if chunk_replicas is not None:
+                # Factor-R chunk placement over one shard per region
+                # server, digest-checked read-repair on miss — see
+                # docs/SHARDING.md.
+                from .placement import ReplicatedChunkStore
+
+                self.chunks = ReplicatedChunkStore(
+                    hbase, shards=len(hbase.servers),
+                    replicas=chunk_replicas,
+                )
+            else:
+                self.chunks = CerChunkStore(hbase)
             if not hbase.has_table(MANIFEST_TABLE):
                 hbase.create_table(MANIFEST_TABLE)
 

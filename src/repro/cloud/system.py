@@ -37,8 +37,10 @@ from .hdfs import SimHdfs
 from .mapreduce import JobStats, MapReduceEngine
 from .network import LAN, WAN
 from .notify import NotificationService
+from .placement import PortalPlacement
 from .pool import DOC_TABLE, DocumentPool
 from .portal import PortalServer, Session
+from .sharding import DEFAULT_VNODES
 from .simclock import SimClock
 
 __all__ = ["CloudSystem", "CloudClient", "run_process_in_cloud"]
@@ -55,14 +57,33 @@ class CloudSystem:
                  datanodes: int = 3,
                  replication: int = 3,
                  split_threshold_rows: int = 256,
+                 split_threshold_bytes: int | None = None,
                  backend: CryptoBackend | None = None,
                  verify_cache: VerificationCache | None = None,
                  clock: SimClock | None = None,
                  delta_routing: bool = False,
                  verify_workers: int | None = None,
-                 verify_batch: bool | None = None) -> None:
+                 verify_batch: bool | None = None,
+                 placement: str = "round-robin",
+                 placement_vnodes: int | None = None,
+                 chunk_replicas: int | None = None) -> None:
+        if isinstance(portals, bool) or not isinstance(portals, int):
+            raise CloudError(
+                f"portal count must be an integer, got {portals!r} "
+                f"({type(portals).__name__})"
+            )
         if portals < 1:
             raise CloudError("need at least one portal server")
+        if placement not in ("round-robin", "ring"):
+            raise CloudError(
+                f"unknown placement scheme {placement!r} "
+                f"(expected 'round-robin' or 'ring')"
+            )
+        if chunk_replicas is not None and not delta_routing:
+            raise CloudError(
+                "chunk_replicas only applies to delta routing (the "
+                "chunk store does not exist in full-document mode)"
+            )
         self.backend = backend or default_backend()
         self.directory = directory
         #: When True the pool stores manifests + content-addressed CER
@@ -93,8 +114,10 @@ class CloudSystem:
             region_servers=region_servers, hdfs=self.hdfs,
             clock=self.clock, network=LAN,
             split_threshold_rows=split_threshold_rows,
+            split_threshold_bytes=split_threshold_bytes,
         )
-        self.pool = DocumentPool(self.hbase, delta=delta_routing)
+        self.pool = DocumentPool(self.hbase, delta=delta_routing,
+                                 chunk_replicas=chunk_replicas)
         self.notifier = NotificationService(clock=self.clock, network=WAN)
         self.tfc = TfcServer(
             tfc_keypair, directory, backend=self.backend,
@@ -120,6 +143,15 @@ class CloudSystem:
             for i in range(portals)
         ]
         self._round_robin = 0
+        #: Consistent-hash instance→portal pinning (``placement="ring"``).
+        #: ``None`` keeps the historic round-robin front door.
+        self.placement: PortalPlacement | None = None
+        if placement == "ring":
+            self.placement = PortalPlacement(
+                [p.portal_id for p in self.portals],
+                vnodes=placement_vnodes or DEFAULT_VNODES,
+            )
+        self._portal_by_id = {p.portal_id: p for p in self.portals}
         self.mapreduce = MapReduceEngine(self.hbase)
 
     # -- load balancing -------------------------------------------------------
@@ -129,6 +161,18 @@ class CloudSystem:
         portal = self.portals[self._round_robin % len(self.portals)]
         self._round_robin += 1
         return portal
+
+    def portal_for(self, process_id: str) -> PortalServer:
+        """The portal serving one process instance.
+
+        Ring placement pins every instance to one portal by consistent
+        hash of its process id (seed-stable, call-order-independent);
+        without a ring every portal serves every instance and the
+        round-robin-assigned client portal is as good as any.
+        """
+        if self.placement is None:
+            return self.portals[0]
+        return self._portal_by_id[self.placement.portal_for(process_id)]
 
     def client(self, keypair: KeyPair) -> "CloudClient":
         """A logged-in client for one participant."""
@@ -215,17 +259,21 @@ class CloudClient:
     system: CloudSystem
 
     def __post_init__(self) -> None:
-        self.portal: PortalServer = self.system.next_portal()
         self.agent = ActivityExecutionAgent(
             self.keypair, self.system.directory, self.system.backend
         )
-        nonce = self.portal.challenge(self.keypair.identity)
-        signature = self.system.backend.sign(
-            self.keypair.private_key, b"dra4wfms-portal-login\x00" + nonce
-        )
-        self.session: Session = self.portal.login(
-            self.keypair.identity, signature
-        )
+        #: portal id → authenticated session at that front door.
+        self._sessions: dict[str, Session] = {}
+        if self.system.placement is None:
+            self.portal: PortalServer = self.system.next_portal()
+            self._login(self.portal)
+        else:
+            # Ring placement: log into every portal up front so
+            # per-process routing never pays a mid-run login (and the
+            # fleet's setup-cost capture covers all of them).
+            for portal in self.system.portals:
+                self._login(portal)
+            self.portal = self.system.portals[0]
         #: Chunks this client holds (delta mode): everything the portal
         #: ever sent us plus everything we assembled locally.
         self.chunks = ChunkCache()
@@ -241,6 +289,27 @@ class CloudClient:
         self.bytes_received = 0
         self.bytes_sent = 0
 
+    def _login(self, portal: PortalServer) -> Session:
+        nonce = portal.challenge(self.keypair.identity)
+        signature = self.system.backend.sign(
+            self.keypair.private_key, b"dra4wfms-portal-login\x00" + nonce
+        )
+        session = portal.login(self.keypair.identity, signature)
+        self._sessions[portal.portal_id] = session
+        return session
+
+    @property
+    def session(self) -> Session:
+        """The session at this client's default portal."""
+        return self._sessions[self.portal.portal_id]
+
+    def _route(self, process_id: str) -> tuple[PortalServer, Session]:
+        """Portal + session serving one process (ring or default)."""
+        if self.system.placement is None:
+            return self.portal, self.session
+        portal = self.system.portal_for(process_id)
+        return portal, self._sessions[portal.portal_id]
+
     @property
     def identity(self) -> str:
         """The participant this client acts for."""
@@ -252,9 +321,10 @@ class CloudClient:
 
     def upload_initial(self, document: Dra4wfmsDocument) -> str:
         """Start a process instance."""
+        portal, session = self._route(document.process_id)
         data = document.to_bytes()
         self.bytes_sent += len(data)
-        return self.portal.upload_initial(self.session, data)
+        return portal.upload_initial(session, data)
 
     # -- delta-aware transfer helpers ------------------------------------
 
@@ -274,19 +344,20 @@ class CloudClient:
 
     def _retrieve(self, process_id: str):
         """Shared retrieve: ``(bytes, manifest-or-None)``."""
+        portal, session = self._route(process_id)
         if not self.system.delta_routing:
-            data = self.portal.retrieve(self.session, process_id)
+            data = portal.retrieve(session, process_id)
             self.bytes_received += len(data)
             return data, None
         own = self._own_chunks.get(process_id, set())
         try:
-            delta = self.portal.retrieve_delta(
-                self.session, process_id,
+            delta = portal.retrieve_delta(
+                session, process_id,
                 self._have.get(process_id), frozenset(own),
             )
             data = decode_delta(delta, self.chunks)
         except (DeltaFallbackRequired, DeltaError, KeyError):
-            data = self.portal.retrieve(self.session, process_id)
+            data = portal.retrieve(session, process_id)
             self.bytes_received += len(data)
             return data, None
         self.bytes_received += delta.wire_bytes
@@ -319,17 +390,18 @@ class CloudClient:
 
     def submit_document(self, document: Dra4wfmsDocument) -> list:
         """Submit an executed document, shipping only new chunks."""
+        portal, session = self._route(document.process_id)
         if not self.system.delta_routing:
             data = document.to_bytes()
             self.bytes_sent += len(data)
-            return self.portal.submit(self.session, data)
+            return portal.submit(session, data)
         delta = encode_delta(document, known=self._cloud_known)
         try:
-            entries = self.portal.submit_delta(self.session, delta)
+            entries = portal.submit_delta(session, delta)
         except DeltaFallbackRequired:
             data = document.to_bytes()
             self.bytes_sent += len(data)
-            return self.portal.submit(self.session, data)
+            return portal.submit(session, data)
         self.bytes_sent += delta.wire_bytes
         self._cloud_known.update(delta.manifest.chunk_digests)
         self.chunks.add_all(delta.chunks)
@@ -357,7 +429,8 @@ class CloudClient:
 
     def monitor(self, process_id: str):
         """Execution status of one instance."""
-        return self.portal.monitor(self.session, process_id)
+        portal, session = self._route(process_id)
+        return portal.monitor(session, process_id)
 
 
 def run_process_in_cloud(

@@ -118,11 +118,21 @@ class Fleet:
         self.rng = random.Random(config.seed)
         self.definition = workload.definition
         self.stations: dict[str, Station] = {
-            "portal": Station("portal", len(system.portals)),
             "tfc": Station("tfc", config.tfc_workers),
             "pool": Station("pool", len(system.hbase.servers)),
             "notify": Station("notify", config.notify_workers),
         }
+        if system.placement is None:
+            # Round-robin front door: one station, a worker per portal.
+            self.stations["portal"] = Station("portal",
+                                              len(system.portals))
+        else:
+            # Ring placement pins each instance to one portal, so each
+            # portal is its own single-worker station — per-portal
+            # utilization, queue depth and skew become observable.
+            for portal in system.portals:
+                name = f"portal:{portal.portal_id}"
+                self.stations[name] = Station(name, 1)
         for identity in workload.identities:
             self.stations[f"aea:{identity}"] = Station(
                 f"aea:{identity}", config.aea_workers
@@ -167,7 +177,14 @@ class Fleet:
 
     # -- station plumbing ----------------------------------------------------
 
+    def _portal_station(self, process_id: str) -> str:
+        """Name of the station serving *process_id*'s portal work."""
+        if self.system.placement is None:
+            return "portal"
+        return f"portal:{self.system.placement.portal_for(process_id)}"
+
     def _captured_visits(self, capture: CostCapture,
+                         portal_station: str = "portal",
                          ) -> list[tuple[Station, float]]:
         """Turn tagged charges into an ordered station-visit list."""
         by = capture.by_component()
@@ -176,8 +193,12 @@ class Fleet:
         extra = by.pop("misc", 0.0)
         if extra:
             by["portal"] = by.get("portal", 0.0) + extra
-        return [(self.stations[name], by[name])
-                for name in _STAGE_ORDER if by.get(name, 0.0) > 0.0]
+        visits: list[tuple[Station, float]] = []
+        for name in _STAGE_ORDER:
+            if by.get(name, 0.0) > 0.0:
+                station = portal_station if name == "portal" else name
+                visits.append((self.stations[station], by[name]))
+        return visits
 
     def _chain(self, visits: list[tuple[Station, float]],
                on_done: Callable[[], None]) -> None:
@@ -225,8 +246,9 @@ class Fleet:
         with self.clock.capture() as captured:
             client.upload_initial(initial)
         sign_cost = self.config.costs.initial_sign(initial.size_bytes)
+        portal_station = self._portal_station(initial.process_id)
         visits = [(self.stations[f"aea:{designer}"], sign_cost)]
-        visits += self._captured_visits(captured)
+        visits += self._captured_visits(captured, portal_station)
         start_activity = self.definition.start_activity
         self._chain(visits,
                     lambda: self._resolve(instance, [start_activity]))
@@ -269,6 +291,7 @@ class Fleet:
             return
 
         client = self._client(participant)
+        portal_station = self._portal_station(instance.process_id)
         wire_before = client.bytes_received + client.bytes_sent
         with self.clock.capture() as retrieve_cost:
             document = client.retrieve_document(instance.process_id)
@@ -293,7 +316,8 @@ class Fleet:
         except JoinNotReady:
             # Defensive: the simulated gate should have caught this.
             self._join_retries += 1
-            self._chain(self._captured_visits(retrieve_cost),
+            self._chain(self._captured_visits(retrieve_cost,
+                                              portal_station),
                         lambda: self._resolve(instance, []))
             return
 
@@ -317,11 +341,11 @@ class Fleet:
         )
         submit_by = submit_cost.by_component()
         visits: list[tuple[Station, float]] = []
-        visits += self._captured_visits(retrieve_cost)
+        visits += self._captured_visits(retrieve_cost, portal_station)
         visits.append((self.stations[f"aea:{participant}"], aea_cost))
         if submit_by.get("portal") or submit_by.get("misc"):
             visits.append((
-                self.stations["portal"],
+                self.stations[portal_station],
                 submit_by.get("portal", 0.0) + submit_by.get("misc", 0.0),
             ))
         visits.append((self.stations["tfc"], tfc_cost))
@@ -431,6 +455,21 @@ class Fleet:
         clients = self._clients.values()
         store = self.system.pool.chunks
         chunk_stats = store.stats if store is not None else {}
+        placement = self.system.placement
+        placement_dict: dict[str, object] = {}
+        storage: dict[str, int] = {}
+        if placement is not None:
+            # The sharded-tier observability section: only emitted in
+            # ring mode so legacy round-robin reports stay byte-stable.
+            placement_dict = placement.to_dict()
+            hb = self.system.hbase
+            storage = {
+                "region_splits": hb.stats["splits"],
+                "region_moves": hb.stats["moves"],
+                "memstore_flushes": hb.stats["flushes"],
+                "regions": sum(len(s.regions) for s in
+                               hb.servers.values()),
+            }
         return FleetReport(
             workload=self.workload.name,
             mode=self.config.arrivals.mode,
@@ -451,6 +490,8 @@ class Fleet:
             instances_audited=self._audited,
             audit_failures=self._audit_failures,
             join_retries=self._join_retries,
+            placement=placement_dict,
+            storage=storage,
         )
 
 
@@ -462,7 +503,11 @@ def build_fleet(workload: FleetWorkload,
                 bits: int = 1024,
                 backend=None,
                 shared_cache: bool = True,
-                delta_routing: bool = False) -> Fleet:
+                delta_routing: bool = False,
+                placement: str = "round-robin",
+                chunk_replicas: int | None = None,
+                split_threshold_rows: int = 256,
+                split_threshold_bytes: int | None = None) -> Fleet:
     """Stand up a world + cloud + fleet for *workload* in one call.
 
     Enrolls the workload's identities plus the cloud's TFC, wires an
@@ -470,7 +515,11 @@ def build_fleet(workload: FleetWorkload,
     TFC, and returns a ready-to-``run()`` :class:`Fleet`.  With
     ``delta_routing`` the pool stores content-addressed CER chunks and
     every client moves manifest + unseen chunks instead of full
-    documents (see docs/ROUTING.md).
+    documents (see docs/ROUTING.md).  ``placement="ring"`` turns on the
+    sharded portal tier: consistent-hash instance→portal pinning with
+    per-portal stations in the report; ``chunk_replicas`` additionally
+    replicates delta chunks factor-R over the region servers (see
+    docs/SHARDING.md).
     """
     from ..workloads.participants import build_world
 
@@ -487,5 +536,9 @@ def build_fleet(workload: FleetWorkload,
         delta_routing=delta_routing,
         verify_workers=config.verify_workers,
         verify_batch=config.verify_batch,
+        placement=placement,
+        chunk_replicas=chunk_replicas,
+        split_threshold_rows=split_threshold_rows,
+        split_threshold_bytes=split_threshold_bytes,
     )
     return Fleet(system, workload, world.keypairs, config)

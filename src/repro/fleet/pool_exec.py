@@ -82,6 +82,15 @@ class RealFleetConfig:
     #: Portals / region servers per per-instance cloud.
     portals: int = 2
     region_servers: int = 2
+    #: ``"ring"`` pins each instance to one portal by consistent hash
+    #: (and reports instances-per-portal); default keeps round-robin.
+    placement: str = "round-robin"
+    #: Factor-R replication of delta chunks over the region servers
+    #: (requires ``delta_routing``; ``None`` keeps the single store).
+    chunk_replicas: int | None = None
+    #: HBase region auto-split thresholds per per-instance cloud.
+    split_threshold_rows: int = 256
+    split_threshold_bytes: int | None = None
 
 
 @dataclass
@@ -99,6 +108,10 @@ class InstanceResult:
     charges: list[tuple[str, float]] = field(default_factory=list)
     #: Host wall-clock seconds this instance took inside its worker.
     host_seconds: float = 0.0
+    #: Portal id that served this instance ("" unless ring placement).
+    portal: str = ""
+    #: HBase region splits inside this instance's cloud.
+    region_splits: int = 0
 
 
 # Worker-process state, rebuilt once per process by :func:`_init_worker`
@@ -194,6 +207,10 @@ def _run_instance(index: int) -> InstanceResult:
         delta_routing=bool(_WORKER["delta_routing"]),
         verify_workers=verify_workers,  # type: ignore[arg-type]
         verify_batch=verify_batch,  # type: ignore[arg-type]
+        placement=str(_WORKER["placement"]),
+        chunk_replicas=_WORKER["chunk_replicas"],  # type: ignore[arg-type]
+        split_threshold_rows=int(_WORKER["split_threshold_rows"]),  # type: ignore[arg-type]
+        split_threshold_bytes=_WORKER["split_threshold_bytes"],  # type: ignore[arg-type]
     )
     process_id = f"real{seed}-{index:06d}"
     with system.clock.capture() as captured:
@@ -224,6 +241,9 @@ def _run_instance(index: int) -> InstanceResult:
         # sums, and the raw charge list grows with every simulated RPC.
         charges=sorted(captured.by_component().items()),
         host_seconds=time.perf_counter() - start,
+        portal=(system.portal_for(process_id).portal_id
+                if system.placement is not None else ""),
+        region_splits=system.hbase.stats["splits"],
     )
 
 
@@ -256,6 +276,10 @@ def run_real_fleet(config: RealFleetConfig,
         "verify_batch": config.verify_batch,
         "portals": config.portals,
         "region_servers": config.region_servers,
+        "placement": config.placement,
+        "chunk_replicas": config.chunk_replicas,
+        "split_threshold_rows": config.split_threshold_rows,
+        "split_threshold_bytes": config.split_threshold_bytes,
     }
 
     wall_start = time.perf_counter()
@@ -286,6 +310,12 @@ def run_real_fleet(config: RealFleetConfig,
     sim_seconds = {component: round(seconds, 9)
                    for component, seconds in merged.by_component().items()}
 
+    portal_counts: dict[str, int] = {}
+    for result in results:
+        if result.portal:
+            portal_counts[result.portal] = (
+                portal_counts.get(result.portal, 0) + 1)
+
     return RealFleetReport(
         workload=workload.name,
         routing="delta" if config.delta_routing else "full",
@@ -298,6 +328,8 @@ def run_real_fleet(config: RealFleetConfig,
         instances_audited=sum(1 for r in results if r.audited),
         audit_failures=sum(1 for r in results if r.audit_failed),
         sim_seconds=sim_seconds,
+        portals=portal_counts,
+        region_splits=sum(r.region_splits for r in results),
         host_seconds_per_instance=[r.host_seconds for r in results],
         wall_seconds=wall_seconds,
         cpu_count=os.cpu_count() or 1,

@@ -60,6 +60,14 @@ class FleetReport:
     #: Content-addressed chunk-store counters (delta runs; empty on
     #: full-routing runs, where no chunk store exists).
     chunk_store: dict[str, int] = field(default_factory=dict)
+    #: Consistent-hash placement snapshot — scheme, vnodes, instances
+    #: per portal, max/mean skew.  Populated only on ``placement="ring"``
+    #: runs; empty (and omitted from the serialised form) otherwise, so
+    #: legacy round-robin reports stay byte-identical.
+    placement: dict[str, object] = field(default_factory=dict)
+    #: Sharded-tier region-store counters (splits, moves, flushes,
+    #: regions).  Same ring-mode-only rule as :attr:`placement`.
+    storage: dict[str, int] = field(default_factory=dict)
 
     # -- latency aggregates ------------------------------------------------
 
@@ -106,11 +114,24 @@ class FleetReport:
             out["aea"] = round(aea_busy / aea_capacity, 9)
         return out
 
+    def portal_utilization(self) -> dict[str, float]:
+        """Utilization per portal station (ring runs; empty otherwise)."""
+        return {
+            name.split(":", 1)[1]: metrics.utilization
+            for name, metrics in sorted(self.stations.items())
+            if name.startswith("portal:")
+        }
+
     # -- serialisation ------------------------------------------------------
 
     def to_dict(self) -> dict[str, object]:
-        """JSON-safe snapshot (full latency list included)."""
-        return {
+        """JSON-safe snapshot (full latency list included).
+
+        The ``placement`` and ``storage`` sections exist only on
+        sharded (``placement="ring"``) runs; they are *omitted*, not
+        emitted empty, so pre-sharding report bytes are unchanged.
+        """
+        out: dict[str, object] = {
             "workload": self.workload,
             "mode": self.mode,
             "seed": self.seed,
@@ -142,6 +163,12 @@ class FleetReport:
             "chunk_store": {k: self.chunk_store[k]
                             for k in sorted(self.chunk_store)},
         }
+        if self.placement:
+            out["placement"] = self.placement
+        if self.storage:
+            out["storage"] = {k: self.storage[k]
+                              for k in sorted(self.storage)}
+        return out
 
     def to_json(self) -> str:
         """Canonical serialisation (the determinism-test currency)."""
@@ -172,9 +199,26 @@ class FleetReport:
                f" ({self.chunk_store.get('unique_bytes', 0):,} B unique "
                f"of {self.chunk_store.get('logical_bytes', 0):,} B logical)"
                if self.routing == "delta" else ""),
+        ]
+        if self.placement:
+            portals = self.placement.get("portals", {})
+            lines.append(
+                f"  placement : ring, {self.placement.get('vnodes')} "
+                f"vnodes, skew {self.placement.get('skew', 1.0):.3f}   "
+                + "  ".join(f"{p}={n}"
+                            for p, n in sorted(portals.items()))
+            )
+        if self.storage:
+            lines.append(
+                f"  storage   : {self.storage.get('regions', 0)} "
+                f"regions, {self.storage.get('region_splits', 0)} "
+                f"splits, {self.storage.get('region_moves', 0)} moves, "
+                f"{self.storage.get('memstore_flushes', 0)} flushes"
+            )
+        lines.append(
             "  station        util   busy-s     jobs  maxQ  meanQ  "
             "wait-s",
-        ]
+        )
         for name, m in sorted(self.stations.items()):
             lines.append(
                 f"  {name:<14s} {m.utilization:>5.1%} "
@@ -215,6 +259,11 @@ class RealFleetReport:
     audit_failures: int
     #: Merged simulated seconds per component tag (see SimClock.absorb).
     sim_seconds: dict[str, float] = field(default_factory=dict)
+    #: Instances served per portal id (ring placement; empty otherwise).
+    #: Deterministic: placement is a pure function of each process id.
+    portals: dict[str, int] = field(default_factory=dict)
+    #: Summed HBase region splits across the per-instance clouds.
+    region_splits: int = 0
     #: Host seconds each instance took inside its worker, index order.
     host_seconds_per_instance: list[float] = field(
         default_factory=list, repr=False)
@@ -238,7 +287,7 @@ class RealFleetReport:
 
     def deterministic_dict(self) -> dict[str, object]:
         """The worker-count-independent subset (determinism currency)."""
-        return {
+        out: dict[str, object] = {
             "workload": self.workload,
             "routing": self.routing,
             "seed": self.seed,
@@ -248,9 +297,14 @@ class RealFleetReport:
             "bytes_from_cloud": self.bytes_from_cloud,
             "instances_audited": self.instances_audited,
             "audit_failures": self.audit_failures,
+            "region_splits": self.region_splits,
             "sim_seconds": {k: self.sim_seconds[k]
                             for k in sorted(self.sim_seconds)},
         }
+        if self.portals:
+            out["portals"] = {k: self.portals[k]
+                              for k in sorted(self.portals)}
+        return out
 
     def to_dict(self) -> dict[str, object]:
         """Full JSON-safe snapshot (host measurements included)."""
@@ -288,6 +342,11 @@ class RealFleetReport:
             f"to cloud {self.bytes_to_cloud:,} B   "
             f"from cloud {self.bytes_from_cloud:,} B",
         ]
+        if self.portals:
+            parts = "  ".join(f"{p}={n}"
+                              for p, n in sorted(self.portals.items()))
+            lines.append(f"  placement : ring   {parts}   "
+                         f"region splits {self.region_splits}")
         if self.sim_seconds:
             parts = ", ".join(
                 f"{name} {seconds:.3f}s"

@@ -225,3 +225,168 @@ class TestRegionServerFailure:
         cluster.balance()
         assert cluster.servers["rs0"].regions == []
         assert cluster.total_rows("t") == 30
+
+
+class TestRowCodec:
+    """Store-file serialisation: encode_rows/decode_rows round-trips."""
+
+    def _region(self):
+        from repro.cloud.hbase import _END_KEY, Region
+        return Region(region_id=99, table="t",
+                      start_key="", end_key=_END_KEY)
+
+    def test_round_trip(self):
+        from repro.cloud.hbase import Cell, Region
+        region = self._region()
+        region.rows = {
+            "r1": {("cf", "a"): Cell(b"alpha", 1.5),
+                   ("cf", "b"): Cell(b"\x00\xffbinary", 2.0)},
+            "r2": {("other", "q"): Cell(b"", 0.0)},
+        }
+        decoded = Region.decode_rows(region.encode_rows())
+        assert decoded == region.rows
+
+    def test_empty_region_round_trip(self):
+        from repro.cloud.hbase import Region
+        region = self._region()
+        assert Region.decode_rows(region.encode_rows()) == {}
+        assert Region.decode_rows(b"") == {}
+
+    def test_unicode_row_keys_and_qualifiers(self):
+        from repro.cloud.hbase import Cell, Region
+        region = self._region()
+        region.rows = {
+            "région-clé ☃": {
+                ("famille", "données"): Cell(b"payload", 3.25),
+            },
+            "中文键": {("cf", "q"): Cell(b"v", 1.0)},
+        }
+        decoded = Region.decode_rows(region.encode_rows())
+        assert decoded == region.rows
+
+    def test_timestamps_survive(self):
+        from repro.cloud.hbase import Cell, Region
+        region = self._region()
+        region.rows = {"r": {("cf", "q"): Cell(b"v", 123.456789)}}
+        decoded = Region.decode_rows(region.encode_rows())
+        assert decoded["r"][("cf", "q")].timestamp == 123.456789
+
+
+class TestWalCodec:
+    """Write-ahead-log serialisation: encode_wal/replay_wal."""
+
+    def _region(self):
+        from repro.cloud.hbase import _END_KEY, Region
+        return Region(region_id=99, table="t",
+                      start_key="", end_key=_END_KEY)
+
+    def test_round_trip_applies_puts(self):
+        region = self._region()
+        region.wal = [
+            ("put", "r1", "cf", "q", b"one", 1.0),
+            ("put", "r2", "cf", "q", b"two", 2.0),
+            ("put", "r1", "cf", "q", b"one-v2", 3.0),
+        ]
+        encoded = region.encode_wal()
+        fresh = self._region()
+        applied = fresh.replay_wal(encoded)
+        assert applied == 3
+        assert fresh.rows["r1"][("cf", "q")].value == b"one-v2"
+        assert fresh.rows["r2"][("cf", "q")].value == b"two"
+
+    def test_tombstones_drop_rows(self):
+        region = self._region()
+        region.wal = [
+            ("put", "r1", "cf", "q", b"v", 1.0),
+            ("delete", "r1", "", "", b"", 2.0),
+        ]
+        fresh = self._region()
+        fresh.replay_wal(region.encode_wal())
+        assert "r1" not in fresh.rows
+
+    def test_empty_wal(self):
+        region = self._region()
+        assert region.encode_wal() == b"[]"
+        assert self._region().replay_wal(b"") == 0
+
+    def test_unicode_wal_entries(self):
+        region = self._region()
+        region.wal = [("put", "clé ☃", "cf", "données",
+                       b"\x00\x01\xfe", 1.0)]
+        fresh = self._region()
+        fresh.replay_wal(region.encode_wal())
+        value = fresh.rows["clé ☃"][("cf", "données")]
+        assert value.value == b"\x00\x01\xfe"
+
+
+class TestByteSplit:
+    """Region auto-split on stored-byte threshold + auto-rebalance."""
+
+    def test_byte_threshold_splits_fat_rows(self):
+        # 16 rows of 1 KiB each never trips a 256-row threshold, but
+        # crosses 8 KiB of stored bytes and must split anyway.
+        cluster = SimHBase(region_servers=2,
+                           split_threshold_rows=256,
+                           split_threshold_bytes=8 * 1024)
+        cluster.create_table("t")
+        for i in range(16):
+            cluster.put("t", f"r{i:02d}", "cf", "q", b"x" * 1024)
+        assert cluster.stats["splits"] >= 1
+        assert cluster.region_count("t") >= 2
+
+    def test_no_byte_threshold_no_byte_split(self):
+        cluster = SimHBase(region_servers=2, split_threshold_rows=256)
+        cluster.create_table("t")
+        for i in range(16):
+            cluster.put("t", f"r{i:02d}", "cf", "q", b"x" * 1024)
+        assert cluster.stats["splits"] == 0
+
+    def test_data_bytes_tracks_overwrites_and_deletes(self):
+        cluster = SimHBase(region_servers=1)
+        cluster.create_table("t")
+        cluster.put("t", "r", "cf", "q", b"xxxx")
+        assert cluster.total_bytes("t") == 4
+        cluster.put("t", "r", "cf", "q", b"yy")       # overwrite shrinks
+        assert cluster.total_bytes("t") == 2
+        cluster.put("t", "r", "cf", "other", b"zzz")  # second cell adds
+        assert cluster.total_bytes("t") == 5
+        cluster.delete_row("t", "r")
+        assert cluster.total_bytes("t") == 0
+
+    def test_bytes_preserved_across_split(self):
+        cluster = SimHBase(region_servers=2, split_threshold_rows=4)
+        cluster.create_table("t")
+        for i in range(20):
+            cluster.put("t", f"r{i:02d}", "cf", "q", b"v" * 10)
+        assert cluster.stats["splits"] >= 1
+        assert cluster.total_bytes("t") == 200
+        assert sum(r.recompute_bytes()
+                   for r in cluster.regions_of("t")) == 200
+
+    def test_auto_balance_spreads_split_regions(self):
+        cluster = SimHBase(region_servers=3, split_threshold_rows=4)
+        cluster.create_table("t")
+        for i in range(40):
+            cluster.put("t", f"r{i:02d}", "cf", "q", b"v")
+        loads = cluster.server_loads()
+        assert cluster.stats["moves"] >= 1
+        hosting = [count for count in loads.values() if count > 0]
+        assert len(hosting) >= 2  # splits did not pile on one server
+
+    def test_auto_balance_off_keeps_regions_put(self):
+        cluster = SimHBase(region_servers=3, split_threshold_rows=4,
+                           auto_balance=False)
+        cluster.create_table("t")
+        for i in range(40):
+            cluster.put("t", f"r{i:02d}", "cf", "q", b"v")
+        assert cluster.stats["splits"] >= 1
+        assert cluster.stats["moves"] == 0
+
+    def test_recovery_recomputes_bytes(self):
+        cluster = SimHBase(region_servers=2, split_threshold_rows=1000)
+        cluster.create_table("t")
+        for i in range(6):
+            cluster.put("t", f"r{i}", "cf", "q", b"abcde")
+        victim = cluster.server_of(cluster.regions_of("t")[0]).server_id
+        cluster.kill_server(victim)
+        assert cluster.total_bytes("t") == 30

