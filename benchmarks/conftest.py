@@ -14,7 +14,9 @@ Table benches therefore use RSA-1024; the crypto microbenches sweep
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import subprocess
 
 import pytest
 
@@ -100,6 +102,34 @@ def emit_table(name: str, title: str, header: list[str],
     return text
 
 
+#: Version of the ``bench_meta`` stamp carried by every BENCH file.
+BENCH_SCHEMA = 1
+
+
+def _git_sha() -> str:
+    """Short commit id of the tree the bench ran on; never raises."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=pathlib.Path(__file__).parent, capture_output=True,
+            text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def bench_meta(name: str) -> dict:
+    """The provenance stamp merged into every emitted BENCH payload."""
+    return {
+        "name": name,
+        "schema_version": BENCH_SCHEMA,
+        "git_sha": _git_sha(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
 def emit_bench(name: str, payload: dict) -> str:
     """Persist a machine-readable benchmark result — the ONE emitter.
 
@@ -109,8 +139,16 @@ def emit_bench(name: str, payload: dict) -> str:
     bench and sweep script goes through here so the naming scheme,
     serialisation (sorted keys, trailing newline) and destinations can
     never drift apart.
+
+    A ``bench_meta`` provenance key (name, stamp schema version, git
+    SHA, cpu count) is merged into every payload so
+    ``scripts/bench_trajectory.py`` can build a cross-run trajectory
+    table.  It is one *added* key — existing top-level result keys are
+    untouched, so consumers pinned to them keep working.
     """
-    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    stamped = dict(payload)
+    stamped["bench_meta"] = bench_meta(name)
+    text = json.dumps(stamped, indent=2, sort_keys=True) + "\n"
     root = pathlib.Path(__file__).parent.parent
     (root / f"BENCH_{name}.json").write_text(text)
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -155,6 +155,22 @@ def cmd_evidence(args: argparse.Namespace) -> int:
     return 0 if bundle.document_valid else 1
 
 
+def _write_trace_outputs(tracer, args: argparse.Namespace) -> None:
+    """Serialize a finished tracer to the files the user asked for."""
+    from .obs import to_folded_stacks, write_chrome_trace
+
+    if args.trace:
+        size = write_chrome_trace(tracer, args.trace)
+        print(f"trace: wrote {args.trace} ({size} bytes, "
+              f"{len(tracer.spans)} spans, {len(tracer.charges)} events; "
+              f"open in https://ui.perfetto.dev)", file=sys.stderr)
+    if args.trace_folded:
+        text = to_folded_stacks(tracer)
+        pathlib.Path(args.trace_folded).write_text(text)
+        print(f"trace: wrote {args.trace_folded} "
+              f"({len(text.splitlines())} folded stacks)", file=sys.stderr)
+
+
 def cmd_loadtest(args: argparse.Namespace) -> int:
     """Run a multi-instance fleet load test and print the report."""
     from .fleet import (
@@ -173,7 +189,14 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     delta = args.delta or args.replication is not None
+    tracer = None
+    if args.trace or args.trace_folded:
+        from .obs import Tracer
+        tracer = Tracer()
     if args.real:
+        if args.metrics:
+            print("note: --metrics needs the simulated fleet report; "
+                  "ignored with --real", file=sys.stderr)
         config = RealFleetConfig(
             spec=args.workflow,
             instances=args.instances,
@@ -189,7 +212,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             chunk_replicas=args.replication,
             split_threshold_rows=args.split_rows,
         )
-        report = run_real_fleet(config)
+        report = run_real_fleet(config, tracer=tracer)
+        if tracer is not None:
+            _write_trace_outputs(tracer, args)
         if args.json:
             print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         else:
@@ -209,6 +234,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         audit_every=args.audit_every,
         verify_workers=args.verify_workers,
         verify_batch=True if args.verify_workers else None,
+        tracer=tracer,
+        collect_metrics=args.metrics,
     )
     fleet = build_fleet(workload, config, portals=args.portals,
                         delta_routing=delta,
@@ -216,11 +243,37 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                         chunk_replicas=args.replication,
                         split_threshold_rows=args.split_rows)
     report = fleet.run()
+    if tracer is not None:
+        _write_trace_outputs(tracer, args)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.render())
     return 0 if report.audit_failures == 0 else 1
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    """Validate + summarize a Chrome trace written by ``loadtest --trace``."""
+    from .obs import summarize_chrome_trace, validate_chrome_trace
+
+    payload = json.loads(pathlib.Path(args.trace_file).read_text())
+    try:
+        counts = validate_chrome_trace(payload)
+    except ValueError as exc:
+        print(f"INVALID trace: {exc}", file=sys.stderr)
+        return 1
+    rows = summarize_chrome_trace(payload)
+    total_us = sum(int(row["sim_us"]) for row in rows)
+    print(f"valid trace: {counts['spans']} spans, {counts['leaves']} "
+          f"charge leaves, {counts['instants']} instants "
+          f"({total_us / 1e6:.6f} sim-seconds)")
+    print(f"{'component':<12} {'spans':>8} {'leaves':>8} "
+          f"{'sim_us':>14} {'share':>8}")
+    for row in rows:
+        print(f"{row['component']:<12} {row['spans']:>8} "
+              f"{row['leaves']:>8} {row['sim_us']:>14} "
+              f"{float(row['share']) * 100:>7.2f}%")
+    return 0
 
 
 def cmd_render(args: argparse.Namespace) -> int:
@@ -338,7 +391,25 @@ def build_parser() -> argparse.ArgumentParser:
                                "inside portals/TFC/audits")
     loadtest.add_argument("--json", action="store_true",
                           help="emit the full report as JSON")
+    loadtest.add_argument("--trace", metavar="OUT.json", default=None,
+                          help="write a Chrome trace-event file of the "
+                               "run (view at https://ui.perfetto.dev)")
+    loadtest.add_argument("--trace-folded", metavar="OUT.txt",
+                          default=None,
+                          help="write flamegraph folded stacks "
+                               "(span;span;leaf microseconds)")
+    loadtest.add_argument("--metrics", action="store_true",
+                          help="collect the component metrics registry "
+                               "and embed its snapshot in the report "
+                               "(sim mode)")
     loadtest.set_defaults(func=cmd_loadtest)
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="validate + summarize a loadtest --trace file")
+    trace_report.add_argument("trace_file",
+                              help="Chrome trace JSON from --trace")
+    trace_report.set_defaults(func=cmd_trace_report)
 
     evidence = sub.add_parser("evidence",
                               help="dispute evidence for one execution")

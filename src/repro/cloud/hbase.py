@@ -275,41 +275,43 @@ class SimHBase:
     def put(self, table: str, row_key: str, family: str, qualifier: str,
             value: bytes) -> None:
         """Write one cell (WAL append + memstore + possible flush/split)."""
-        region = self._locate(table, row_key)
-        server = self.server_of(region)
-        server.ops += 1
-        # WAL append to HDFS *before* acknowledging: a region-server
-        # crash replays this log (see kill_server).
-        timestamp = self.clock.now()
-        region.wal.append(("put", row_key, family, qualifier, value,
-                           timestamp))
-        self.hdfs.write(region.wal_path(), region.encode_wal())
-        self.clock.advance(self.network.transfer_seconds(len(value)),
-                           component="pool")
-        row = region.rows.setdefault(row_key, {})
-        previous = row.get((family, qualifier))
-        if previous is not None:
-            region.data_bytes -= len(previous.value)
-        row[(family, qualifier)] = Cell(value=value, timestamp=timestamp)
-        region.memstore_bytes += len(value)
-        region.data_bytes += len(value)
-        self.stats["puts"] += 1
-        if region.memstore_bytes >= self.memstore_flush_bytes:
-            self._flush(region)
-        if self._needs_split(region):
-            self._split(region)
+        with self.clock.trace("hbase.put", "hbase"):
+            region = self._locate(table, row_key)
+            server = self.server_of(region)
+            server.ops += 1
+            # WAL append to HDFS *before* acknowledging: a region-server
+            # crash replays this log (see kill_server).
+            timestamp = self.clock.now()
+            region.wal.append(("put", row_key, family, qualifier, value,
+                               timestamp))
+            self.hdfs.write(region.wal_path(), region.encode_wal())
+            self.clock.advance(self.network.transfer_seconds(len(value)),
+                               component="pool")
+            row = region.rows.setdefault(row_key, {})
+            previous = row.get((family, qualifier))
+            if previous is not None:
+                region.data_bytes -= len(previous.value)
+            row[(family, qualifier)] = Cell(value=value, timestamp=timestamp)
+            region.memstore_bytes += len(value)
+            region.data_bytes += len(value)
+            self.stats["puts"] += 1
+            if region.memstore_bytes >= self.memstore_flush_bytes:
+                self._flush(region)
+            if self._needs_split(region):
+                self._split(region)
 
     def get(self, table: str, row_key: str) -> dict[tuple[str, str], bytes]:
         """Read one row (empty dict when absent)."""
-        region = self._locate(table, row_key)
-        server = self.server_of(region)
-        server.ops += 1
-        self.stats["gets"] += 1
-        row = region.rows.get(row_key, {})
-        size = sum(len(cell.value) for cell in row.values())
-        self.clock.advance(self.network.rpc_seconds(len(row_key), size),
-                           component="pool")
-        return {cq: cell.value for cq, cell in row.items()}
+        with self.clock.trace("hbase.get", "hbase"):
+            region = self._locate(table, row_key)
+            server = self.server_of(region)
+            server.ops += 1
+            self.stats["gets"] += 1
+            row = region.rows.get(row_key, {})
+            size = sum(len(cell.value) for cell in row.values())
+            self.clock.advance(self.network.rpc_seconds(len(row_key), size),
+                               component="pool")
+            return {cq: cell.value for cq, cell in row.items()}
 
     def get_rows(self, table: str, row_keys: list[str],
                  ) -> dict[str, dict[tuple[str, str], bytes]]:
@@ -324,25 +326,26 @@ class SimHBase:
         """
         if not row_keys:
             return {}
-        out: dict[str, dict[tuple[str, str], bytes]] = {}
-        total_size = 0
-        key_bytes = 0
-        for row_key in row_keys:
-            region = self._locate(table, row_key)
-            server = self.server_of(region)
-            server.ops += 1
-            self.stats["gets"] += 1
-            row = region.rows.get(row_key)
-            key_bytes += len(row_key)
-            if row is None:
-                continue
-            total_size += sum(len(cell.value) for cell in row.values())
-            out[row_key] = {cq: cell.value for cq, cell in row.items()}
-        self.clock.advance(
-            self.network.rpc_seconds(key_bytes, total_size),
-            component="pool",
-        )
-        return out
+        with self.clock.trace("hbase.get_rows", "hbase"):
+            out: dict[str, dict[tuple[str, str], bytes]] = {}
+            total_size = 0
+            key_bytes = 0
+            for row_key in row_keys:
+                region = self._locate(table, row_key)
+                server = self.server_of(region)
+                server.ops += 1
+                self.stats["gets"] += 1
+                row = region.rows.get(row_key)
+                key_bytes += len(row_key)
+                if row is None:
+                    continue
+                total_size += sum(len(cell.value) for cell in row.values())
+                out[row_key] = {cq: cell.value for cq, cell in row.items()}
+            self.clock.advance(
+                self.network.rpc_seconds(key_bytes, total_size),
+                component="pool",
+            )
+            return out
 
     def delete_row(self, table: str, row_key: str) -> None:
         """Delete one row entirely (tombstoned in the WAL)."""
@@ -361,25 +364,26 @@ class SimHBase:
         stop = _END_KEY if stop_key is None else stop_key
         out: list[tuple[str, dict[tuple[str, str], bytes]]] = []
         self.stats["scans"] += 1
-        for region in self.regions_of(table):
-            if region.end_key <= start_key or region.start_key >= stop:
-                continue
-            keys = region.sorted_keys()
-            lo = bisect.bisect_left(keys, start_key)
-            for key in keys[lo:]:
-                if key >= stop:
-                    break
-                row = region.rows[key]
-                out.append(
-                    (key, {cq: cell.value for cq, cell in row.items()})
-                )
-                if limit is not None and len(out) >= limit:
-                    self.clock.advance(self.network.latency_seconds,
-                                       component="pool")
-                    return out
-            self.clock.advance(self.network.latency_seconds,
-                               component="pool")
-        return out
+        with self.clock.trace("hbase.scan", "hbase"):
+            for region in self.regions_of(table):
+                if region.end_key <= start_key or region.start_key >= stop:
+                    continue
+                keys = region.sorted_keys()
+                lo = bisect.bisect_left(keys, start_key)
+                for key in keys[lo:]:
+                    if key >= stop:
+                        break
+                    row = region.rows[key]
+                    out.append(
+                        (key, {cq: cell.value for cq, cell in row.items()})
+                    )
+                    if limit is not None and len(out) >= limit:
+                        self.clock.advance(self.network.latency_seconds,
+                                           component="pool")
+                        return out
+                self.clock.advance(self.network.latency_seconds,
+                                   component="pool")
+            return out
 
     # -- maintenance --------------------------------------------------------------------
 

@@ -103,40 +103,46 @@ class SimHdfs:
 
     def write(self, path: str, data: bytes) -> None:
         """Write (or overwrite) a file, replicating every block."""
-        blocks: list[BlockInfo] = []
-        for offset in range(0, max(len(data), 1), self.block_size):
-            chunk = data[offset:offset + self.block_size]
-            block_id = next(self._block_ids)
-            targets = self._pick_targets(self.replication)
-            for node in targets:
-                node.blocks[block_id] = chunk
-                self.clock.advance(self.network.transfer_seconds(len(chunk)),
-                                   component="pool")
-            blocks.append(BlockInfo(
-                block_id=block_id, size=len(chunk),
-                replicas=[n.node_id for n in targets],
-            ))
-        old = self._files.get(path)
-        if old is not None:
-            self._release(old)
-        self._files[path] = blocks
-        self.stats["writes"] += 1
-        self.stats["bytes_written"] += len(data)
+        with self.clock.trace("hdfs.write", "hdfs"):
+            blocks: list[BlockInfo] = []
+            for offset in range(0, max(len(data), 1), self.block_size):
+                chunk = data[offset:offset + self.block_size]
+                block_id = next(self._block_ids)
+                targets = self._pick_targets(self.replication)
+                for node in targets:
+                    node.blocks[block_id] = chunk
+                    self.clock.advance(
+                        self.network.transfer_seconds(len(chunk)),
+                        component="pool",
+                    )
+                blocks.append(BlockInfo(
+                    block_id=block_id, size=len(chunk),
+                    replicas=[n.node_id for n in targets],
+                ))
+            old = self._files.get(path)
+            if old is not None:
+                self._release(old)
+            self._files[path] = blocks
+            self.stats["writes"] += 1
+            self.stats["bytes_written"] += len(data)
 
     def read(self, path: str) -> bytes:
         """Read a file from any live replica of each block."""
         blocks = self._files.get(path)
         if blocks is None:
             raise StorageError(f"no such file {path!r}")
-        out = bytearray()
-        for info in blocks:
-            chunk = self._read_block(info)
-            out += chunk
-            self.clock.advance(self.network.transfer_seconds(len(chunk)),
-                               component="pool")
-        self.stats["reads"] += 1
-        self.stats["bytes_read"] += len(out)
-        return bytes(out)
+        with self.clock.trace("hdfs.read", "hdfs"):
+            out = bytearray()
+            for info in blocks:
+                chunk = self._read_block(info)
+                out += chunk
+                self.clock.advance(
+                    self.network.transfer_seconds(len(chunk)),
+                    component="pool",
+                )
+            self.stats["reads"] += 1
+            self.stats["bytes_read"] += len(out)
+            return bytes(out)
 
     def _read_block(self, info: BlockInfo) -> bytes:
         for node_id in info.replicas:

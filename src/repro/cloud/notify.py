@@ -49,18 +49,19 @@ class NotificationService:
         over bandwidth), consistent with how portals account document
         transfers — not just the bare link latency.
         """
-        payload = self.payload_bytes(recipient, process_id, activity_id)
-        self.clock.advance(self.network.transfer_seconds(payload),
-                           component="notify")
-        note = Notification(
-            recipient=recipient,
-            process_id=process_id,
-            activity_id=activity_id,
-            sent_at=self.clock.now(),
-        )
-        self._inboxes.setdefault(recipient, []).append(note)
-        self.sent += 1
-        return note
+        with self.clock.trace("notify.send", "notify"):
+            payload = self.payload_bytes(recipient, process_id, activity_id)
+            self.clock.advance(self.network.transfer_seconds(payload),
+                               component="notify")
+            note = Notification(
+                recipient=recipient,
+                process_id=process_id,
+                activity_id=activity_id,
+                sent_at=self.clock.now(),
+            )
+            self._inboxes.setdefault(recipient, []).append(note)
+            self.sent += 1
+            return note
 
     def inbox(self, recipient: str) -> list[Notification]:
         """Pending notifications of one identity (oldest first)."""

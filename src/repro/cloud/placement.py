@@ -196,27 +196,28 @@ class ReplicatedChunkStore:
 
     def _read_with_repair(self, digest: str) -> bytes | None:
         """Walk the replica chain; heal the shards that missed."""
-        shards = self.replica_shards(digest)
-        healthy: bytes | None = None
-        missed: list[str] = []
-        for shard_id in shards:
-            row = self.hbase.get(self._table(shard_id), digest)
-            data = row.get(("c", "b"))
-            if data is not None and not self._intact(digest, data):
-                self.stats["corrupt_replicas"] += 1
-                data = None
-            if data is None:
-                missed.append(shard_id)
-            elif healthy is None:
-                healthy = data
-                self.stats["replica_fallbacks"] += 1
-        if healthy is None:
-            return None
-        for shard_id in missed:
-            self.hbase.put(self._table(shard_id), digest, "c", "b",
-                           healthy)
-            self.stats["read_repairs"] += 1
-        return healthy
+        with self.hbase.clock.trace("chunks.read_repair", "hbase"):
+            shards = self.replica_shards(digest)
+            healthy: bytes | None = None
+            missed: list[str] = []
+            for shard_id in shards:
+                row = self.hbase.get(self._table(shard_id), digest)
+                data = row.get(("c", "b"))
+                if data is not None and not self._intact(digest, data):
+                    self.stats["corrupt_replicas"] += 1
+                    data = None
+                if data is None:
+                    missed.append(shard_id)
+                elif healthy is None:
+                    healthy = data
+                    self.stats["replica_fallbacks"] += 1
+            if healthy is None:
+                return None
+            for shard_id in missed:
+                self.hbase.put(self._table(shard_id), digest, "c", "b",
+                               healthy)
+                self.stats["read_repairs"] += 1
+            return healthy
 
     # -- test/ops helpers ----------------------------------------------------
 

@@ -136,20 +136,22 @@ class PortalServer:
     def search_todo(self, session: Session) -> list[PoolEntry]:
         """TO-DO list of the logged-in participant."""
         self._require(session)
-        self.stats["searches"] += 1
-        self.clock.advance(self.network.rpc_seconds(64, 512),
-                           component="portal")
-        return self.pool.todo_for(session.identity)
+        with self.clock.trace("portal.search_todo", "portal"):
+            self.stats["searches"] += 1
+            self.clock.advance(self.network.rpc_seconds(64, 512),
+                               component="portal")
+            return self.pool.todo_for(session.identity)
 
     def retrieve(self, session: Session, process_id: str) -> bytes:
         """Fetch the latest document of a process instance."""
         self._require(session)
-        data = self.pool.latest_bytes(process_id)
-        self.stats["retrievals"] += 1
-        self.stats["bytes_out"] += len(data)
-        self.clock.advance(self.network.rpc_seconds(64, len(data)),
-                           component="portal")
-        return data
+        with self.clock.trace("portal.retrieve", "portal"):
+            data = self.pool.latest_bytes(process_id)
+            self.stats["retrievals"] += 1
+            self.stats["bytes_out"] += len(data)
+            self.clock.advance(self.network.rpc_seconds(64, len(data)),
+                               component="portal")
+            return data
 
     def retrieve_delta(self, session: Session, process_id: str,
                        have_digest: str | None = None,
@@ -174,33 +176,34 @@ class PortalServer:
         self._require(session)
         if not self.pool.delta:
             raise PortalError("this cloud does not serve delta transfers")
-        manifest = self.pool.latest_manifest(process_id)
-        known: set[str] = set(also_have)
-        if have_digest == manifest.doc_digest:
-            known.update(manifest.chunk_digests)
-        elif have_digest is not None:
-            held = self.pool.manifest_by_digest(have_digest)
-            if held is not None:
-                known.update(held.chunk_digests)
-        missing = [d for d in manifest.chunk_digests if d not in known]
-        chunks = self.pool.chunks.get_chunks(missing)
-        if len(chunks) != len(set(missing)):
-            self.stats["delta_fallbacks"] += 1
-            raise DeltaFallbackRequired(
-                f"chunk store cannot serve {process_id!r}; retry with a "
-                f"full retrieve"
+        with self.clock.trace("portal.retrieve_delta", "portal"):
+            manifest = self.pool.latest_manifest(process_id)
+            known: set[str] = set(also_have)
+            if have_digest == manifest.doc_digest:
+                known.update(manifest.chunk_digests)
+            elif have_digest is not None:
+                held = self.pool.manifest_by_digest(have_digest)
+                if held is not None:
+                    known.update(held.chunk_digests)
+            missing = [d for d in manifest.chunk_digests if d not in known]
+            chunks = self.pool.chunks.get_chunks(missing)
+            if len(chunks) != len(set(missing)):
+                self.stats["delta_fallbacks"] += 1
+                raise DeltaFallbackRequired(
+                    f"chunk store cannot serve {process_id!r}; retry with "
+                    f"a full retrieve"
+                )
+            delta = DeltaDocument(manifest=manifest, chunks=chunks)
+            request = 64 + len(have_digest or "") + 64 * len(also_have)
+            self.stats["retrievals"] += 1
+            self.stats["delta_retrievals"] += 1
+            self.stats["bytes_in"] += request
+            self.stats["bytes_out"] += delta.wire_bytes
+            self.clock.advance(
+                self.network.rpc_seconds(request, delta.wire_bytes),
+                component="portal",
             )
-        delta = DeltaDocument(manifest=manifest, chunks=chunks)
-        request = 64 + len(have_digest or "") + 64 * len(also_have)
-        self.stats["retrievals"] += 1
-        self.stats["delta_retrievals"] += 1
-        self.stats["bytes_in"] += request
-        self.stats["bytes_out"] += delta.wire_bytes
-        self.clock.advance(
-            self.network.rpc_seconds(request, delta.wire_bytes),
-            component="portal",
-        )
-        return delta
+            return delta
 
     def upload_initial(self, session: Session, data: bytes) -> str:
         """Start a process: verify, register (replay guard), store, notify.
@@ -208,37 +211,41 @@ class PortalServer:
         Returns the process id.
         """
         self._require(session)
-        document = Dra4wfmsDocument.from_bytes(data)
-        self.stats["bytes_in"] += len(data)
-        self.clock.advance(self.network.transfer_seconds(len(data)),
-                           component="portal")
-        try:
-            verify_document(
-                document, self.directory, self.backend,
-                definition_reader=(self.tfc.identity,
-                                   self.tfc.keypair.private_key),
-                cache=self.verify_cache,
-                workers=self.verify_workers,
-                batch=self.verify_batch,
-            )
-        except Exception as exc:
-            self.stats["rejected"] += 1
-            raise PortalError(f"initial document rejected: {exc}") from exc
+        with self.clock.trace("portal.upload_initial", "portal"):
+            document = Dra4wfmsDocument.from_bytes(data)
+            self.stats["bytes_in"] += len(data)
+            self.clock.advance(self.network.transfer_seconds(len(data)),
+                               component="portal")
+            try:
+                with self.clock.trace("portal.verify", "crypto"):
+                    verify_document(
+                        document, self.directory, self.backend,
+                        definition_reader=(self.tfc.identity,
+                                           self.tfc.keypair.private_key),
+                        cache=self.verify_cache,
+                        workers=self.verify_workers,
+                        batch=self.verify_batch,
+                    )
+            except Exception as exc:
+                self.stats["rejected"] += 1
+                raise PortalError(
+                    f"initial document rejected: {exc}") from exc
 
-        definition = self._definition_of(document)
-        try:
-            self.pool.register_process(document.process_id)
-        except Exception as exc:
-            self.stats["rejected"] += 1
-            raise PortalError(f"initial document rejected: {exc}") from exc
-        self.pool.store(document)
-        start = definition.activity(definition.start_activity)
-        self.pool.add_todo(start.participant, document.process_id,
-                           start.activity_id)
-        self.notifier.notify(start.participant, document.process_id,
-                             start.activity_id)
-        self.stats["uploads"] += 1
-        return document.process_id
+            definition = self._definition_of(document)
+            try:
+                self.pool.register_process(document.process_id)
+            except Exception as exc:
+                self.stats["rejected"] += 1
+                raise PortalError(
+                    f"initial document rejected: {exc}") from exc
+            self.pool.store(document)
+            start = definition.activity(definition.start_activity)
+            self.pool.add_todo(start.participant, document.process_id,
+                               start.activity_id)
+            self.notifier.notify(start.participant, document.process_id,
+                                 start.activity_id)
+            self.stats["uploads"] += 1
+            return document.process_id
 
     def submit(self, session: Session, data: bytes) -> list[PoolEntry]:
         """Accept an executed document, finalise via TFC, store, notify.
@@ -247,10 +254,11 @@ class PortalServer:
         (empty when the process terminated).
         """
         self._require(session)
-        self.stats["bytes_in"] += len(data)
-        self.clock.advance(self.network.transfer_seconds(len(data)),
-                           component="portal")
-        return self._accept_submission(data)
+        with self.clock.trace("portal.submit", "portal"):
+            self.stats["bytes_in"] += len(data)
+            self.clock.advance(self.network.transfer_seconds(len(data)),
+                               component="portal")
+            return self._accept_submission(data)
 
     def submit_delta(self, session: Session,
                      delta: DeltaDocument) -> list[PoolEntry]:
@@ -271,30 +279,34 @@ class PortalServer:
         self._require(session)
         if not self.pool.delta:
             raise PortalError("this cloud does not accept delta transfers")
-        self.stats["bytes_in"] += delta.wire_bytes
-        self.clock.advance(self.network.transfer_seconds(delta.wire_bytes),
-                           component="portal")
-        manifest = delta.manifest
-        needed = [d for d in manifest.chunk_digests
-                  if d not in delta.chunks]
-        fetched = self.pool.chunks.get_chunks(needed)
-        if len(fetched) != len(set(needed)):
-            self.stats["delta_fallbacks"] += 1
-            missing = sorted(set(needed) - set(fetched))
-            raise DeltaFallbackRequired(
-                f"submission references {len(missing)} chunk(s) this "
-                f"cloud does not hold; resubmit the full document"
+        with self.clock.trace("portal.submit_delta", "portal"):
+            self.stats["bytes_in"] += delta.wire_bytes
+            self.clock.advance(
+                self.network.transfer_seconds(delta.wire_bytes),
+                component="portal",
             )
-        all_chunks = {**fetched, **delta.chunks}
-        try:
-            data = assemble(manifest, all_chunks)
-        except DeltaMismatch as exc:
-            self.stats["rejected"] += 1
-            raise PortalError(f"submission rejected: {exc}") from exc
-        entries = self._accept_submission(data, manifest=manifest,
-                                          chunks=all_chunks)
-        self.stats["delta_submissions"] += 1
-        return entries
+            manifest = delta.manifest
+            needed = [d for d in manifest.chunk_digests
+                      if d not in delta.chunks]
+            fetched = self.pool.chunks.get_chunks(needed)
+            if len(fetched) != len(set(needed)):
+                self.stats["delta_fallbacks"] += 1
+                missing = sorted(set(needed) - set(fetched))
+                raise DeltaFallbackRequired(
+                    f"submission references {len(missing)} chunk(s) this "
+                    f"cloud does not hold; resubmit the full document"
+                )
+            all_chunks = {**fetched, **delta.chunks}
+            try:
+                with self.clock.trace("delta.assemble", "delta"):
+                    data = assemble(manifest, all_chunks)
+            except DeltaMismatch as exc:
+                self.stats["rejected"] += 1
+                raise PortalError(f"submission rejected: {exc}") from exc
+            entries = self._accept_submission(data, manifest=manifest,
+                                              chunks=all_chunks)
+            self.stats["delta_submissions"] += 1
+            return entries
 
     def _accept_submission(self, data: bytes,
                            manifest: Manifest | None = None,

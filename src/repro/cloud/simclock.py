@@ -22,11 +22,18 @@ same component code without rewriting it:
 from __future__ import annotations
 
 import heapq
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, ContextManager, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.tracer import Tracer
 
 __all__ = ["SimClock", "CostCapture"]
+
+#: Shared do-nothing context for untraced clocks — allocated once so the
+#: tracing-off path adds no per-call object churn.
+_NULL_SPAN: ContextManager[None] = nullcontext()
 
 
 @dataclass
@@ -79,6 +86,10 @@ class SimClock:
         self._events: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self._capture: CostCapture | None = None
+        #: Optional observability hook (:class:`repro.obs.Tracer`).  When
+        #: set, every cost charge is mirrored to the tracer; ``None``
+        #: (the default) keeps the clock entirely observation-free.
+        self.tracer: "Tracer | None" = None
 
     def now(self) -> float:
         """Current simulated time in seconds."""
@@ -96,7 +107,13 @@ class SimClock:
             raise ValueError("cannot advance the clock backwards")
         if self._capture is not None:
             self._capture.charges.append((component or "misc", seconds))
+            if self.tracer is not None:
+                self.tracer.on_charge(component or "misc", seconds)
             return self._now
+        if self.tracer is not None and component is not None:
+            # Untagged advances outside a capture are scheduler idle time
+            # (``advance_to``), not work — only tagged cost is traced.
+            self.tracer.on_charge(component, seconds)
         target = self._now + seconds
         while self._events and self._events[0][0] <= target:
             when, _, callback = heapq.heappop(self._events)
@@ -108,6 +125,33 @@ class SimClock:
     def advance_to(self, target: float) -> float:
         """Advance to an absolute simulated time (≥ now)."""
         return self.advance(target - self._now)
+
+    def trace(self, name: str,
+              component: str | None = None) -> ContextManager[object]:
+        """A tracer span for *name*, or a shared no-op context.
+
+        Component code wraps its operations in ``with
+        clock.trace("hbase.put", "hbase"):`` unconditionally; when no
+        tracer is attached this returns one preallocated
+        ``nullcontext`` so the untraced hot path stays allocation-free.
+        """
+        if self.tracer is None:
+            return _NULL_SPAN
+        return self.tracer.span(name, component=component)
+
+    @contextmanager
+    def trace_muted(self) -> Iterator[None]:
+        """Suspend tracing for a block (setup cost the caller discards).
+
+        The fleet logs in every enterprise client once and throws that
+        capture away; muting keeps those charges out of the trace so
+        traced totals still equal the capture sums the reports use.
+        """
+        tracer, self.tracer = self.tracer, None
+        try:
+            yield
+        finally:
+            self.tracer = tracer
 
     @contextmanager
     def capture(self) -> Iterator[CostCapture]:

@@ -154,6 +154,19 @@ class CloudSystem:
         self._portal_by_id = {p.portal_id: p for p in self.portals}
         self.mapreduce = MapReduceEngine(self.hbase)
 
+    # -- observability --------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer` to this cloud (or detach
+        with ``None``).
+
+        One call covers the whole substrate: the shared clock's charge
+        hook picks up every portal/HBase/HDFS/notify cost, and the TFC
+        (which has no clock of its own) gets the span hook directly.
+        """
+        self.clock.tracer = tracer
+        self.tfc.tracer = tracer
+
     # -- load balancing -------------------------------------------------------
 
     def next_portal(self) -> PortalServer:
@@ -355,7 +368,8 @@ class CloudClient:
                 session, process_id,
                 self._have.get(process_id), frozenset(own),
             )
-            data = decode_delta(delta, self.chunks)
+            with self.system.clock.trace("delta.decode", "delta"):
+                data = decode_delta(delta, self.chunks)
         except (DeltaFallbackRequired, DeltaError, KeyError):
             data = portal.retrieve(session, process_id)
             self.bytes_received += len(data)
@@ -395,7 +409,8 @@ class CloudClient:
             data = document.to_bytes()
             self.bytes_sent += len(data)
             return portal.submit(session, data)
-        delta = encode_delta(document, known=self._cloud_known)
+        with self.system.clock.trace("delta.encode", "delta"):
+            delta = encode_delta(document, known=self._cloud_known)
         try:
             entries = portal.submit_delta(session, delta)
         except DeltaFallbackRequired:

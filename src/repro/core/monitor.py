@@ -37,7 +37,15 @@ class ActivityStats:
 
 
 class WorkflowMonitor:
-    """Query progress and statistics from TFC records and documents."""
+    """Query progress and statistics from TFC records and documents.
+
+    Single-instance queries (history, status, gaps) need only the TFC
+    records.  The fleet-load views — :meth:`queue_depths`,
+    :meth:`utilization` and :meth:`metrics` — additionally need a
+    :class:`~repro.fleet.fleet.Fleet` connected via the ``fleet=``
+    constructor argument or :meth:`attach_fleet`; they return ``None``
+    until one is attached.
+    """
 
     def __init__(self, tfc: TfcServer | None = None,
                  records: list[TfcRecord] | None = None,
@@ -54,7 +62,12 @@ class WorkflowMonitor:
         self._fleet = fleet
 
     def attach_fleet(self, fleet: "Fleet") -> None:
-        """Connect a fleet so its load metrics become queryable here."""
+        """Connect a fleet so its load metrics become queryable here.
+
+        Enables :meth:`queue_depths`, :meth:`utilization` and
+        :meth:`metrics`.  A monitor serves one fleet at a time; calling
+        this again replaces the previous attachment.
+        """
         self._fleet = fleet
 
     @property
@@ -154,6 +167,22 @@ class WorkflowMonitor:
         if self._fleet is None:
             return None
         return self._fleet.utilization()
+
+    def metrics(self) -> dict[str, object] | None:
+        """Metrics-registry snapshot from an attached fleet.
+
+        ``{"counters": ..., "gauges": ..., "histograms": ...}`` with
+        sorted ``name{label=value}`` keys (see ``docs/OBSERVABILITY.md``
+        for the catalog).  Requires a fleet built with
+        ``FleetConfig(collect_metrics=True)`` or an attached tracer;
+        ``None`` when no fleet is attached or collection is off.
+        During a run only the ``sim_us_total`` component counters are
+        live — the run-level counters, gauges and latency histogram
+        land when the fleet produces its report.
+        """
+        if self._fleet is None or self._fleet.metrics is None:
+            return None
+        return self._fleet.metrics.snapshot()
 
     # -- fleet statistics ------------------------------------------------------
 

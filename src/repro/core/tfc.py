@@ -23,8 +23,12 @@ detectable by the same verification every AEA already runs.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, ContextManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.tracer import Tracer
 
 from ..crypto.backend import CryptoBackend, default_backend
 from ..crypto.keys import KeyPair
@@ -114,6 +118,15 @@ class TfcServer:
         self.records: list[TfcRecord] = []
         #: Copies of every forwarded document (workflow monitoring).
         self.document_log: list[bytes] = []
+        #: Optional observability hook (:class:`repro.obs.Tracer`) —
+        #: the TFC has no :class:`SimClock` of its own (its *clock* is a
+        #: bare timestamp callable), so the span hook attaches here.
+        self.tracer: "Tracer | None" = None
+
+    def _trace(self, name: str, component: str) -> ContextManager[object]:
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, component=component)
 
     @property
     def identity(self) -> str:
@@ -132,74 +145,82 @@ class TfcServer:
         re-encrypts the result per policy, timestamps, signs, records,
         and computes the routing decision.
         """
+        with self._trace("tfc.process", "tfc"):
+            return self._process(data)
+
+    def _process(self, data: bytes | Dra4wfmsDocument) -> TfcResult:
         verify_start = time.perf_counter()
-        document = (data if isinstance(data, Dra4wfmsDocument)
-                    else Dra4wfmsDocument.from_bytes(data))
-        report: VerificationReport = verify_document(
-            document, self.directory, self.backend,
-            definition_reader=(self.identity, self.keypair.private_key),
-            tfc_identities=self.trusted_tfcs,
-            cache=self.verify_cache,
-            workers=self.verify_workers,
-            batch=self.verify_batch,
-        )
-        from ..document.amendments import effective_definition
-
-        definition: WorkflowDefinition = effective_definition(
-            document, self.identity, self.keypair.private_key, self.backend
-        ) if document.definition_is_encrypted else effective_definition(
-            document, backend=self.backend
-        )
-
-        pending = document.pending_intermediate()
-        if not pending:
-            raise RuntimeFault(
-                "document has no pending intermediate CER to finalise"
+        with self._trace("tfc.verify", "crypto"):
+            document = (data if isinstance(data, Dra4wfmsDocument)
+                        else Dra4wfmsDocument.from_bytes(data))
+            report: VerificationReport = verify_document(
+                document, self.directory, self.backend,
+                definition_reader=(self.identity, self.keypair.private_key),
+                tfc_identities=self.trusted_tfcs,
+                cache=self.verify_cache,
+                workers=self.verify_workers,
+                batch=self.verify_batch,
             )
-        if len(pending) > 1:
-            raise RuntimeFault(
-                f"document has {len(pending)} pending intermediate CERs; "
-                f"each routed copy must carry exactly one"
+            from ..document.amendments import effective_definition
+
+            definition: WorkflowDefinition = effective_definition(
+                document, self.identity, self.keypair.private_key,
+                self.backend
+            ) if document.definition_is_encrypted else effective_definition(
+                document, backend=self.backend
             )
-        cer_it = pending[0]
-        bundle = cer_it.encrypted_field(INTERMEDIATE_BUNDLE_FIELD)
-        values = parse_result_bundle(bundle.decrypt(
-            self.identity, self.keypair.private_key, self.backend
-        ))
-        verify_seconds = time.perf_counter() - verify_start
+
+            pending = document.pending_intermediate()
+            if not pending:
+                raise RuntimeFault(
+                    "document has no pending intermediate CER to finalise"
+                )
+            if len(pending) > 1:
+                raise RuntimeFault(
+                    f"document has {len(pending)} pending intermediate "
+                    f"CERs; each routed copy must carry exactly one"
+                )
+            cer_it = pending[0]
+            bundle = cer_it.encrypted_field(INTERMEDIATE_BUNDLE_FIELD)
+            values = parse_result_bundle(bundle.decrypt(
+                self.identity, self.keypair.private_key, self.backend
+            ))
+            verify_seconds = time.perf_counter() - verify_start
 
         # γ phase: re-encrypt per policy + timestamp + sign ------------------
         sign_start = time.perf_counter()
-        view = VariableView.for_reader(
-            document, self.identity, self.keypair.private_key, self.backend
-        ).merged_with(values)
-        typed = view.typed(definition)
-        activity_id, iteration = cer_it.activity_id, cer_it.iteration
+        with self._trace("tfc.sign", "crypto"):
+            view = VariableView.for_reader(
+                document, self.identity, self.keypair.private_key,
+                self.backend
+            ).merged_with(values)
+            typed = view.typed(definition)
+            activity_id, iteration = cer_it.activity_id, cer_it.iteration
 
-        def readers_for(fieldname: str) -> dict[str, RsaPublicKey]:
-            names = set(definition.policy.readers_for(
-                definition, activity_id, fieldname, typed
-            ))
-            # The TFC saw the plaintext anyway and needs it later for
-            # guard evaluation; adding itself keeps that honest and
-            # auditable rather than implicit.
-            names.add(self.identity)
-            return {
-                identity: self.directory.public_key_of(identity)
-                for identity in sorted(names)
-            }
+            def readers_for(fieldname: str) -> dict[str, RsaPublicKey]:
+                names = set(definition.policy.readers_for(
+                    definition, activity_id, fieldname, typed
+                ))
+                # The TFC saw the plaintext anyway and needs it later for
+                # guard evaluation; adding itself keeps that honest and
+                # auditable rather than implicit.
+                names.add(self.identity)
+                return {
+                    identity: self.directory.public_key_of(identity)
+                    for identity in sorted(names)
+                }
 
-        timestamp = float(self.clock())
-        new_document = document.clone_for_append()
-        intermediate_sig = new_document.find_cer(
-            activity_id, iteration, cer_it.kind
-        ).signature.element
-        tfc_cer = make_tfc_cer(
-            activity_id, iteration, self.keypair, values,
-            readers_for, intermediate_sig, timestamp, self.backend,
-        )
-        new_document.append_cer(tfc_cer)
-        sign_seconds = time.perf_counter() - sign_start
+            timestamp = float(self.clock())
+            new_document = document.clone_for_append()
+            intermediate_sig = new_document.find_cer(
+                activity_id, iteration, cer_it.kind
+            ).signature.element
+            tfc_cer = make_tfc_cer(
+                activity_id, iteration, self.keypair, values,
+                readers_for, intermediate_sig, timestamp, self.backend,
+            )
+            new_document.append_cer(tfc_cer)
+            sign_seconds = time.perf_counter() - sign_start
 
         routing = route_after(definition, activity_id, typed)
 

@@ -39,8 +39,9 @@ from __future__ import annotations
 
 import heapq
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, ContextManager, Mapping
 
 from ..cloud.simclock import CostCapture
 from ..cloud.system import CloudClient, CloudSystem
@@ -50,6 +51,8 @@ from ..document.vcache import VerificationCache
 from ..document.verify import verify_document
 from ..errors import FleetError, JoinNotReady
 from ..model.controlflow import JoinKind
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
 from .arrivals import ClosedLoop, OpenLoop, think_time
 from .costs import CryptoCostModel
 from .report import FleetReport
@@ -89,6 +92,14 @@ class FleetConfig:
     costs: CryptoCostModel = field(default_factory=CryptoCostModel)
     #: Hard stop against runaway event loops.
     max_events: int = 5_000_000
+    #: Optional :class:`repro.obs.Tracer` collecting per-event spans.
+    #: ``None`` (default) leaves the run entirely untraced — reports
+    #: stay byte-identical to pre-observability builds.
+    tracer: Tracer | None = field(default=None, compare=False)
+    #: Collect a :class:`repro.obs.MetricsRegistry` snapshot into the
+    #: report's ``metrics`` section without retaining span events
+    #: (implied when *tracer* is set).
+    collect_metrics: bool = False
 
 
 @dataclass
@@ -150,6 +161,36 @@ class Fleet:
         self._first_arrival: float | None = None
         self._last_completion = 0.0
         self._clients: dict[str, CloudClient] = {}
+        #: Tracing tap: the caller's collecting tracer, or a metrics-only
+        #: ``collect=False`` tracer, or ``None`` (fully untraced — the
+        #: default, keeping the report byte-identical to older builds).
+        self.tracer = config.tracer
+        self.metrics: MetricsRegistry | None = None
+        self._tap: Tracer | None = None
+        if config.tracer is not None:
+            self._tap = config.tracer
+            if config.tracer.metrics is None:
+                config.tracer.metrics = MetricsRegistry()
+            self.metrics = config.tracer.metrics
+        elif config.collect_metrics:
+            self.metrics = MetricsRegistry()
+            self._tap = Tracer(collect=False, metrics=self.metrics)
+        if self._tap is not None:
+            system.attach_tracer(self._tap)
+
+    def _span(self, name: str, component: str | None = None,
+              instance: str | None = None,
+              hop: str | None = None) -> ContextManager[object]:
+        """Tracer span, or a no-op context when untraced."""
+        if self._tap is None:
+            return nullcontext()
+        return self._tap.span(name, component=component,
+                              instance=instance, hop=hop)
+
+    def _leaf(self, name: str, seconds: float, component: str) -> None:
+        """Explicit deterministic cost leaf (no-op when untraced)."""
+        if self._tap is not None:
+            self._tap.leaf(name, seconds, component=component)
 
     # -- event heap ----------------------------------------------------------
 
@@ -169,8 +210,11 @@ class Fleet:
         client = self._clients.get(identity)
         if client is None:
             # Login cost is setup, not steady-state load: capture and
-            # discard so the run starts at a clean clock.
-            with self.clock.capture():
+            # discard so the run starts at a clean clock.  Tracing is
+            # muted for the same reason — discarded charges must not
+            # appear in the trace either, or traced totals would stop
+            # matching the capture sums the stations replay.
+            with self.clock.trace_muted(), self.clock.capture():
                 client = self.system.client(self.keypairs[identity])
             self._clients[identity] = client
         return client
@@ -213,6 +257,12 @@ class Fleet:
             return
         (station, cost), rest = visits[0], visits[1:]
         end = station.submit(self.now, cost)
+        if self._tap is not None:
+            # Zero-duration marker: the visit's cost was already traced
+            # when it was charged/captured, so advancing the cursor here
+            # would double-count it.
+            self._tap.instant(f"station.{station.name}", component="fleet",
+                              detail=f"{cost:.9f}")
         self._push(end, lambda: self._chain(rest, on_done))
 
     # -- instance lifecycle ---------------------------------------------------
@@ -243,9 +293,13 @@ class Fleet:
         self._instances[initial.process_id] = instance
 
         client = self._client(designer)
-        with self.clock.capture() as captured:
-            client.upload_initial(initial)
-        sign_cost = self.config.costs.initial_sign(initial.size_bytes)
+        with self._span("launch", component="fleet",
+                        instance=initial.process_id,
+                        hop=self.definition.start_activity):
+            sign_cost = self.config.costs.initial_sign(initial.size_bytes)
+            self._leaf("crypto.initial_sign", sign_cost, "crypto")
+            with self.clock.capture() as captured:
+                client.upload_initial(initial)
         portal_station = self._portal_station(initial.process_id)
         visits = [(self.stations[f"aea:{designer}"], sign_cost)]
         visits += self._captured_visits(captured, portal_station)
@@ -273,6 +327,11 @@ class Fleet:
 
     def _hop(self, instance: _Instance, activity_id: str) -> None:
         """One activity execution attempt (event handler)."""
+        with self._span("hop", component="fleet",
+                        instance=instance.process_id, hop=activity_id):
+            self._hop_traced(instance, activity_id)
+
+    def _hop_traced(self, instance: _Instance, activity_id: str) -> None:
         participant = self.definition.activity(activity_id).participant
         pending = {
             (entry.process_id, entry.activity_id)
@@ -339,6 +398,8 @@ class Fleet:
         tfc_cost = costs.tfc_process(
             result.timings.signatures_verified + 1, full_size
         )
+        self._leaf("crypto.aea_execute", aea_cost, "crypto")
+        self._leaf("crypto.tfc_process", tfc_cost, "crypto")
         submit_by = submit_cost.by_component()
         visits: list[tuple[Station, float]] = []
         visits += self._captured_visits(retrieve_cost, portal_station)
@@ -388,17 +449,19 @@ class Fleet:
     def _audit(self, instance: _Instance) -> None:
         """Cold full-cascade re-verification of a finished instance."""
         self._audited += 1
-        document = self.system.pool.latest(instance.process_id)
-        try:
-            verify_document(
-                document, self.system.directory, self.system.backend,
-                definition_reader=(self.system.tfc.identity,
-                                   self.system.tfc.keypair.private_key),
-                workers=self.config.verify_workers,
-                batch=self.config.verify_batch,
-            )
-        except Exception:
-            self._audit_failures += 1
+        with self._span("audit", component="crypto",
+                        instance=instance.process_id):
+            document = self.system.pool.latest(instance.process_id)
+            try:
+                verify_document(
+                    document, self.system.directory, self.system.backend,
+                    definition_reader=(self.system.tfc.identity,
+                                       self.system.tfc.keypair.private_key),
+                    workers=self.config.verify_workers,
+                    batch=self.config.verify_batch,
+                )
+            except Exception:
+                self._audit_failures += 1
 
     # -- main loop ------------------------------------------------------------
 
@@ -445,6 +508,40 @@ class Fleet:
         return {name: station.metrics(horizon).utilization
                 for name, station in sorted(self.stations.items())}
 
+    def _fill_metrics(self, horizon: float) -> None:
+        """Populate the registry from the run's terminal state."""
+        reg = self.metrics
+        assert reg is not None
+        clients = self._clients.values()
+        reg.counter("wire_bytes", direction="to_cloud").inc(
+            sum(c.bytes_sent for c in clients))
+        reg.counter("wire_bytes", direction="from_cloud").inc(
+            sum(c.bytes_received for c in clients))
+        reg.counter("hops_total").inc(self._hops)
+        reg.counter("instances_started_total").inc(self._started)
+        reg.counter("instances_completed_total").inc(self._completed)
+        reg.counter("join_retries_total").inc(self._join_retries)
+        reg.counter("audits_total").inc(self._audited)
+        reg.counter("audit_failures_total").inc(self._audit_failures)
+        store = self.system.pool.chunks
+        if store is not None:
+            for key, value in sorted(store.stats.items()):
+                reg.counter(f"chunk_store_{key}").inc(value)
+        cache = self.system.verify_cache
+        if cache is not None:
+            reg.counter("verify_cache_hits_total").inc(cache.stats.hits)
+            reg.counter("verify_cache_misses_total").inc(
+                cache.stats.misses)
+            reg.gauge("verify_cache_hit_rate").set(cache.stats.hit_rate)
+        for name, station in sorted(self.stations.items()):
+            m = station.metrics(horizon)
+            reg.gauge("queue_depth_max", station=name).set(
+                m.max_queue_depth)
+            reg.gauge("utilization", station=name).set(m.utilization)
+        hist = reg.histogram("latency_seconds")
+        for latency in self._latencies:
+            hist.observe(latency)
+
     def _report(self, events_processed: int) -> FleetReport:
         first = self._first_arrival or 0.0
         makespan = (round(self._last_completion - first, 9)
@@ -470,6 +567,10 @@ class Fleet:
                 "regions": sum(len(s.regions) for s in
                                hb.servers.values()),
             }
+        metrics_snapshot: dict[str, object] = {}
+        if self.metrics is not None:
+            self._fill_metrics(horizon)
+            metrics_snapshot = self.metrics.snapshot()
         return FleetReport(
             workload=self.workload.name,
             mode=self.config.arrivals.mode,
@@ -492,6 +593,7 @@ class Fleet:
             join_retries=self._join_retries,
             placement=placement_dict,
             storage=storage,
+            metrics=metrics_snapshot,
         )
 
 

@@ -49,6 +49,7 @@ from ..document.builder import build_initial_document
 from ..document.vcache import VerificationCache
 from ..document.verify import verify_document
 from ..errors import CloudError, JoinNotReady
+from ..obs.tracer import Tracer
 from ..workloads.participants import World, build_world
 from .fleet import TFC_IDENTITY
 from .report import RealFleetReport
@@ -112,6 +113,9 @@ class InstanceResult:
     portal: str = ""
     #: HBase region splits inside this instance's cloud.
     region_splits: int = 0
+    #: Serialized worker-side :meth:`repro.obs.Tracer.payload` (``None``
+    #: unless the run was traced) — the parent re-bases and merges it.
+    trace: dict[str, object] | None = None
 
 
 # Worker-process state, rebuilt once per process by :func:`_init_worker`
@@ -213,22 +217,39 @@ def _run_instance(index: int) -> InstanceResult:
         split_threshold_bytes=_WORKER["split_threshold_bytes"],  # type: ignore[arg-type]
     )
     process_id = f"real{seed}-{index:06d}"
+    # Per-instance tracer: each worker collects its own span tree (over
+    # a fresh cursor) and ships it back as a picklable payload; the
+    # parent re-bases and concatenates them in index order, mirroring
+    # how the simulated charges merge through CostCapture/absorb.
+    tracer = Tracer() if _WORKER.get("trace") else None
+    if tracer is not None:
+        system.attach_tracer(tracer)
+    trace_span = (tracer.span("instance", component="fleet",
+                              instance=process_id)
+                  if tracer is not None else None)
     with system.clock.capture() as captured:
-        hops, clients = _drive_instance(system, workload, world, process_id)
-        audited = bool(audit_every) and index % audit_every == 0
-        audit_failed = False
-        if audited:
-            document = system.pool.latest(process_id)
-            try:
-                verify_document(
-                    document, system.directory, system.backend,
-                    definition_reader=(system.tfc.identity,
-                                       system.tfc.keypair.private_key),
-                    workers=verify_workers,  # type: ignore[arg-type]
-                    batch=verify_batch,  # type: ignore[arg-type]
-                )
-            except Exception:
-                audit_failed = True
+        if trace_span is not None:
+            trace_span.__enter__()
+        try:
+            hops, clients = _drive_instance(system, workload, world,
+                                            process_id)
+            audited = bool(audit_every) and index % audit_every == 0
+            audit_failed = False
+            if audited:
+                document = system.pool.latest(process_id)
+                try:
+                    verify_document(
+                        document, system.directory, system.backend,
+                        definition_reader=(system.tfc.identity,
+                                           system.tfc.keypair.private_key),
+                        workers=verify_workers,  # type: ignore[arg-type]
+                        batch=verify_batch,  # type: ignore[arg-type]
+                    )
+                except Exception:
+                    audit_failed = True
+        finally:
+            if trace_span is not None:
+                trace_span.__exit__(None, None, None)
     return InstanceResult(
         index=index,
         process_id=process_id,
@@ -244,11 +265,13 @@ def _run_instance(index: int) -> InstanceResult:
         portal=(system.portal_for(process_id).portal_id
                 if system.placement is not None else ""),
         region_splits=system.hbase.stats["splits"],
+        trace=tracer.payload() if tracer is not None else None,
     )
 
 
 def run_real_fleet(config: RealFleetConfig,
-                   world: World | None = None) -> RealFleetReport:
+                   world: World | None = None,
+                   tracer: Tracer | None = None) -> RealFleetReport:
     """Run *config.instances* instances over a real OS process pool.
 
     *world* lets callers reuse one generated PKI world across several
@@ -256,6 +279,12 @@ def run_real_fleet(config: RealFleetConfig,
     determinism test passes the same world to the ``workers=1`` and
     ``workers=N`` runs it compares).  When omitted, a fresh world is
     built for the workload's identities.
+
+    *tracer* (optional) collects every instance's worker-side span tree:
+    workers trace locally and the payloads merge back here in index
+    order, so the assembled trace is identical for ``--workers 1`` and
+    ``--workers N`` — the same guarantee the deterministic aggregates
+    make.
     """
     if config.instances < 0:
         raise ValueError("instances must be non-negative")
@@ -280,6 +309,7 @@ def run_real_fleet(config: RealFleetConfig,
         "chunk_replicas": config.chunk_replicas,
         "split_threshold_rows": config.split_threshold_rows,
         "split_threshold_bytes": config.split_threshold_bytes,
+        "trace": tracer is not None,
     }
 
     wall_start = time.perf_counter()
@@ -303,6 +333,10 @@ def run_real_fleet(config: RealFleetConfig,
     # Results arrive in index order from pool.map, but sort defensively:
     # aggregate sums below must not depend on completion order.
     results.sort(key=lambda r: r.index)
+    if tracer is not None:
+        for result in results:
+            if result.trace is not None:
+                tracer.absorb(result.trace)
     clock = SimClock()
     with clock.capture() as merged:
         for result in results:

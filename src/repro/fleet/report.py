@@ -68,6 +68,11 @@ class FleetReport:
     #: Sharded-tier region-store counters (splits, moves, flushes,
     #: regions).  Same ring-mode-only rule as :attr:`placement`.
     storage: dict[str, int] = field(default_factory=dict)
+    #: :class:`repro.obs.MetricsRegistry` snapshot (counters/gauges/
+    #: histograms).  Populated only when the run collected metrics or
+    #: traced; empty — and omitted from the serialised form — otherwise,
+    #: so untraced report bytes are unchanged (the golden guarantee).
+    metrics: dict[str, object] = field(default_factory=dict)
 
     # -- latency aggregates ------------------------------------------------
 
@@ -168,6 +173,8 @@ class FleetReport:
         if self.storage:
             out["storage"] = {k: self.storage[k]
                               for k in sorted(self.storage)}
+        if self.metrics:
+            out["metrics"] = self.metrics
         return out
 
     def to_json(self) -> str:

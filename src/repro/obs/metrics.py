@@ -1,0 +1,161 @@
+"""A small deterministic metrics registry (counters, gauges, histograms).
+
+Everything here is plain Python state with a JSON-safe snapshot — no
+background threads, no wall clocks — so a registry filled from simulated
+quantities snapshots byte-identically run to run.  Metrics are keyed by
+``name`` plus optional labels; the canonical key is rendered
+Prometheus-style (``wire_bytes{direction=to_cloud}``) with labels sorted
+by name, so snapshot ordering never depends on creation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS", "metric_key"]
+
+#: Histogram bucket upper bounds (seconds-ish scale; callers may pass
+#: their own).  The catch-all ``+Inf`` bucket is implicit.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+def metric_key(name: str, labels: dict[str, str]) -> str:
+    """Canonical metric key: ``name{k1=v1,k2=v2}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing integer-or-float count."""
+
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add *amount* (must be non-negative — counters only go up)."""
+        if amount < 0:
+            raise ValueError("counters cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (queue depth, hit rate, utilization)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    Buckets are *non-cumulative* per-bound counts plus an implicit
+    ``+Inf`` overflow bucket, which keeps the snapshot human-readable.
+    """
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    count: int = 0
+    total: float = 0.0
+    min_value: float | None = None
+    max_value: float | None = None
+    bucket_counts: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe snapshot of this histogram."""
+        labels = [str(b) for b in self.buckets] + ["+Inf"]
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": round(self.min_value, 9) if self.count else 0.0,
+            "max": round(self.max_value, 9) if self.count else 0.0,
+            "buckets": dict(zip(labels, self.bucket_counts)),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named metrics, with one snapshot API."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create ------------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter for ``name`` + *labels* (created on first use)."""
+        key = metric_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge for ``name`` + *labels* (created on first use)."""
+        key = metric_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: str) -> Histogram:
+        """The histogram for ``name`` + *labels* (created on first use)."""
+        key = metric_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(buckets=buckets)
+        return metric
+
+    # -- snapshot -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe snapshot of every metric, keys sorted.
+
+        Counter values are emitted as ints when they are whole numbers
+        (byte and event counts read naturally); gauges round to
+        nanoseconds like the rest of the reporting layer.
+        """
+        counters = {}
+        for key in sorted(self._counters):
+            value = self._counters[key].value
+            counters[key] = (int(value) if float(value).is_integer()
+                             else round(value, 9))
+        return {
+            "counters": counters,
+            "gauges": {key: round(self._gauges[key].value, 9)
+                       for key in sorted(self._gauges)},
+            "histograms": {key: self._histograms[key].to_dict()
+                           for key in sorted(self._histograms)},
+        }

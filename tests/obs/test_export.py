@@ -1,0 +1,125 @@
+"""Unit tests for the trace exporters and the trace validator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    to_chrome_trace,
+    to_folded_stacks,
+    summarize_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import Tracer, microseconds
+
+
+def drive(tracer: Tracer) -> Tracer:
+    """A small two-instance trace exercising every event kind."""
+    with tracer.span("hop", component="fleet", instance="i1", hop="A"):
+        with tracer.span("portal.submit", component="portal"):
+            tracer.leaf("portal", 0.25)
+        tracer.instant("station.portal", detail="0.25")
+    with tracer.span("hop", component="fleet", instance="i2", hop="A"):
+        with tracer.span("hbase.put", component="hbase"):
+            tracer.leaf("pool", 0.5)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_valid_and_counted(self):
+        payload = to_chrome_trace(drive(Tracer()))
+        counts = validate_chrome_trace(payload)
+        assert counts == {"spans": 4, "leaves": 2, "instants": 1,
+                          "metadata": 4}  # process + 3 threads
+
+    def test_thread_per_instance(self):
+        payload = to_chrome_trace(drive(Tracer()))
+        names = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert names == {"(shared)", "i1", "i2"}
+
+    def test_same_input_byte_identical(self):
+        one = json.dumps(to_chrome_trace(drive(Tracer())), sort_keys=True)
+        two = json.dumps(to_chrome_trace(drive(Tracer())), sort_keys=True)
+        assert one == two
+
+    def test_write_returns_byte_count(self, tmp_path):
+        path = tmp_path / "trace.json"
+        size = write_chrome_trace(drive(Tracer()), path)
+        data = path.read_bytes()
+        assert len(data) == size
+        assert data.endswith(b"\n")
+        validate_chrome_trace(json.loads(data))
+
+
+class TestValidator:
+    def payload(self):
+        return to_chrome_trace(drive(Tracer()))
+
+    def events(self, payload, phase):
+        return [e for e in payload["traceEvents"] if e["ph"] == phase]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_missing_key(self):
+        payload = self.payload()
+        del self.events(payload, "X")[0]["ts"]
+        with pytest.raises(ValueError, match="missing required key"):
+            validate_chrome_trace(payload)
+
+    def test_rejects_time_travel(self):
+        payload = self.payload()
+        self.events(payload, "E")[-1]["ts"] = -5
+        with pytest.raises(ValueError):
+            validate_chrome_trace(payload)
+
+    def test_rejects_unbalanced_spans(self):
+        payload = self.payload()
+        begin = self.events(payload, "B")[0]
+        payload["traceEvents"].remove(begin)
+        with pytest.raises(ValueError):
+            validate_chrome_trace(payload)
+
+    def test_rejects_mismatched_names(self):
+        payload = self.payload()
+        self.events(payload, "B")[0]["name"] = "wrong"
+        with pytest.raises(ValueError, match="closes"):
+            validate_chrome_trace(payload)
+
+    def test_rejects_missing_dur(self):
+        payload = self.payload()
+        del self.events(payload, "X")[0]["dur"]
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(payload)
+
+
+class TestFoldedStacks:
+    def test_weights_sum_to_cursor(self):
+        tracer = drive(Tracer())
+        folded = to_folded_stacks(tracer)
+        total = sum(int(line.rsplit(" ", 1)[1])
+                    for line in folded.splitlines())
+        assert total == tracer.now_us
+
+    def test_paths_nest(self):
+        folded = to_folded_stacks(drive(Tracer()))
+        assert f"hop;portal.submit;portal {microseconds(0.25)}\n" in folded
+        assert f"hop;hbase.put;pool {microseconds(0.5)}\n" in folded
+
+
+class TestSummary:
+    def test_rows_sorted_by_sim_time(self):
+        rows = summarize_chrome_trace(to_chrome_trace(drive(Tracer())))
+        by_component = {row["component"]: row for row in rows}
+        assert by_component["portal"]["sim_us"] == microseconds(0.25)
+        assert by_component["hbase"]["sim_us"] == microseconds(0.5)
+        assert rows[0]["component"] == "hbase"  # largest first
+        assert sum(row["share"] for row in rows) == pytest.approx(1.0)
+        # fleet has spans but zero charged time
+        assert by_component["fleet"]["spans"] == 2
+        assert by_component["fleet"]["sim_us"] == 0

@@ -1,0 +1,113 @@
+"""Unit tests for the deterministic metrics registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+
+
+class TestMetricKey:
+    def test_plain_name(self):
+        assert metric_key("hops_total", {}) == "hops_total"
+
+    def test_labels_sorted(self):
+        key = metric_key("wire_bytes", {"direction": "to_cloud"})
+        assert key == "wire_bytes{direction=to_cloud}"
+        assert (metric_key("x", {"b": "2", "a": "1"})
+                == metric_key("x", {"a": "1", "b": "2"})
+                == "x{a=1,b=2}")
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_replaces(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        hist = Histogram(buckets=(1.0, 5.0))
+        for value in (0.5, 1.0, 2.0, 100.0):
+            hist.observe(value)
+        # Non-cumulative: <=1.0 gets two, (1, 5] one, overflow one.
+        assert hist.bucket_counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.min_value == 0.5
+        assert hist.max_value == 100.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(5.0, 1.0))
+
+    def test_to_dict_shape(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.25)
+        snap = hist.to_dict()
+        assert snap["count"] == 1
+        assert snap["sum"] == 0.25
+        assert snap["buckets"] == {"1.0": 1, "+Inf": 0}
+
+    def test_empty_snapshot_is_json_safe(self):
+        assert json.dumps(Histogram().to_dict())
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", x="1") is reg.counter("a", x="1")
+        assert reg.counter("a", x="1") is not reg.counter("a", x="2")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total").inc(2)
+        reg.counter("a_total").inc(0.5)
+        reg.gauge("depth", station="portal").set(3)
+        reg.histogram("lat").observe(0.2)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a_total", "b_total"]
+        # Whole-number counters emit as ints, fractional ones as floats.
+        assert snap["counters"]["b_total"] == 2
+        assert isinstance(snap["counters"]["b_total"], int)
+        assert snap["counters"]["a_total"] == 0.5
+        assert snap["gauges"]["depth{station=portal}"] == 3.0
+        assert snap["histograms"]["lat"]["count"] == 1
+        assert json.dumps(snap)  # JSON-safe end to end
+
+    def test_snapshot_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("z").inc()
+            reg.counter("a").inc()
+            reg.gauge("g").set(1)
+            return json.dumps(reg.snapshot(), sort_keys=True)
+
+        assert build() == build()
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

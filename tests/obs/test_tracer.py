@@ -1,0 +1,178 @@
+"""Unit tests for the deterministic span tracer.
+
+The invariants pinned here are the ones the exporters and the fleet
+integration rely on: a monotone cursor advanced only by charges,
+parents strictly enclosing children, CostCapture-compatible per-tag
+totals, and a lossless cross-process payload/absorb round trip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.simclock import SimClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, capture_totals_us, microseconds
+
+
+class TestMicroseconds:
+    def test_rounding(self):
+        assert microseconds(0.0) == 0
+        assert microseconds(1.0) == 1_000_000
+        assert microseconds(0.0000005) == 0  # banker's rounding at .5
+        assert microseconds(0.0000015) == 2
+
+
+class TestSpans:
+    def test_parent_encloses_child(self):
+        tracer = Tracer()
+        with tracer.span("outer", component="portal"):
+            tracer.leaf("portal", 0.25)
+            with tracer.span("inner"):
+                tracer.leaf("pool", 0.5)
+            tracer.leaf("portal", 0.125)
+        inner, outer = tracer.spans  # close order
+        assert inner.name == "inner"
+        assert outer.start_us <= inner.start_us
+        assert inner.end_us <= outer.end_us
+        assert outer.dur_us == microseconds(0.875)
+        assert inner.dur_us == microseconds(0.5)
+
+    def test_context_inheritance(self):
+        tracer = Tracer()
+        with tracer.span("hop", component="fleet", instance="i1",
+                         hop="A"):
+            with tracer.span("portal.submit", component="portal"):
+                tracer.leaf("portal", 0.1)
+        submit, hop = tracer.spans
+        assert submit.instance == "i1"
+        assert submit.hop == "A"
+        assert submit.component == "portal"
+        assert hop.component == "fleet"
+        leaf = tracer.charges[0]
+        assert (leaf.instance, leaf.hop) == ("i1", "A")
+
+    def test_leaf_component_resolution(self):
+        """A leaf's name stays the raw tag; its component comes from the
+        innermost open span (the hbase/hdfs split), else the tag."""
+        tracer = Tracer()
+        with tracer.span("hbase.put", component="hbase"):
+            tracer.leaf("pool", 0.5)
+        tracer.leaf("pool", 0.25)
+        inside, outside = tracer.charges
+        assert (inside.name, inside.component) == ("pool", "hbase")
+        assert (outside.name, outside.component) == ("pool", "pool")
+        assert tracer.tag_totals() == {"pool": microseconds(0.75)}
+        assert tracer.component_totals() == {
+            "hbase": microseconds(0.5), "pool": microseconds(0.25),
+        }
+
+    def test_instant_does_not_advance_cursor(self):
+        tracer = Tracer()
+        with tracer.span("hop", component="fleet"):
+            tracer.instant("station.portal", detail="0.5")
+        assert tracer.now_us == 0
+        marker = tracer.charges[0]
+        assert marker.phase == "i"
+        assert marker.dur_us == 0
+        assert marker.detail == "0.5"
+
+
+class TestCaptureCompatibility:
+    def test_tag_totals_match_capture_to_the_microsecond(self):
+        """A tracer watching a captured charge stream reports exactly
+        what :func:`capture_totals_us` computes from the capture."""
+        clock = SimClock()
+        tracer = Tracer()
+        clock.tracer = tracer
+        with clock.capture() as captured:
+            for i in range(100):
+                clock.advance(0.0000005 + i * 0.0013, component="portal")
+                clock.advance(0.0021 * i, component="notify")
+                clock.advance(0.0007)  # untagged -> "misc"
+        assert tracer.tag_totals() == capture_totals_us(captured)
+        assert sum(tracer.tag_totals().values()) == tracer.now_us
+
+    def test_untagged_advances_outside_capture_not_traced(self):
+        """``advance_to`` idle time is not work — only tagged charges
+        trace outside a capture."""
+        clock = SimClock()
+        tracer = Tracer()
+        clock.tracer = tracer
+        clock.advance(5.0)  # scheduler idle: untagged, uncaptured
+        clock.advance(0.5, component="portal")
+        assert tracer.tag_totals() == {"portal": microseconds(0.5)}
+
+    def test_trace_muted_suppresses_charges(self):
+        clock = SimClock()
+        tracer = Tracer()
+        clock.tracer = tracer
+        with clock.trace_muted():
+            with clock.capture():
+                clock.advance(1.0, component="portal")
+        assert tracer.now_us == 0
+        assert clock.tracer is tracer  # restored
+
+
+class TestMetricsTap:
+    def test_collect_false_keeps_totals_drops_events(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(collect=False, metrics=reg)
+        with tracer.span("hbase.put", component="hbase"):
+            tracer.leaf("pool", 0.5)
+        assert tracer.spans == []
+        assert tracer.charges == []
+        assert tracer.component_totals() == {"hbase": microseconds(0.5)}
+        snap = reg.snapshot()
+        assert (snap["counters"]["sim_us_total{component=hbase}"]
+                == microseconds(0.5))
+
+
+class TestPayloadAbsorb:
+    def build_worker(self):
+        worker = Tracer()
+        with worker.span("instance", component="fleet", instance="w1"):
+            with worker.span("portal.submit", component="portal"):
+                worker.leaf("portal", 0.25)
+        return worker
+
+    def test_round_trip_rebases(self):
+        parent = Tracer()
+        parent.leaf("portal", 1.0)  # parent cursor at 1s
+        base = parent.now_us
+        worker = self.build_worker()
+        parent.absorb(worker.payload())
+        assert parent.now_us == base + worker.now_us
+        merged = parent.spans[-1]
+        assert merged.start_us >= base
+        assert parent.tag_totals()["portal"] == microseconds(1.25)
+
+    def test_absorb_feeds_metrics(self):
+        reg = MetricsRegistry()
+        parent = Tracer(metrics=reg)
+        parent.absorb(self.build_worker().payload())
+        assert (reg.snapshot()["counters"]["sim_us_total{component=portal}"]
+                == microseconds(0.25))
+
+    def test_open_span_cannot_serialize(self):
+        tracer = Tracer()
+        with tracer.span("open"):
+            with pytest.raises(RuntimeError):
+                tracer.payload()
+
+    def test_cannot_absorb_mid_span(self):
+        parent = Tracer()
+        payload = self.build_worker().payload()
+        with parent.span("open"):
+            with pytest.raises(RuntimeError):
+                parent.absorb(payload)
+
+    def test_merge_order_independence_of_totals(self):
+        a, b = self.build_worker(), self.build_worker()
+        parent1, parent2 = Tracer(), Tracer()
+        parent1.absorb(a.payload())
+        parent1.absorb(b.payload())
+        parent2.absorb(b.payload())
+        parent2.absorb(a.payload())
+        assert parent1.tag_totals() == parent2.tag_totals()
+        assert parent1.now_us == parent2.now_us
