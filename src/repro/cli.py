@@ -122,6 +122,44 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_archive(args: argparse.Namespace) -> int:
+    """Seal a document into a cold-verifiable archival bundle."""
+    from .document.archive import build_archive
+
+    document = _load_document(args.document)
+    world = _load_world(args.world)
+    bundle = build_archive(document, world,
+                           tfc_identities=args.tfc or ())
+    data = bundle.to_bytes()
+    pathlib.Path(args.out).write_bytes(data)
+    print(f"wrote {args.out} ({len(data)} bytes: "
+          f"{len(bundle.chunks)} chunks, "
+          f"{len(bundle.trust.get('certificates', []))} certificates, "
+          f"process {bundle.process_id})")
+    return 0
+
+
+def cmd_verify_archive(args: argparse.Namespace) -> int:
+    """Cold-verify an archival bundle — no pool, HBase, or network."""
+    from .document.archive import verify_archive
+
+    data = pathlib.Path(args.bundle).read_bytes()
+    try:
+        report = verify_archive(data)
+    except ReproError as exc:
+        print(f"INVALID: {type(exc).__name__}: {exc}")
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"VALID: {report.signatures_verified} signatures verified, "
+          f"{report.cers_checked} CERs checked, "
+          f"{report.chunks_checked} chunks re-hashed "
+          f"({report.doc_bytes} document bytes)"
+          + (f"; warnings: {report.warnings}" if report.warnings else ""))
+    return 0
+
+
 def cmd_trail(args: argparse.Namespace) -> int:
     """Print the chronological audit trail."""
     print(render_trail(_load_document(args.document)))
@@ -188,7 +226,14 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    delta = args.delta or args.replication is not None
+    # --replication and --gc-interval only make sense over the chunk
+    # store, so either implies delta routing.
+    delta = (args.delta or args.replication is not None
+             or args.gc_interval > 0)
+    if args.archive_out and not args.gc_interval:
+        print("error: --archive-out requires --gc-interval (bundles "
+              "are exported by the lifecycle sweep)", file=sys.stderr)
+        return 2
     tracer = None
     if args.trace or args.trace_folded:
         from .obs import Tracer
@@ -197,6 +242,10 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         if args.metrics:
             print("note: --metrics needs the simulated fleet report; "
                   "ignored with --real", file=sys.stderr)
+        if args.gc_interval or args.archive_out or args.chunk_cache_bytes:
+            print("note: --gc-interval/--archive-out/--chunk-cache-bytes "
+                  "need the simulated fleet; ignored with --real",
+                  file=sys.stderr)
         config = RealFleetConfig(
             spec=args.workflow,
             instances=args.instances,
@@ -226,6 +275,15 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     else:
         arrivals = ClosedLoop(instances=args.instances,
                               concurrency=args.concurrency)
+    archive_sink = None
+    if args.archive_out:
+        out_dir = pathlib.Path(args.archive_out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+        def archive_sink(process_id: str, bundle) -> None:
+            (out_dir / f"{process_id}.json").write_bytes(
+                bundle.to_bytes())
+
     config = FleetConfig(
         arrivals=arrivals,
         seed=args.seed,
@@ -236,6 +294,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         verify_batch=True if args.verify_workers else None,
         tracer=tracer,
         collect_metrics=args.metrics,
+        gc_interval=args.gc_interval,
+        chunk_cache_bytes=args.chunk_cache_bytes,
+        archive_sink=archive_sink,
     )
     fleet = build_fleet(workload, config, portals=args.portals,
                         delta_routing=delta,
@@ -317,6 +378,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "N threads (long cascades)")
     verify.set_defaults(func=cmd_verify)
 
+    archive = sub.add_parser(
+        "archive",
+        help="seal a document into a cold-verifiable archival bundle")
+    archive.add_argument("document")
+    archive.add_argument("--world", required=True,
+                         help="world.json or trust.json with the PKI")
+    archive.add_argument("--out", required=True,
+                         help="bundle output path")
+    archive.add_argument("--tfc", action="append", default=None,
+                         metavar="IDENTITY",
+                         help="identity accepted as a TFC server "
+                              "(repeatable)")
+    archive.set_defaults(func=cmd_archive)
+
+    verify_archive = sub.add_parser(
+        "verify-archive",
+        help="cold-verify an archival bundle (no pool/HBase/network)")
+    verify_archive.add_argument("bundle")
+    verify_archive.add_argument("--json", action="store_true",
+                                help="emit the verification summary "
+                                     "as JSON")
+    verify_archive.set_defaults(func=cmd_verify_archive)
+
     trail = sub.add_parser("trail", help="chronological audit trail")
     trail.add_argument("document")
     trail.set_defaults(func=cmd_trail)
@@ -379,6 +463,20 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--delta", action="store_true",
                           help="delta document routing: ship only the "
                                "CER chunks each side has not seen")
+    loadtest.add_argument("--gc-interval", type=int, default=0,
+                          metavar="N",
+                          help="storage-lifecycle sweep: every N "
+                               "completions, archive+compact+retire "
+                               "finished instances and GC zero-ref "
+                               "chunks (implies --delta; 0 disables)")
+    loadtest.add_argument("--chunk-cache-bytes", type=int, default=None,
+                          metavar="B",
+                          help="LRU byte budget per client chunk cache "
+                               "(delta mode; default unbounded)")
+    loadtest.add_argument("--archive-out", metavar="DIR", default=None,
+                          help="export a cold-verifiable archival "
+                               "bundle per retired instance into DIR "
+                               "(requires --gc-interval)")
     loadtest.add_argument("--real", action="store_true",
                           help="true-parallel mode: run instances over "
                                "an OS process pool instead of the "

@@ -60,6 +60,11 @@ class Region:
     #: ("delete", row_key, "", "", b"", timestamp) tombstones.
     wal: list[tuple[str, str, str, str, bytes, float]] = field(
         default_factory=list)
+    #: Per-entry encodings of :attr:`wal`, filled lazily by
+    #: :meth:`encode_wal` — the WAL is rewritten to HDFS on *every*
+    #: put, so re-encoding the whole backlog each time is quadratic.
+    #: Invariant: a prefix of ``wal``, cleared whenever ``wal`` is.
+    _wal_cache: list[bytes] = field(default_factory=list, repr=False)
 
     def contains(self, row_key: str) -> bool:
         """True when *row_key* falls in this region's range."""
@@ -131,16 +136,23 @@ class Region:
         return rows
 
     def encode_wal(self) -> bytes:
-        """Serialize the pending WAL entries."""
+        """Serialize the pending WAL entries.
+
+        Only entries appended since the previous call are encoded; the
+        output is byte-identical to ``json.dumps`` over the full list
+        (same separators), so recovery, WAL file sizes, and the clock
+        charges they drive are unchanged.
+        """
         import base64
         import json
 
-        return json.dumps([
-            [op, row_key, family, qualifier,
-             base64.b64encode(value).decode("ascii"), timestamp]
-            for op, row_key, family, qualifier, value, timestamp
-            in self.wal
-        ]).encode("utf-8")
+        for op, row_key, family, qualifier, value, timestamp in \
+                self.wal[len(self._wal_cache):]:
+            self._wal_cache.append(json.dumps(
+                [op, row_key, family, qualifier,
+                 base64.b64encode(value).decode("ascii"), timestamp]
+            ).encode("utf-8"))
+        return b"[" + b", ".join(self._wal_cache) + b"]"
 
     def replay_wal(self, data: bytes) -> int:
         """Apply WAL entries on top of the recovered store rows."""
@@ -153,6 +165,13 @@ class Region:
         for op, row_key, family, qualifier, value_b64, timestamp in entries:
             if op == "delete":
                 self.rows.pop(row_key, None)
+                continue
+            if op == "delcell":
+                row = self.rows.get(row_key)
+                if row is not None:
+                    row.pop((family, qualifier), None)
+                    if not row:
+                        del self.rows[row_key]
                 continue
             row = self.rows.setdefault(row_key, {})
             row[(family, qualifier)] = Cell(
@@ -347,15 +366,86 @@ class SimHBase:
             )
             return out
 
+    def _tombstone(self, region: Region, entries: list[tuple]) -> None:
+        """Append delete markers and persist the WAL once (group commit).
+
+        Tombstones are memstore entries like any other write (real
+        HBase flushes them with the rest of the memstore): without the
+        pressure a delete-heavy sweep would grow the WAL without bound
+        and every later write would pay to rewrite it.  The flush check
+        is the caller's job, *after* applying the deletions in memory —
+        flushing first would persist the doomed cells and clear the
+        tombstones, resurrecting them on recovery.
+        """
+        region.wal.extend(entries)
+        self.hdfs.write(region.wal_path(), region.encode_wal())
+        for entry in entries:
+            # Key bytes plus marker overhead; the payload is empty.
+            region.memstore_bytes += len(entry[1]) + 24
+
+    def _maybe_flush(self, region: Region) -> None:
+        if region.memstore_bytes >= self.memstore_flush_bytes:
+            self._flush(region)
+
     def delete_row(self, table: str, row_key: str) -> None:
         """Delete one row entirely (tombstoned in the WAL)."""
+        self.delete_rows(table, [row_key])
+
+    def delete_rows(self, table: str, row_keys: list[str]) -> None:
+        """Delete many rows, one WAL group commit per region.
+
+        The GC sweep retires hundreds of chunk rows at once; paying a
+        full WAL rewrite per row would make collection cost more than
+        the writes it reclaims.
+        """
+        now = self.clock.now()
+        by_region: dict[int, tuple[Region, list[str]]] = {}
+        for row_key in row_keys:
+            region = self._locate(table, row_key)
+            by_region.setdefault(region.region_id, (region, []))[1].append(
+                row_key)
+        for region, keys in by_region.values():
+            self._tombstone(region, [("delete", key, "", "", b"", now)
+                                     for key in keys])
+            for key in keys:
+                dropped = region.rows.pop(key, None)
+                if dropped is not None:
+                    region.data_bytes -= sum(
+                        len(c.value) for c in dropped.values())
+            self._maybe_flush(region)
+
+    def delete_cell(self, table: str, row_key: str, family: str,
+                    qualifier: str) -> bool:
+        """Delete one cell (WAL-tombstoned); True when it existed."""
+        return self.delete_cells(table, row_key, [(family, qualifier)]) == 1
+
+    def delete_cells(self, table: str, row_key: str,
+                     cells: list[tuple[str, str]]) -> int:
+        """Delete several cells of one row; returns how many existed.
+
+        The manifest-compaction path retires individual ``hist:<seq>``
+        cells of a document row without touching its metadata cells, so
+        whole-row deletion is not enough.  An empty row left behind is
+        removed outright.  All tombstones share one WAL group commit.
+        """
         region = self._locate(table, row_key)
-        region.wal.append(("delete", row_key, "", "", b"",
-                           self.clock.now()))
-        self.hdfs.write(region.wal_path(), region.encode_wal())
-        dropped = region.rows.pop(row_key, None)
-        if dropped is not None:
-            region.data_bytes -= sum(len(c.value) for c in dropped.values())
+        row = region.rows.get(row_key)
+        if row is None:
+            return 0
+        present = [(f, q) for f, q in cells if (f, q) in row]
+        if not present:
+            return 0
+        now = self.clock.now()
+        self._tombstone(region, [("delcell", row_key, family, qualifier,
+                                  b"", now)
+                                 for family, qualifier in present])
+        for family, qualifier in present:
+            cell = row.pop((family, qualifier))
+            region.data_bytes -= len(cell.value)
+        if not row:
+            del region.rows[row_key]
+        self._maybe_flush(region)
+        return len(present)
 
     def scan(self, table: str, start_key: str = "",
              stop_key: str | None = None, limit: int | None = None,
@@ -391,8 +481,26 @@ class SimHBase:
         self.hdfs.write(region.hdfs_path(), region.encode_rows())
         region.memstore_bytes = 0
         region.wal.clear()
+        region._wal_cache.clear()
         self.hdfs.write(region.wal_path(), b"")
         self.stats["flushes"] += 1
+
+    def flush_table(self, name: str) -> int:
+        """Flush every region of *name* with a pending WAL; returns how
+        many flushed.
+
+        The operator move after a bulk delete (HBase's ``flush`` shell
+        command): persisting the memstore resets the per-region WAL, so
+        subsequent writes stop paying to rewrite a log full of
+        tombstones.  The lifecycle sweep runs this on the tables it
+        swept — regions it never touched keep their WALs.
+        """
+        flushed = 0
+        for region in self.regions_of(name):
+            if region.wal:
+                self._flush(region)
+                flushed += 1
+        return flushed
 
     def _needs_split(self, region: Region) -> bool:
         if region.row_count > self.split_threshold_rows:
@@ -523,6 +631,15 @@ class CerChunkStore:
     The store keeps an in-memory digest index (the moral equivalent of
     HBase block-cache bloom filters) so duplicate puts are suppressed
     without a storage round-trip.
+
+    **Lifecycle** (see ``docs/STORAGE.md``): chunks are reference-
+    counted by the manifests that name them — the pool :meth:`pin`\\ s a
+    manifest's digests when it stores a version and :meth:`unpin`\\ s
+    them when compaction or retirement drops that manifest.  A
+    :meth:`gc` sweep deletes zero-ref rows, keeping hot storage
+    O(live instances) instead of O(total history).  The ``stats`` dict
+    keeps its historical four keys (fleet-report goldens pin them);
+    lifecycle counters live in the separate ``lifecycle`` dict.
     """
 
     TABLE = "dra4wfms_chunks"
@@ -532,11 +649,23 @@ class CerChunkStore:
         if not hbase.has_table(self.TABLE):
             hbase.create_table(self.TABLE)
         self._known: set[str] = set()
+        #: digest → stored payload length (needed to keep byte counters
+        #: exact when GC deletes a row without re-reading it).
+        self._sizes: dict[str, int] = {}
+        #: digest → number of live manifest references.
+        self._refs: dict[str, int] = {}
         self.stats = {
             "unique_chunks": 0,
             "unique_bytes": 0,
             "dedup_hits": 0,
             "logical_bytes": 0,
+        }
+        self.lifecycle = {
+            "pins": 0,
+            "unpins": 0,
+            "gc_runs": 0,
+            "gc_chunks_deleted": 0,
+            "gc_bytes_reclaimed": 0,
         }
 
     def __contains__(self, digest: str) -> bool:
@@ -550,6 +679,7 @@ class CerChunkStore:
             return False
         self.hbase.put(self.TABLE, digest, "c", "b", data)
         self._known.add(digest)
+        self._sizes[digest] = len(data)
         self.stats["unique_chunks"] += 1
         self.stats["unique_bytes"] += len(data)
         return True
@@ -568,6 +698,72 @@ class CerChunkStore:
         rows = self.hbase.get_rows(self.TABLE, wanted)
         return {digest: cells[("c", "b")] for digest, cells in rows.items()
                 if ("c", "b") in cells}
+
+    # -- lifecycle: refcounts + garbage collection ---------------------------
+
+    def pin(self, digests) -> None:
+        """Take one reference per digest (a stored manifest names them)."""
+        for digest in digests:
+            self._refs[digest] = self._refs.get(digest, 0) + 1
+            self.lifecycle["pins"] += 1
+
+    def unpin(self, digests) -> None:
+        """Release one reference per digest (that manifest is gone).
+
+        Dropping a reference that was never taken is a bookkeeping bug
+        that would let :meth:`gc` delete a chunk some live manifest
+        still names — refuse loudly instead of corrupting the store.
+        """
+        for digest in digests:
+            refs = self._refs.get(digest, 0)
+            if refs <= 0:
+                raise StorageError(
+                    f"unpin of chunk {digest[:12]}… without a matching "
+                    f"pin (refcount underflow)"
+                )
+            if refs == 1:
+                del self._refs[digest]
+            else:
+                self._refs[digest] = refs - 1
+            self.lifecycle["unpins"] += 1
+
+    def refcount(self, digest: str) -> int:
+        """Live manifest references to one chunk."""
+        return self._refs.get(digest, 0)
+
+    def _delete_chunk_rows(self, digests: list[str]) -> None:
+        """Remove the chunks' durable rows in one batch — subclasses
+        fan the batch out over their shard tables."""
+        self.hbase.delete_rows(self.TABLE, digests)
+
+    def flush(self) -> int:
+        """Flush this store's table(s) — the post-GC WAL reset."""
+        return self.hbase.flush_table(self.TABLE)
+
+    def gc(self) -> tuple[int, int]:
+        """Delete every stored chunk with zero references.
+
+        Returns ``(chunks_deleted, bytes_reclaimed)``.  A pinned chunk
+        is never touched, so a digest named by any live manifest cannot
+        be collected; byte counters shrink so ``unique_bytes`` tracks
+        the *hot* store, and a later re-put of the same digest is a
+        fresh write, not a dedup hit.
+        """
+        with self.hbase.clock.trace("chunks.gc", "pool"):
+            dead = sorted(d for d in self._known
+                          if self._refs.get(d, 0) == 0)
+            reclaimed = 0
+            self._delete_chunk_rows(dead)
+            for digest in dead:
+                self._known.discard(digest)
+                size = self._sizes.pop(digest, 0)
+                reclaimed += size
+                self.stats["unique_chunks"] -= 1
+                self.stats["unique_bytes"] -= size
+            self.lifecycle["gc_runs"] += 1
+            self.lifecycle["gc_chunks_deleted"] += len(dead)
+            self.lifecycle["gc_bytes_reclaimed"] += reclaimed
+            return len(dead), reclaimed
 
     @property
     def dedup_ratio(self) -> float:

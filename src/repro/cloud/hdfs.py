@@ -38,11 +38,28 @@ class DataNode:
     node_id: str
     blocks: dict[int, bytes] = field(default_factory=dict)
     alive: bool = True
+    #: Incremental byte counter — ``used_bytes`` feeds the placement
+    #: sort on every block write and must not rescan the node.
+    _used: int = field(default=0, repr=False)
+
+    def store_block(self, block_id: int, data: bytes) -> None:
+        """Add or overwrite one block payload."""
+        previous = self.blocks.get(block_id)
+        if previous is not None:
+            self._used -= len(previous)
+        self.blocks[block_id] = data
+        self._used += len(data)
+
+    def drop_block(self, block_id: int) -> None:
+        """Release one block payload (no-op when absent)."""
+        data = self.blocks.pop(block_id, None)
+        if data is not None:
+            self._used -= len(data)
 
     @property
     def used_bytes(self) -> int:
         """Bytes stored on this node."""
-        return sum(len(b) for b in self.blocks.values())
+        return self._used
 
 
 class SimHdfs:
@@ -110,7 +127,7 @@ class SimHdfs:
                 block_id = next(self._block_ids)
                 targets = self._pick_targets(self.replication)
                 for node in targets:
-                    node.blocks[block_id] = chunk
+                    node.store_block(block_id, chunk)
                     self.clock.advance(
                         self.network.transfer_seconds(len(chunk)),
                         component="pool",
@@ -166,7 +183,7 @@ class SimHdfs:
             for node_id in info.replicas:
                 node = self.nodes.get(node_id)
                 if node is not None:
-                    node.blocks.pop(info.block_id, None)
+                    node.drop_block(info.block_id)
 
     def exists(self, path: str) -> bool:
         """True when *path* is a stored file."""
@@ -203,7 +220,7 @@ class SimHdfs:
                         exclude=set(info.replicas),
                     )
                     for target in targets:
-                        target.blocks[info.block_id] = data
+                        target.store_block(info.block_id, data)
                         info.replicas.append(target.node_id)
                         self.stats["rereplications"] += 1
                         self.clock.advance(

@@ -26,7 +26,7 @@ from __future__ import annotations
 import hashlib
 
 from ..errors import CloudError, StorageError
-from .hbase import SimHBase
+from .hbase import CerChunkStore, SimHBase
 from .sharding import DEFAULT_VNODES, HashRing, placement_skew
 
 __all__ = ["PortalPlacement", "ReplicatedChunkStore"]
@@ -66,7 +66,7 @@ class PortalPlacement:
         }
 
 
-class ReplicatedChunkStore:
+class ReplicatedChunkStore(CerChunkStore):
     """Factor-R replicated, content-addressed chunk storage.
 
     Same interface as :class:`~repro.cloud.hbase.CerChunkStore` (the
@@ -83,6 +83,10 @@ class ReplicatedChunkStore:
     base store's: suppress duplicate puts without a storage round trip.
     Read-repair deliberately bypasses it — repair is about the durable
     copies, not the cache.
+
+    The refcount/GC lifecycle is inherited unchanged; only the durable
+    deletion fans out, removing **every** replica row of a collected
+    chunk so no shard serves a digest the hot tier dropped.
     """
 
     TABLE_PREFIX = "dra4wfms_chunks_shard"
@@ -104,6 +108,8 @@ class ReplicatedChunkStore:
                 f"cannot keep {replicas} replicas on {shards} shard(s); "
                 f"add region servers or lower the factor"
             )
+        # Deliberately no super().__init__: the base constructor would
+        # create the unsharded chunk table this store never touches.
         self.hbase = hbase
         self.replicas = replicas
         self.shard_ids = [f"shard{i}" for i in range(shards)]
@@ -113,6 +119,8 @@ class ReplicatedChunkStore:
             if not hbase.has_table(table):
                 hbase.create_table(table)
         self._known: set[str] = set()
+        self._sizes: dict[str, int] = {}
+        self._refs: dict[str, int] = {}
         self.stats = {
             "unique_chunks": 0,
             "unique_bytes": 0,
@@ -123,6 +131,13 @@ class ReplicatedChunkStore:
             "read_repairs": 0,
             "corrupt_replicas": 0,
         }
+        self.lifecycle = {
+            "pins": 0,
+            "unpins": 0,
+            "gc_runs": 0,
+            "gc_chunks_deleted": 0,
+            "gc_bytes_reclaimed": 0,
+        }
 
     def _table(self, shard_id: str) -> str:
         return f"{self.TABLE_PREFIX}-{shard_id}"
@@ -130,9 +145,6 @@ class ReplicatedChunkStore:
     def replica_shards(self, digest: str) -> list[str]:
         """The *replicas* shard ids holding a digest, primary first."""
         return self.ring.nodes_for(digest, self.replicas)
-
-    def __contains__(self, digest: str) -> bool:
-        return digest in self._known
 
     # -- writes --------------------------------------------------------------
 
@@ -145,13 +157,23 @@ class ReplicatedChunkStore:
         for shard_id in self.replica_shards(digest):
             self.hbase.put(self._table(shard_id), digest, "c", "b", data)
         self._known.add(digest)
+        self._sizes[digest] = len(data)
         self.stats["unique_chunks"] += 1
         self.stats["unique_bytes"] += len(data)
         return True
 
-    def put_chunks(self, chunks: dict[str, bytes]) -> int:
-        """Store many chunks; returns how many were new."""
-        return sum(self.put_chunk(d, data) for d, data in chunks.items())
+    def _delete_chunk_rows(self, digests: list[str]) -> None:
+        by_table: dict[str, list[str]] = {}
+        for digest in digests:
+            for shard_id in self.replica_shards(digest):
+                by_table.setdefault(self._table(shard_id), []).append(digest)
+        for table, keys in by_table.items():
+            self.hbase.delete_rows(table, keys)
+
+    def flush(self) -> int:
+        """Flush every shard table — the post-GC WAL reset."""
+        return sum(self.hbase.flush_table(self._table(shard_id))
+                   for shard_id in self.shard_ids)
 
     # -- reads + repair ------------------------------------------------------
 

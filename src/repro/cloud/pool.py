@@ -137,6 +137,11 @@ class DocumentPool:
             return self._store_delta(document)
         data = document.to_bytes()
         row = self.hbase.get(DOC_TABLE, process_id)
+        if (_FAMILY_META, "retired") in row:
+            raise StorageError(
+                f"process {process_id!r} was retired from hot storage; "
+                f"its evidence lives in the archival bundle"
+            )
         previous = row.get((_FAMILY_DOC, "latest"))
         if previous is not None:
             # Monotonicity guard: a process document only ever grows.
@@ -167,6 +172,11 @@ class DocumentPool:
         process_id = document.process_id
         manifest, payloads = chunk_document(document)
         row = self.hbase.get(DOC_TABLE, process_id)
+        if (_FAMILY_META, "retired") in row:
+            raise StorageError(
+                f"process {process_id!r} was retired from hot storage; "
+                f"its evidence lives in the archival bundle"
+            )
         previous = row.get((_FAMILY_DOC, "manifest"))
         if previous is not None:
             # Monotonicity guard, chunk-level: every CER chunk of the
@@ -185,6 +195,10 @@ class DocumentPool:
                 )
         assert self.chunks is not None
         self.chunks.put_chunks(payloads)
+        # Every stored manifest version takes one reference on each
+        # chunk it names; compaction/retirement releases them, and only
+        # a zero-ref chunk is ever GC-eligible.
+        self.chunks.pin(manifest.chunk_digests)
         manifest_bytes = manifest.to_bytes()
         seq = sum(1 for (family, _) in row if family == _FAMILY_HIST)
         self.hbase.put(DOC_TABLE, process_id, _FAMILY_HIST, f"{seq:08d}",
@@ -366,6 +380,117 @@ class DocumentPool:
         row = self.hbase.get(DOC_TABLE, process_id)
         return (_FAMILY_META, "archived") in row
 
+    def _hist_manifests(
+        self, row: dict[tuple[str, str], bytes],
+    ) -> list[tuple[str, Manifest]]:
+        """An instance row's history manifests, oldest first."""
+        return [
+            (qualifier, Manifest.from_bytes(data))
+            for (family, qualifier), data in sorted(row.items())
+            if family == _FAMILY_HIST
+        ]
+
+    def compact(self, process_id: str) -> int:
+        """Collapse an instance's per-hop manifests into one (delta mode).
+
+        Every intermediate version's manifest is dropped from the
+        history and the manifest-by-digest index, and its chunk
+        references are released — the final document's signature
+        cascade already embeds every earlier hop, so nothing
+        evidentiary is lost.  Returns how many manifests were removed.
+        The sealed final manifest stays both as ``doc:manifest`` and as
+        the single remaining history cell.
+        """
+        if not self.delta:
+            raise StorageError("manifest compaction requires delta mode")
+        row = self.hbase.get(DOC_TABLE, process_id)
+        final_bytes = row.get((_FAMILY_DOC, "manifest"))
+        if final_bytes is None:
+            raise StorageError(f"no document stored for {process_id!r}")
+        final = Manifest.from_bytes(final_bytes)
+        assert self.chunks is not None
+        stale = self._hist_manifests(row)[:-1]
+        with self.hbase.clock.trace("pool.compact", "pool"):
+            for _, manifest in stale:
+                self.chunks.unpin(manifest.chunk_digests)
+            self.hbase.delete_cells(
+                DOC_TABLE, process_id,
+                [(_FAMILY_HIST, qualifier) for qualifier, _ in stale])
+            self.hbase.delete_rows(MANIFEST_TABLE, sorted({
+                manifest.doc_digest for _, manifest in stale
+                if manifest.doc_digest != final.doc_digest
+            }))
+            self.hbase.put(DOC_TABLE, process_id, _FAMILY_META,
+                           "compacted", b"1")
+        return len(stale)
+
+    def retire(self, process_id: str) -> None:
+        """Drop an archived instance from hot storage (delta mode).
+
+        Releases every remaining chunk reference and deletes the
+        instance's manifests, so the next :meth:`CerChunkStore.gc`
+        sweep reclaims chunks no other live instance shares.  Requires
+        :meth:`archive` first — and the operator is expected to export
+        an archival bundle *before* retiring, because afterwards the
+        pool can no longer serve the document.  The process id stays
+        registered, so replayed initial documents are still rejected,
+        and further stores are refused.
+        """
+        if not self.delta:
+            raise StorageError("retire requires delta mode")
+        row = self.hbase.get(DOC_TABLE, process_id)
+        if (_FAMILY_META, "registered") not in row:
+            raise StorageError(f"unknown process {process_id!r}")
+        if (_FAMILY_META, "archived") not in row:
+            raise StorageError(
+                f"process {process_id!r} must be archived before it can "
+                f"be retired from hot storage"
+            )
+        if (_FAMILY_META, "retired") in row:
+            return
+        assert self.chunks is not None
+        history = self._hist_manifests(row)
+        with self.hbase.clock.trace("pool.retire", "pool"):
+            for _, manifest in history:
+                self.chunks.unpin(manifest.chunk_digests)
+            self.hbase.delete_cells(
+                DOC_TABLE, process_id,
+                [(_FAMILY_HIST, qualifier) for qualifier, _ in history]
+                + [(_FAMILY_DOC, "manifest")])
+            self.hbase.delete_rows(MANIFEST_TABLE, sorted({
+                manifest.doc_digest for _, manifest in history
+            }))
+            self.hbase.put(DOC_TABLE, process_id, _FAMILY_META, "retired",
+                           b"1")
+
+    def is_retired(self, process_id: str) -> bool:
+        """True when the instance was retired from hot storage."""
+        row = self.hbase.get(DOC_TABLE, process_id)
+        return (_FAMILY_META, "retired") in row
+
+    def gc(self) -> tuple[int, int]:
+        """Sweep zero-reference chunks; ``(chunks_deleted, bytes)``."""
+        if not self.delta:
+            raise StorageError("chunk GC requires delta mode")
+        assert self.chunks is not None
+        return self.chunks.gc()
+
+    def flush_hot_tables(self) -> int:
+        """Flush the tables a lifecycle sweep filled with tombstones.
+
+        Retire + GC leave the document, manifest-index, and chunk
+        region WALs full of delete markers; explicitly flushing (the
+        HBase operator move after a bulk delete) resets those logs so
+        the hot path stops paying to rewrite them on every put.
+        Returns how many regions flushed.
+        """
+        flushed = self.hbase.flush_table(DOC_TABLE)
+        if self.delta:
+            flushed += self.hbase.flush_table(MANIFEST_TABLE)
+        if self.chunks is not None:
+            flushed += self.chunks.flush()
+        return flushed
+
     def purge(self, process_id: str) -> None:
         """Irreversibly delete an instance and its TO-DO entries.
 
@@ -375,6 +500,16 @@ class DocumentPool:
         row = self.hbase.get(DOC_TABLE, process_id)
         if (_FAMILY_META, "registered") not in row:
             raise StorageError(f"unknown process {process_id!r}")
+        if self.delta and self.chunks is not None:
+            # Release the purged versions' chunk references and their
+            # by-digest index rows, or the refcounts would pin chunks
+            # of a document that no longer exists.
+            history = self._hist_manifests(row)
+            for _, manifest in history:
+                self.chunks.unpin(manifest.chunk_digests)
+            self.hbase.delete_rows(MANIFEST_TABLE, sorted({
+                manifest.doc_digest for _, manifest in history
+            }))
         self.hbase.delete_row(DOC_TABLE, process_id)
         self.hbase.put(DOC_TABLE, process_id, _FAMILY_META, "registered",
                        b"1")

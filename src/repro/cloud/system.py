@@ -66,7 +66,8 @@ class CloudSystem:
                  verify_batch: bool | None = None,
                  placement: str = "round-robin",
                  placement_vnodes: int | None = None,
-                 chunk_replicas: int | None = None) -> None:
+                 chunk_replicas: int | None = None,
+                 chunk_cache_bytes: int | None = None) -> None:
         if isinstance(portals, bool) or not isinstance(portals, int):
             raise CloudError(
                 f"portal count must be an integer, got {portals!r} "
@@ -102,6 +103,11 @@ class CloudSystem:
         #: unchanged either way.
         self.verify_workers = verify_workers
         self.verify_batch = verify_batch
+        #: LRU byte budget for every client's peer chunk cache (delta
+        #: mode).  ``None`` (default) keeps the historic unbounded
+        #: cache; 0 is a degenerate-but-legal budget (the cache still
+        #: holds at least its most recent chunk).
+        self.chunk_cache_bytes = chunk_cache_bytes
         #: All components charge simulated costs here; the fleet
         #: scheduler passes its own clock so it can capture per-
         #: component service times (see :mod:`repro.fleet`).
@@ -288,8 +294,9 @@ class CloudClient:
                 self._login(portal)
             self.portal = self.system.portals[0]
         #: Chunks this client holds (delta mode): everything the portal
-        #: ever sent us plus everything we assembled locally.
-        self.chunks = ChunkCache()
+        #: ever sent us plus everything we assembled locally — LRU-
+        #: bounded when the cloud configures a byte budget.
+        self.chunks = ChunkCache(max_bytes=self.system.chunk_cache_bytes)
         #: process id → doc_digest of the version we last retrieved.
         self._have: dict[str, str] = {}
         #: process id → digests of chunks we shipped in our own submits

@@ -240,5 +240,28 @@ class KeyDirectory:
         """All registered certificates (sorted by subject)."""
         return [self._certs[subject] for subject in sorted(self._certs)]
 
+    def authorities(self) -> list[CertificateAuthority]:
+        """All trusted CAs (sorted by name)."""
+        return [self._authorities[name] for name in
+                sorted(self._authorities)]
+
+    def to_public_dict(self) -> dict[str, object]:
+        """Verification-only trust snapshot: CA public keys + certs.
+
+        The same shape ``World.to_public_dict`` produces — everything a
+        third party (or an archival bundle) needs to verify signatures,
+        and never any private key.
+        """
+        return {
+            "authorities": [
+                {"name": ca.name,
+                 "public_key": public_key_to_dict(ca.public_key)}
+                for ca in self.authorities()
+            ],
+            "certificates": [
+                cert.to_dict() for cert in self.certificates()
+            ],
+        }
+
     def __contains__(self, identity: str) -> bool:
         return identity in self._certs

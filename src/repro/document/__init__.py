@@ -7,6 +7,14 @@ authentication, confidentiality, integrity, and nonrepudiation without
 any trusted server.
 """
 
+from .archive import (
+    ARCHIVE_FORMAT,
+    ArchiveBundle,
+    ArchiveVerification,
+    build_archive,
+    export_archive,
+    verify_archive,
+)
 from .amendments import (
     AddActivity,
     Amendment,
@@ -48,7 +56,13 @@ from .vcache import CacheStats, VerificationCache
 from .verify import VerificationReport, verify_document
 
 __all__ = [
+    "ARCHIVE_FORMAT",
     "AddActivity",
+    "ArchiveBundle",
+    "ArchiveVerification",
+    "build_archive",
+    "export_archive",
+    "verify_archive",
     "Amendment",
     "CER",
     "DelegateActivity",

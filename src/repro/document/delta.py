@@ -209,20 +209,48 @@ class ChunkCache:
     """Digest-keyed chunk bytes a routing peer has already seen.
 
     Chunks are immutable by construction (the digest *is* the key), so
-    the cache needs no invalidation — only the usual insert/lookup, plus
-    counters for the benchmark reports.
+    the cache needs no invalidation — only insert/lookup, plus counters
+    for the benchmark reports.  With *max_bytes* set the cache is
+    **LRU-bounded**: once the stored payloads exceed the byte budget the
+    least-recently-used chunks are evicted (a long-lived routing peer
+    touching thousands of instances must not accumulate the fleet's
+    whole chunk history).  Eviction is safe by construction — a digest
+    the peer no longer holds is re-requested or triggers the full-
+    transfer fallback, never a wrong document.
+
+    Both membership probes (``in``) and lookups count toward the
+    hit/miss counters: callers commonly probe before reading, and a
+    cache report that ignored probes would undercount traffic.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise DeltaError("chunk cache byte budget must be >= 0")
+        #: Insertion/access ordered: first key = least recently used.
         self._chunks: dict[str, bytes] = {}
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
+        #: Incremental byte counter — ``total_bytes`` must stay O(1),
+        #: it is probed on every bounded insert.
+        self._total_bytes = 0
 
     def __len__(self) -> int:
         return len(self._chunks)
 
+    def _touch(self, digest: str) -> None:
+        """Mark *digest* most recently used."""
+        self._chunks[digest] = self._chunks.pop(digest)
+
     def __contains__(self, digest: str) -> bool:
-        return digest in self._chunks
+        if digest in self._chunks:
+            self.hits += 1
+            self._touch(digest)
+            return True
+        self.misses += 1
+        return False
 
     def __getitem__(self, digest: str) -> bytes:
         data = self._chunks.get(digest)
@@ -230,7 +258,23 @@ class ChunkCache:
             self.misses += 1
             raise KeyError(digest)
         self.hits += 1
+        self._touch(digest)
         return data
+
+    def _evict_to_budget(self) -> None:
+        if self.max_bytes is None:
+            return
+        while self._total_bytes > self.max_bytes and len(self._chunks) > 1:
+            # Oldest entry first; the just-inserted chunk is never
+            # evicted ahead of colder ones (it is the newest), and a
+            # single chunk larger than the whole budget stays resident
+            # — evicting the bytes currently in use would only force an
+            # immediate refetch.
+            digest, data = next(iter(self._chunks.items()))
+            del self._chunks[digest]
+            self._total_bytes -= len(data)
+            self.evictions += 1
+            self.evicted_bytes += len(data)
 
     def add(self, digest: str, data: bytes) -> None:
         if chunk_digest(data) != digest:
@@ -238,7 +282,12 @@ class ChunkCache:
                 f"refusing to cache chunk under wrong digest "
                 f"{digest[:12]}…"
             )
-        self._chunks.setdefault(digest, data)
+        if digest in self._chunks:
+            self._touch(digest)
+            return
+        self._chunks[digest] = data
+        self._total_bytes += len(data)
+        self._evict_to_budget()
 
     def add_all(self, chunks: dict[str, bytes]) -> None:
         for digest, data in chunks.items():
@@ -246,6 +295,11 @@ class ChunkCache:
 
     @property
     def total_bytes(self) -> int:
+        """Stored payload bytes (maintained incrementally, O(1))."""
+        return self._total_bytes
+
+    def audit_total_bytes(self) -> int:
+        """Full O(n) recount — tests assert it equals :attr:`total_bytes`."""
         return sum(len(data) for data in self._chunks.values())
 
 
@@ -340,6 +394,25 @@ def seed_chunks(document: Dra4wfmsDocument, manifest: Manifest,
         memo.store_chunk(node, data, chunk.digest)
 
 
+class _ChunkOverlay:
+    """Lookup view: freshly received chunks first, then the cache.
+
+    Assembly must never depend on the cache *retaining* bytes the
+    receiver literally holds in hand — an LRU-bounded cache may evict
+    one received chunk while inserting the next.
+    """
+
+    def __init__(self, fresh: dict[str, bytes], cache: ChunkCache) -> None:
+        self._fresh = fresh
+        self._cache = cache
+
+    def __getitem__(self, digest: str) -> bytes:
+        data = self._fresh.get(digest)
+        if data is not None:
+            return data
+        return self._cache[digest]
+
+
 def decode_delta(delta: DeltaDocument, cache: ChunkCache) -> bytes:
     """Reassemble a received :class:`DeltaDocument` against *cache*.
 
@@ -350,4 +423,4 @@ def decode_delta(delta: DeltaDocument, cache: ChunkCache) -> bytes:
     any byte fails its content address.
     """
     cache.add_all(delta.chunks)
-    return assemble(delta.manifest, cache)
+    return assemble(delta.manifest, _ChunkOverlay(delta.chunks, cache))

@@ -113,6 +113,10 @@ class DeltaMismatch(DeltaError):
     """A reassembled document does not match its manifest digest."""
 
 
+class ArchiveError(DocumentError):
+    """An archival bundle is malformed or fails cold verification."""
+
+
 # ---------------------------------------------------------------------------
 # Runtime (AEA / TFC / router)
 # ---------------------------------------------------------------------------

@@ -100,6 +100,21 @@ class FleetConfig:
     #: report's ``metrics`` section without retaining span events
     #: (implied when *tracer* is set).
     collect_metrics: bool = False
+    #: Storage-lifecycle sweep cadence (delta routing only): every N
+    #: completed instances, archive + compact + retire the finished
+    #: instances and GC zero-reference chunks, so hot storage stays
+    #: O(live instances).  0 (default) disables the sweep entirely —
+    #: hot storage grows with total history, exactly as before.
+    gc_interval: int = 0
+    #: LRU byte budget for each client's peer chunk cache.  ``None``
+    #: (default) keeps the historic unbounded cache.
+    chunk_cache_bytes: int | None = None
+    #: Callback receiving ``(process_id, ArchiveBundle)`` for every
+    #: instance the lifecycle sweep retires — the bundle is exported
+    #: *before* the instance leaves hot storage.  Requires
+    #: ``gc_interval > 0`` to ever fire.
+    archive_sink: Callable[[str, object], None] | None = field(
+        default=None, compare=False)
 
 
 @dataclass
@@ -161,6 +176,26 @@ class Fleet:
         self._first_arrival: float | None = None
         self._last_completion = 0.0
         self._clients: dict[str, CloudClient] = {}
+        if config.gc_interval and not system.delta_routing:
+            raise FleetError(
+                "gc_interval requires delta routing (full-document "
+                "mode has no chunk store to collect)"
+            )
+        #: Completed-but-not-yet-retired instances awaiting the sweep.
+        self._retirable: list[str] = []
+        self._trust_snapshot: dict[str, object] | None = None
+        self._lifecycle: dict[str, int] | None = None
+        if config.gc_interval:
+            self._lifecycle = {
+                "gc_interval": config.gc_interval,
+                "sweeps": 0,
+                "instances_retired": 0,
+                "manifests_compacted": 0,
+                "archives_exported": 0,
+                "gc_chunks_deleted": 0,
+                "gc_bytes_reclaimed": 0,
+                "peak_hot_bytes": 0,
+            }
         #: Tracing tap: the caller's collecting tracer, or a metrics-only
         #: ``collect=False`` tracer, or ``None`` (fully untraced — the
         #: default, keeping the report byte-identical to older builds).
@@ -441,10 +476,61 @@ class Fleet:
         every = self.config.audit_every
         if every and (self._completed - 1) % every == 0:
             self._audit(instance)
+        if self._lifecycle is not None:
+            self._retirable.append(instance.process_id)
+            store = self.system.pool.chunks
+            if store is not None:
+                # Sample the hot footprint at every completion, so the
+                # peak covers growth *between* sweeps too.
+                self._lifecycle["peak_hot_bytes"] = max(
+                    self._lifecycle["peak_hot_bytes"],
+                    store.stats["unique_bytes"],
+                )
+            if self._completed % self.config.gc_interval == 0:
+                self._lifecycle_sweep()
         arrivals = self.config.arrivals
         if (isinstance(arrivals, ClosedLoop)
                 and self._started < arrivals.instances):
             self._launch()
+
+    def _trust(self) -> dict[str, object]:
+        """Verification-only trust snapshot for archive exports."""
+        if self._trust_snapshot is None:
+            self._trust_snapshot = self.system.directory.to_public_dict()
+        return self._trust_snapshot
+
+    def _lifecycle_sweep(self) -> None:
+        """Archive + compact + retire finished instances, then GC.
+
+        Runs as part of a completion event: the pool work's simulated
+        cost is captured and billed to the pool station, so lifecycle
+        maintenance competes for the same storage capacity the hot path
+        uses — throughput numbers stay honest.
+        """
+        from ..document.archive import export_archive
+
+        pool = self.system.pool
+        life = self._lifecycle
+        assert life is not None
+        with self._span("lifecycle.sweep", component="pool"):
+            with self.clock.capture() as captured:
+                for process_id in self._retirable:
+                    if self.config.archive_sink is not None:
+                        bundle = export_archive(pool, process_id,
+                                                self._trust())
+                        self.config.archive_sink(process_id, bundle)
+                        life["archives_exported"] += 1
+                    pool.archive(process_id)
+                    life["manifests_compacted"] += pool.compact(process_id)
+                    pool.retire(process_id)
+                    life["instances_retired"] += 1
+                self._retirable.clear()
+                deleted, reclaimed = pool.gc()
+                pool.flush_hot_tables()
+            life["sweeps"] += 1
+            life["gc_chunks_deleted"] += deleted
+            life["gc_bytes_reclaimed"] += reclaimed
+            self._chain(self._captured_visits(captured), lambda: None)
 
     def _audit(self, instance: _Instance) -> None:
         """Cold full-cascade re-verification of a finished instance."""
@@ -533,6 +619,22 @@ class Fleet:
             reg.counter("verify_cache_misses_total").inc(
                 cache.stats.misses)
             reg.gauge("verify_cache_hit_rate").set(cache.stats.hit_rate)
+        if self._lifecycle is not None:
+            life = self._lifecycle
+            reg.counter("lifecycle_sweeps_total").inc(life["sweeps"])
+            reg.counter("instances_retired_total").inc(
+                life["instances_retired"])
+            reg.counter("manifests_compacted_total").inc(
+                life["manifests_compacted"])
+            reg.counter("gc_chunks_deleted_total").inc(
+                life["gc_chunks_deleted"])
+            reg.counter("gc_bytes_reclaimed_total").inc(
+                life["gc_bytes_reclaimed"])
+            if store is not None:
+                reg.gauge("chunk_store_hot_bytes").set(
+                    store.stats["unique_bytes"])
+                reg.gauge("chunk_store_peak_hot_bytes").set(
+                    life["peak_hot_bytes"])
         for name, station in sorted(self.stations.items()):
             m = station.metrics(horizon)
             reg.gauge("queue_depth_max", station=name).set(
@@ -571,6 +673,24 @@ class Fleet:
         if self.metrics is not None:
             self._fill_metrics(horizon)
             metrics_snapshot = self.metrics.snapshot()
+        lifecycle_dict: dict[str, object] = {}
+        if self._lifecycle is not None:
+            lifecycle_dict = dict(self._lifecycle)
+            if store is not None:
+                lifecycle_dict["hot_unique_bytes"] = \
+                    store.stats["unique_bytes"]
+                lifecycle_dict["hot_unique_chunks"] = \
+                    store.stats["unique_chunks"]
+                lifecycle_dict["store"] = dict(store.lifecycle)
+            lifecycle_dict["chunk_cache"] = {
+                "hits": sum(c.chunks.hits for c in clients),
+                "misses": sum(c.chunks.misses for c in clients),
+                "evictions": sum(c.chunks.evictions for c in clients),
+                "evicted_bytes": sum(c.chunks.evicted_bytes
+                                     for c in clients),
+                "resident_bytes": sum(c.chunks.total_bytes
+                                      for c in clients),
+            }
         return FleetReport(
             workload=self.workload.name,
             mode=self.config.arrivals.mode,
@@ -594,6 +714,7 @@ class Fleet:
             placement=placement_dict,
             storage=storage,
             metrics=metrics_snapshot,
+            lifecycle=lifecycle_dict,
         )
 
 
@@ -642,5 +763,6 @@ def build_fleet(workload: FleetWorkload,
         chunk_replicas=chunk_replicas,
         split_threshold_rows=split_threshold_rows,
         split_threshold_bytes=split_threshold_bytes,
+        chunk_cache_bytes=config.chunk_cache_bytes,
     )
     return Fleet(system, workload, world.keypairs, config)

@@ -73,6 +73,12 @@ class FleetReport:
     #: traced; empty — and omitted from the serialised form — otherwise,
     #: so untraced report bytes are unchanged (the golden guarantee).
     metrics: dict[str, object] = field(default_factory=dict)
+    #: Storage-lifecycle counters (sweeps, retired instances, compacted
+    #: manifests, GC totals, hot/peak bytes, chunk-cache traffic).
+    #: Populated only when the run swept (``gc_interval > 0``); empty —
+    #: and omitted from the serialised form — otherwise, so reports of
+    #: runs with the lifecycle off are byte-identical to older builds.
+    lifecycle: dict[str, object] = field(default_factory=dict)
 
     # -- latency aggregates ------------------------------------------------
 
@@ -175,6 +181,8 @@ class FleetReport:
                               for k in sorted(self.storage)}
         if self.metrics:
             out["metrics"] = self.metrics
+        if self.lifecycle:
+            out["lifecycle"] = self.lifecycle
         return out
 
     def to_json(self) -> str:
@@ -221,6 +229,17 @@ class FleetReport:
                 f"regions, {self.storage.get('region_splits', 0)} "
                 f"splits, {self.storage.get('region_moves', 0)} moves, "
                 f"{self.storage.get('memstore_flushes', 0)} flushes"
+            )
+        if self.lifecycle:
+            lines.append(
+                f"  lifecycle : every {self.lifecycle.get('gc_interval')}"
+                f" completions; {self.lifecycle.get('instances_retired', 0)}"
+                f" retired, {self.lifecycle.get('manifests_compacted', 0)}"
+                f" manifests compacted, "
+                f"{self.lifecycle.get('gc_chunks_deleted', 0)} chunks "
+                f"GC'd ({self.lifecycle.get('gc_bytes_reclaimed', 0):,} B)"
+                f"; hot {self.lifecycle.get('hot_unique_bytes', 0):,} B "
+                f"(peak {self.lifecycle.get('peak_hot_bytes', 0):,} B)"
             )
         lines.append(
             "  station        util   busy-s     jobs  maxQ  meanQ  "

@@ -161,7 +161,10 @@ class TestChunkCache:
         assert digest in cache
         assert len(cache) == 1
         assert cache[digest] == data
-        assert cache.hits == 1
+        # Membership probes count as traffic too, so reports see every
+        # lookup a peer made: one hit from `in`, one from `[]`.
+        assert cache.hits == 2
+        assert cache.misses == 0
         assert cache.total_bytes == len(data)
 
     def test_miss_counts_and_raises(self):
@@ -183,6 +186,92 @@ class TestChunkCache:
         cache.add(digest, data)
         cache.add(digest, data)
         assert len(cache) == 1
+
+
+class TestBoundedChunkCache:
+    """LRU byte-budgeted mode (``max_bytes`` set)."""
+
+    @staticmethod
+    def _entry(label: str) -> tuple[str, bytes]:
+        data = f"<CER>{label}</CER>".encode().ljust(100, b" ")
+        return chunk_digest(data), data
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(DeltaError, match="byte budget"):
+            ChunkCache(max_bytes=-1)
+
+    def test_evicts_least_recently_used_first(self):
+        cache = ChunkCache(max_bytes=250)  # room for two 100 B chunks
+        d1, c1 = self._entry("one")
+        d2, c2 = self._entry("two")
+        d3, c3 = self._entry("three")
+        cache.add(d1, c1)
+        cache.add(d2, c2)
+        assert d1 in cache  # touch: d1 is now warmer than d2
+        cache.add(d3, c3)
+        assert d2 not in cache
+        assert d1 in cache and d3 in cache
+        assert cache.evictions == 1
+        assert cache.evicted_bytes == len(c2)
+
+    def test_total_bytes_matches_audit_through_churn(self):
+        cache = ChunkCache(max_bytes=350)
+        for i in range(40):
+            digest, data = self._entry(f"churn-{i}")
+            cache.add(digest, data)
+            if i % 3 == 0:
+                digest in cache  # interleave touches  # noqa: B015
+            assert cache.total_bytes == cache.audit_total_bytes()
+        assert cache.total_bytes <= 350
+        assert cache.evictions > 0
+        assert cache.total_bytes == cache.audit_total_bytes()
+
+    def test_duplicate_add_does_not_double_count(self):
+        cache = ChunkCache(max_bytes=1000)
+        digest, data = self._entry("dup")
+        cache.add(digest, data)
+        cache.add(digest, data)
+        assert cache.total_bytes == len(data)
+        assert cache.total_bytes == cache.audit_total_bytes()
+
+    def test_zero_budget_keeps_newest_chunk_resident(self):
+        """Even over budget the newest chunk stays — evicting the bytes
+        in active use would only force an immediate refetch."""
+        cache = ChunkCache(max_bytes=0)
+        d1, c1 = self._entry("a")
+        d2, c2 = self._entry("b")
+        cache.add(d1, c1)
+        assert len(cache) == 1
+        cache.add(d2, c2)
+        assert len(cache) == 1
+        assert d2 in cache
+        assert cache.evictions == 1
+
+    def test_oversized_single_chunk_stays_resident(self):
+        cache = ChunkCache(max_bytes=10)
+        digest, data = self._entry("huge")  # 100 B > 10 B budget
+        cache.add(digest, data)
+        assert digest in cache
+        assert cache.total_bytes == len(data)
+
+    def test_decode_survives_tiny_budget(self, final_doc):
+        """A starved cache must never yield a wrong document — decode
+        reads fresh delta chunks before consulting the cache."""
+        delta = encode_delta(final_doc)
+        cache = ChunkCache(max_bytes=64)
+        assert decode_delta(delta, cache) == final_doc.to_bytes()
+        assert cache.total_bytes <= max(
+            64, max(len(c) for c in delta.chunks.values())
+        )
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = ChunkCache()
+        for i in range(200):
+            digest, data = self._entry(f"n{i}")
+            cache.add(digest, data)
+        assert cache.evictions == 0
+        assert len(cache) == 200
+        assert cache.total_bytes == cache.audit_total_bytes()
 
 
 # -- delta codec -------------------------------------------------------------
